@@ -1,0 +1,58 @@
+/// Ablation — FT-NRP re-initialization policy (paper §5.1.1, last remark).
+///
+/// Once both silent-filter budgets are exhausted, FT-NRP degenerates to
+/// ZT-NRP. The paper notes the Initialization phase "may be run again" to
+/// re-exploit the tolerance, at an O(n)-message price. This harness
+/// quantifies that trade-off: for a long run, does re-initialization pay
+/// for itself?
+
+#include "bench_common.h"
+
+namespace asf {
+namespace {
+
+void Run() {
+  bench::PrintBanner(
+      "Ablation: FT-NRP reinit policy (never vs when-exhausted)",
+      "(beyond the paper) re-running Initialization restores silent "
+      "filters at O(n) messages each time",
+      "on long runs with high tolerance, when-exhausted approaches or "
+      "beats never; on short runs the O(n) probes dominate");
+
+  TextTable table({"duration", "eps", "never", "when-exhausted", "reinits"});
+  for (double duration : {2000.0, 8000.0, 20000.0}) {
+    for (double eps : {0.1, 0.3}) {
+      std::uint64_t msgs[2] = {0, 0};
+      std::uint64_t reinits = 0;
+      for (int p = 0; p < 2; ++p) {
+        SystemConfig config;
+        RandomWalkConfig walk;
+        walk.num_streams = 1000;
+        walk.sigma = 60;  // volatile values drain Fix_Error budgets
+        walk.seed = 31;
+        config.source = SourceSpec::Walk(walk);
+        config.query = QuerySpec::Range(400, 600);
+        config.protocol = ProtocolKind::kFtNrp;
+        config.fraction = {eps, eps};
+        config.ft.reinit = (p == 0) ? ReinitPolicy::kNever
+                                    : ReinitPolicy::kWhenExhausted;
+        config.duration = duration * bench::Scale();
+        const RunResult result = bench::MustRun(config);
+        msgs[p] = result.MaintenanceMessages();
+        if (p == 1) reinits = result.reinits;
+      }
+      table.AddRow({Fmt("%.0f", duration), Fmt("%.1f", eps),
+                    bench::Msgs(msgs[0]), bench::Msgs(msgs[1]),
+                    Fmt("%llu", static_cast<unsigned long long>(reinits))});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace asf
+
+int main() {
+  asf::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+#ifndef ASF_BENCH_BENCH_COMMON_H_
+#define ASF_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+#include "engine/system.h"
+#include "metrics/table.h"
+
+/// \file
+/// Shared plumbing for the figure-reproduction harnesses (DESIGN.md §6).
+/// Each harness prints the series of one paper figure as a text table.
+/// Absolute message counts depend on the substituted workloads (DESIGN.md
+/// §3); the shapes — who wins, how curves move with tolerance — are the
+/// reproduction targets recorded in EXPERIMENTS.md.
+
+namespace asf {
+namespace bench {
+
+/// Workload scale factor from the REPRO_SCALE environment variable
+/// (default 1.0). Larger values lengthen every run proportionally.
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("REPRO_SCALE");
+    if (env == nullptr) return 1.0;
+    const double s = std::atof(env);
+    return s > 0 ? s : 1.0;
+  }();
+  return scale;
+}
+
+/// Runs a config that harness code believes is valid; aborts with the
+/// status message otherwise.
+inline RunResult MustRun(const SystemConfig& config) {
+  auto result = RunSystem(config);
+  ASF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+/// Prints the harness banner: which figure, what the paper shows, and what
+/// to look for in the table below.
+inline void PrintBanner(const char* figure, const char* paper_shows,
+                        const char* expect) {
+  std::printf("=== %s ===\n", figure);
+  std::printf("paper:  %s\n", paper_shows);
+  std::printf("expect: %s\n", expect);
+  std::printf("(REPRO_SCALE=%.2f; absolute counts are workload-dependent, "
+              "shapes are the target)\n\n",
+              Scale());
+}
+
+/// Formats a message count compactly ("45231" -> "45.2K").
+inline std::string Msgs(std::uint64_t count) {
+  if (count >= 10000000) return Fmt("%.1fM", count / 1e6);
+  if (count >= 10000) return Fmt("%.1fK", count / 1e3);
+  return Fmt("%llu", static_cast<unsigned long long>(count));
+}
+
+/// Oracle violation summary cell ("0/100").
+inline std::string OracleCell(const RunResult& result) {
+  return Fmt("%llu/%llu",
+             static_cast<unsigned long long>(result.oracle_violations),
+             static_cast<unsigned long long>(result.oracle_checks));
+}
+
+/// If REPRO_CSV_DIR is set, writes the table to <dir>/<name>.csv for
+/// plotting; otherwise a no-op.
+inline void MaybeWriteCsv(const TextTable& table, const char* name) {
+  const char* dir = std::getenv("REPRO_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  const Status status = table.WriteCsv(path);
+  if (status.ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "csv export failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace asf
+
+#endif  // ASF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,87 @@
+/// Microbenchmarks of the per-update hot path: the client-side filter
+/// check (every generated value goes through it) and the interval
+/// primitives it is built on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "filter/filter.h"
+#include "filter/filter_bank.h"
+#include "query/query.h"
+
+namespace asf {
+namespace {
+
+void BM_IntervalContains(benchmark::State& state) {
+  const Interval iv(400, 600);
+  Rng rng(1);
+  std::vector<Value> values;
+  for (int i = 0; i < 1024; ++i) values.push_back(rng.Uniform(0, 1000));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iv.Contains(values[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_IntervalContains);
+
+void BM_FilterOnValueChange_NoCrossing(benchmark::State& state) {
+  Filter filter;
+  filter.Deploy(FilterConstraint::Range(Interval(400, 600)), 500);
+  Rng rng(2);
+  std::vector<Value> values;
+  for (int i = 0; i < 1024; ++i) values.push_back(rng.Uniform(401, 599));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.OnValueChange(values[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_FilterOnValueChange_NoCrossing);
+
+void BM_FilterOnValueChange_AlwaysCrossing(benchmark::State& state) {
+  Filter filter;
+  filter.Deploy(FilterConstraint::Range(Interval(400, 600)), 500);
+  Value inside = 500;
+  Value outside = 700;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.OnValueChange(outside));
+    std::swap(inside, outside);
+  }
+}
+BENCHMARK(BM_FilterOnValueChange_AlwaysCrossing);
+
+void BM_FilterSilent(benchmark::State& state) {
+  Filter filter;
+  filter.Deploy(FilterConstraint::FalsePositive(), 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.OnValueChange(1e9));
+  }
+}
+BENCHMARK(BM_FilterSilent);
+
+void BM_FilterBankDeployAll(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  FilterBank bank(n);
+  const FilterConstraint c = FilterConstraint::Range(Interval(400, 600));
+  for (auto _ : state) {
+    for (StreamId id = 0; id < n; ++id) bank.Deploy(id, c, 500);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FilterBankDeployAll)->Arg(800)->Arg(5000);
+
+void BM_RankScoreKnn(benchmark::State& state) {
+  const RankQuery q = RankQuery::NearestNeighbors(10, 500);
+  Rng rng(3);
+  std::vector<Value> values;
+  for (int i = 0; i < 1024; ++i) values.push_back(rng.Uniform(0, 1000));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Score(values[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_RankScoreKnn);
+
+}  // namespace
+}  // namespace asf

@@ -1,0 +1,76 @@
+/// Microbenchmarks of whole-system update throughput: simulated updates
+/// processed per second for each protocol on the paper's synthetic
+/// workload. This measures the *server simulation* cost, not network
+/// messages — useful for sizing longer reproduction runs.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/system.h"
+
+namespace asf {
+namespace {
+
+SystemConfig WalkConfig(ProtocolKind protocol, std::size_t n) {
+  SystemConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = n;
+  walk.seed = 43;
+  config.source = SourceSpec::Walk(walk);
+  config.protocol = protocol;
+  switch (protocol) {
+    case ProtocolKind::kZtNrp:
+    case ProtocolKind::kFtNrp:
+    case ProtocolKind::kNoFilter:
+      config.query = QuerySpec::Range(400, 600);
+      break;
+    default:
+      config.query = QuerySpec::Knn(20, 500);
+      break;
+  }
+  config.fraction = {0.3, 0.3};
+  config.rank_r = 10;
+  config.duration = 200;
+  return config;
+}
+
+void RunProtocolBench(benchmark::State& state, ProtocolKind protocol) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t updates = 0;
+  for (auto _ : state) {
+    auto result = RunSystem(WalkConfig(protocol, n));
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    updates += result->updates_generated;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(updates));
+  state.counters["updates/run"] =
+      static_cast<double>(updates) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_SystemNoFilter(benchmark::State& state) {
+  RunProtocolBench(state, ProtocolKind::kNoFilter);
+}
+void BM_SystemZtNrp(benchmark::State& state) {
+  RunProtocolBench(state, ProtocolKind::kZtNrp);
+}
+void BM_SystemFtNrp(benchmark::State& state) {
+  RunProtocolBench(state, ProtocolKind::kFtNrp);
+}
+void BM_SystemRtp(benchmark::State& state) {
+  RunProtocolBench(state, ProtocolKind::kRtp);
+}
+void BM_SystemFtRp(benchmark::State& state) {
+  RunProtocolBench(state, ProtocolKind::kFtRp);
+}
+
+BENCHMARK(BM_SystemNoFilter)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SystemZtNrp)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SystemFtNrp)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SystemRtp)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SystemFtRp)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace asf

@@ -1,0 +1,41 @@
+#ifndef ASF_COMMON_CHECK_H_
+#define ASF_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Internal invariant checking.
+///
+/// ASF_CHECK is always on (protocol invariants are cheap relative to event
+/// dispatch and the whole library is a simulation harness, so we prefer loud
+/// failures over silent corruption). ASF_DCHECK compiles out in NDEBUG
+/// builds and is used on hot paths.
+
+#define ASF_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ASF_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define ASF_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ASF_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define ASF_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define ASF_DCHECK(cond) ASF_CHECK(cond)
+#endif
+
+#endif  // ASF_COMMON_CHECK_H_

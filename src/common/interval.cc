@@ -1,0 +1,25 @@
+#include "common/interval.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace asf {
+
+namespace {
+
+std::string FormatEndpoint(Value v) {
+  if (v == kInf) return "inf";
+  if (v == -kInf) return "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Interval::ToString() const {
+  if (empty_) return "[empty]";
+  return "[" + FormatEndpoint(lo_) + ", " + FormatEndpoint(hi_) + "]";
+}
+
+}  // namespace asf

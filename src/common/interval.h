@@ -1,0 +1,118 @@
+#ifndef ASF_COMMON_INTERVAL_H_
+#define ASF_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "common/types.h"
+
+/// \file
+/// Closed real intervals, the representation of both filter constraints and
+/// range-query predicates (paper §3.1: "A filter constraint is a closed
+/// interval [l_i, u_i]").
+///
+/// Two degenerate forms from the paper are first-class citizens:
+///  * `[−∞, ∞]`  — the *false-positive filter* of FT-NRP: every value is
+///    inside, so the stream never reports (it is effectively shut down while
+///    counted as part of the answer).
+///  * `[∞, ∞]`   — the *false-negative filter*: no finite value is inside, so
+///    the stream never reports while counted as outside the answer. We
+///    canonicalize any lo > hi interval to this empty form.
+
+namespace asf {
+
+/// A closed interval [lo, hi] over stream values. Endpoints may be infinite.
+class Interval {
+ public:
+  /// Constructs the empty interval (canonical [∞, ∞]).
+  Interval() : lo_(kInf), hi_(kInf), empty_(true) {}
+
+  /// Constructs [lo, hi]; an interval with lo > hi is canonicalized to
+  /// Never().
+  Interval(Value lo, Value hi) {
+    if (lo > hi) {
+      lo_ = kInf;
+      hi_ = kInf;
+      empty_ = true;
+    } else {
+      lo_ = lo;
+      hi_ = hi;
+      empty_ = false;
+    }
+  }
+
+  /// The all-accepting interval [−∞, ∞] (false-positive filter).
+  static Interval Always() { return Interval(-kInf, kInf); }
+
+  /// The empty interval [∞, ∞] (false-negative filter).
+  static Interval Never() { return Interval(); }
+
+  /// The ball {v : |v − center| ≤ radius} = [center − radius, center +
+  /// radius]. A negative radius yields Never().
+  static Interval Ball(Value center, Value radius) {
+    if (radius < 0) return Never();
+    return Interval(center - radius, center + radius);
+  }
+
+  Value lo() const { return lo_; }
+  Value hi() const { return hi_; }
+
+  /// True if no value is contained.
+  bool empty() const { return empty_; }
+
+  /// True if every value is contained ([−∞, ∞]).
+  bool all() const { return !empty_ && lo_ == -kInf && hi_ == kInf; }
+
+  /// Closed-interval membership: lo ≤ v ≤ hi.
+  bool Contains(Value v) const { return !empty_ && lo_ <= v && v <= hi_; }
+
+  /// True if `other` ⊆ this.
+  bool ContainsInterval(const Interval& other) const {
+    if (other.empty()) return true;
+    if (empty()) return false;
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+
+  /// Intersection of two intervals (empty if disjoint).
+  Interval Intersect(const Interval& other) const {
+    if (empty() || other.empty()) return Never();
+    return Interval(std::max(lo_, other.lo_), std::min(hi_, other.hi_));
+  }
+
+  /// Width hi − lo; 0 for empty intervals, +inf when either endpoint is
+  /// infinite.
+  Value Width() const {
+    if (empty_) return 0;
+    return hi_ - lo_;
+  }
+
+  /// Distance from v to the nearer boundary of the interval. Used by the
+  /// boundary-nearest placement heuristic (paper §6.2, Figure 14): streams
+  /// whose values lie close to a range boundary are the most likely to cross
+  /// it. Infinite endpoints are unreachable boundaries and contribute +inf.
+  Value DistanceToBoundary(Value v) const {
+    if (empty_) return kInf;
+    const Value dlo = (lo_ == -kInf) ? kInf : std::abs(v - lo_);
+    const Value dhi = (hi_ == kInf) ? kInf : std::abs(v - hi_);
+    return std::min(dlo, dhi);
+  }
+
+  bool operator==(const Interval& other) const {
+    if (empty_ && other.empty_) return true;
+    return empty_ == other.empty_ && lo_ == other.lo_ && hi_ == other.hi_;
+  }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+
+  /// "[lo, hi]", "[-inf, inf]", or "[empty]".
+  std::string ToString() const;
+
+ private:
+  Value lo_;
+  Value hi_;
+  bool empty_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_COMMON_INTERVAL_H_

@@ -1,0 +1,41 @@
+#ifndef ASF_COMMON_LOGGING_H_
+#define ASF_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+/// \file
+/// Minimal leveled logging to stderr. Default level is kWarning so library
+/// code is silent in tests/benches; examples raise it to kInfo to narrate.
+
+namespace asf {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// printf-style log statement; emitted when `level` >= the global level.
+void Logf(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+#define ASF_LOG_DEBUG(...) ::asf::Logf(::asf::LogLevel::kDebug, __VA_ARGS__)
+#define ASF_LOG_INFO(...) ::asf::Logf(::asf::LogLevel::kInfo, __VA_ARGS__)
+#define ASF_LOG_WARN(...) ::asf::Logf(::asf::LogLevel::kWarning, __VA_ARGS__)
+#define ASF_LOG_ERROR(...) ::asf::Logf(::asf::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace asf
+
+#endif  // ASF_COMMON_LOGGING_H_

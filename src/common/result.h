@@ -1,0 +1,73 @@
+#ifndef ASF_COMMON_RESULT_H_
+#define ASF_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+/// \file
+/// Result<T>: either a value or a non-OK Status (Arrow's Result / abseil's
+/// StatusOr). Used by constructors-that-can-fail such as trace loading and
+/// experiment configuration.
+
+namespace asf {
+
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Aborts if the status is OK, because an
+  /// OK Result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    ASF_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value. Aborts if not ok().
+  const T& value() const& {
+    ASF_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    ASF_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    ASF_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Unwraps a Result into `lhs`, returning the error status on failure.
+#define ASF_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto ASF_CONCAT_(result_, __LINE__) = (expr);      \
+  if (!ASF_CONCAT_(result_, __LINE__).ok())          \
+    return ASF_CONCAT_(result_, __LINE__).status();  \
+  lhs = std::move(ASF_CONCAT_(result_, __LINE__)).value()
+
+#define ASF_CONCAT_INNER_(a, b) a##b
+#define ASF_CONCAT_(a, b) ASF_CONCAT_INNER_(a, b)
+
+}  // namespace asf
+
+#endif  // ASF_COMMON_RESULT_H_

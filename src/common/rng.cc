@@ -1,0 +1,33 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asf {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  ASF_CHECK(n > 0);
+  ASF_CHECK(s >= 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (std::size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->Uniform(0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t rank) const {
+  ASF_CHECK(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace asf

@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace asf {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string OnlineStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.4g sd=%.4g min=%.4g max=%.4g",
+                static_cast<unsigned long long>(count_), mean(), stddev(),
+                min(), max());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  ASF_CHECK(hi > lo);
+  ASF_CHECK(buckets > 0);
+  counts_.assign(buckets, 0);
+}
+
+std::size_t Histogram::BucketOf(double x) const {
+  if (x < lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const auto i = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::Add(double x) {
+  ++counts_[BucketOf(x)];
+  ++total_;
+}
+
+double Histogram::CumulativeFraction(double x) const {
+  if (total_ == 0) return 0.0;
+  const std::size_t b = BucketOf(x);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i <= b; ++i) below += counts_[i];
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double Histogram::BucketLo(std::size_t i) const {
+  ASF_CHECK(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace asf

@@ -1,0 +1,94 @@
+#ifndef ASF_COMMON_STATUS_H_
+#define ASF_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file
+/// RocksDB/Arrow-style Status error handling for fallible operations
+/// (configuration validation, trace file I/O, protocol setup). Internal
+/// invariants use ASF_CHECK instead; Status is for errors a caller can
+/// meaningfully handle or report.
+
+namespace asf {
+
+/// Error category for a failed operation.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kIoError = 5,
+  kCorruption = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Human-readable name of a status code ("InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with a code and message. Prefer the named factory
+  /// functions below.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ASF_RETURN_IF_ERROR(expr)               \
+  do {                                          \
+    ::asf::Status _asf_status = (expr);         \
+    if (!_asf_status.ok()) return _asf_status;  \
+  } while (0)
+
+}  // namespace asf
+
+#endif  // ASF_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef ASF_COMMON_TYPES_H_
+#define ASF_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+/// \file
+/// Fundamental scalar types shared by every module.
+///
+/// The paper models a system of n data streams S = {S_1 ... S_n}, each
+/// reporting a real value V_i at discrete time instants (paper §3.1). We
+/// follow that model: stream identities are small dense integers, values are
+/// doubles, and simulated time is a double measured in abstract "time units"
+/// (the paper's synthetic workload uses exponential inter-arrival with mean
+/// 20 time units).
+
+namespace asf {
+
+/// Identifier of a stream source. Streams are registered densely from 0, so
+/// a StreamId doubles as an index into per-stream arrays.
+using StreamId = std::uint32_t;
+
+/// Sentinel for "no stream".
+inline constexpr StreamId kInvalidStream = static_cast<StreamId>(-1);
+
+/// A stream's reported scalar value (paper: V_i ∈ R).
+using Value = double;
+
+/// Simulated time in abstract time units.
+using SimTime = double;
+
+/// Positive infinity for values/time.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace asf
+
+#endif  // ASF_COMMON_TYPES_H_

@@ -1,0 +1,97 @@
+#ifndef ASF_ENGINE_MULTI_SYSTEM_H_
+#define ASF_ENGINE_MULTI_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/config.h"
+#include "engine/run_result.h"
+
+/// \file
+/// Multiple continuous queries over one shared stream population — the
+/// extension the paper names as future work (§7: "We plan to extend the
+/// protocols to support multiple queries").
+///
+/// Model: each stream source hosts one adaptive filter **per query** (the
+/// agent software evaluates all installed constraints on every value
+/// change), and each query keeps its own protocol state at the server.
+/// Protocol logic and per-query correctness guarantees are exactly those
+/// of the single-query system.
+///
+/// What sharing buys: when one value change violates the filters of
+/// several queries at once, the source sends ONE physical update message
+/// and the server routes it to every affected protocol. The per-query
+/// accounting still records a logical update each (so per-query costs
+/// remain comparable to single-query runs), while the shared accounting
+/// records the physical message count; the difference is the multi-query
+/// saving quantified by `bench/ext_multiquery`.
+
+namespace asf {
+
+/// One continuous query in a multi-query deployment.
+struct QueryDeployment {
+  std::string name;  ///< label used in results (must be unique)
+  QuerySpec query;
+  ProtocolKind protocol = ProtocolKind::kNoFilter;
+  std::size_t rank_r = 0;          ///< RTP only
+  FractionTolerance fraction;      ///< FT-NRP / FT-RP only
+  FtOptions ft;
+};
+
+/// Configuration of a multi-query run.
+struct MultiQueryConfig {
+  SourceSpec source;
+  std::vector<QueryDeployment> queries;
+  SimTime duration = 1000;
+  SimTime query_start = 0;
+  std::uint64_t seed = 1;
+  OracleOptions oracle;
+
+  Status Validate() const;
+};
+
+/// Per-query and shared outcomes of a multi-query run.
+struct MultiQueryResult {
+  /// Outcome of one deployed query (same semantics as RunResult).
+  struct PerQuery {
+    std::string name;
+    MessageStats messages;  ///< logical messages attributed to this query
+    std::uint64_t updates_reported = 0;
+    std::uint64_t reinits = 0;
+    OnlineStats answer_size;
+    std::uint64_t oracle_checks = 0;
+    std::uint64_t oracle_violations = 0;
+    double max_f_plus = 0.0;
+    double max_f_minus = 0.0;
+    std::size_t max_worst_rank = 0;
+  };
+
+  std::vector<PerQuery> queries;
+  std::uint64_t updates_generated = 0;
+
+  /// Physical update messages actually transmitted (each value change
+  /// costs at most one regardless of how many filters it violated).
+  std::uint64_t physical_updates = 0;
+
+  /// Sum over queries of logical update messages; the difference to
+  /// physical_updates is the sharing saving.
+  std::uint64_t LogicalUpdates() const;
+
+  /// Physical maintenance messages: shared updates + every query's probes
+  /// and deployments.
+  std::uint64_t PhysicalMaintenanceTotal() const;
+
+  /// What running each query in its own single-query system would cost in
+  /// maintenance messages (logical view).
+  std::uint64_t LogicalMaintenanceTotal() const;
+
+  double wall_seconds = 0.0;
+};
+
+/// Builds and runs a multi-query system.
+Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config);
+
+}  // namespace asf
+
+#endif  // ASF_ENGINE_MULTI_SYSTEM_H_

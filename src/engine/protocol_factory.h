@@ -1,0 +1,43 @@
+#ifndef ASF_ENGINE_PROTOCOL_FACTORY_H_
+#define ASF_ENGINE_PROTOCOL_FACTORY_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/config.h"
+#include "protocol/protocol.h"
+#include "tolerance/oracle.h"
+
+/// \file
+/// Shared protocol construction and answer judging for the single-query
+/// (engine/system.cc) and multi-query (engine/multi_system.cc) runners.
+
+namespace asf {
+
+/// Checks that `protocol` can serve `query` with the given tolerance over
+/// `num_streams` sources (query-class match, k ≤ n, tolerance bounds).
+Status ValidateDeployment(const QuerySpec& query, ProtocolKind protocol,
+                          const FractionTolerance& fraction,
+                          std::size_t num_streams);
+
+/// Builds the protocol. `ctx` and `rng` must outlive it. The deployment
+/// must have passed ValidateDeployment.
+std::unique_ptr<Protocol> MakeProtocol(const QuerySpec& query,
+                                       ProtocolKind protocol,
+                                       std::size_t rank_r,
+                                       const FractionTolerance& fraction,
+                                       const FtOptions& ft, ServerContext* ctx,
+                                       Rng* rng);
+
+/// Judges `answer` against the true values under the tolerance semantics
+/// the protocol promises (zero tolerance for the exact protocols, rank
+/// tolerance for RTP, fraction tolerance for FT-NRP / FT-RP).
+OracleCheck JudgeAnswer(const QuerySpec& query, ProtocolKind protocol,
+                        std::size_t rank_r, const FractionTolerance& fraction,
+                        const std::vector<Value>& truth,
+                        const AnswerSet& answer);
+
+}  // namespace asf
+
+#endif  // ASF_ENGINE_PROTOCOL_FACTORY_H_

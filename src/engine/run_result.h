@@ -1,0 +1,58 @@
+#ifndef ASF_ENGINE_RUN_RESULT_H_
+#define ASF_ENGINE_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "net/message_stats.h"
+
+/// \file
+/// Everything one simulated run reports back.
+
+namespace asf {
+
+/// Aggregated outcome of a run.
+struct RunResult {
+  /// Per-type, per-phase message counts. `messages.MaintenanceTotal()` is
+  /// the paper's headline metric.
+  MessageStats messages;
+
+  /// Value changes generated while the query was live.
+  std::uint64_t updates_generated = 0;
+  /// Updates that crossed a filter and reached the server.
+  std::uint64_t updates_reported = 0;
+  /// Full protocol re-initializations after query start.
+  std::uint64_t reinits = 0;
+
+  /// Streams holding the silent [−∞,∞] / [∞,∞] filters right after
+  /// initialization — the sources that are completely shut down (the
+  /// paper's sensor-battery saving, §5.1.1).
+  std::size_t fp_filters_installed = 0;
+  std::size_t fn_filters_installed = 0;
+
+  /// Distribution of |A(t)| sampled after every generated update.
+  OnlineStats answer_size;
+
+  // --- Oracle observations (all zero when the oracle is off) ---
+  std::uint64_t oracle_checks = 0;
+  std::uint64_t oracle_violations = 0;
+  double max_f_plus = 0.0;        ///< worst observed F+(t)
+  double max_f_minus = 0.0;       ///< worst observed F−(t)
+  std::size_t max_worst_rank = 0; ///< worst observed max-rank over A(t)
+
+  /// Host wall-clock seconds consumed by the run.
+  double wall_seconds = 0.0;
+
+  /// The paper's metric.
+  std::uint64_t MaintenanceMessages() const {
+    return messages.MaintenanceTotal();
+  }
+
+  /// One-line summary for harness logs.
+  std::string ToString() const;
+};
+
+}  // namespace asf
+
+#endif  // ASF_ENGINE_RUN_RESULT_H_

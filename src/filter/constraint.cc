@@ -1,0 +1,12 @@
+#include "filter/constraint.h"
+
+namespace asf {
+
+std::string FilterConstraint::ToString() const {
+  if (!has_filter_) return "none";
+  if (IsFalsePositiveFilter()) return "FP" + interval_.ToString();
+  if (IsFalseNegativeFilter()) return "FN" + interval_.ToString();
+  return interval_.ToString();
+}
+
+}  // namespace asf

@@ -1,0 +1,29 @@
+#include "filter/filter_bank.h"
+
+namespace asf {
+
+std::size_t FilterBank::CountFalsePositiveFilters() const {
+  std::size_t n = 0;
+  for (const Filter& f : filters_) {
+    if (f.constraint().IsFalsePositiveFilter()) ++n;
+  }
+  return n;
+}
+
+std::size_t FilterBank::CountFalseNegativeFilters() const {
+  std::size_t n = 0;
+  for (const Filter& f : filters_) {
+    if (f.constraint().IsFalseNegativeFilter()) ++n;
+  }
+  return n;
+}
+
+std::size_t FilterBank::CountInstalled() const {
+  std::size_t n = 0;
+  for (const Filter& f : filters_) {
+    if (f.constraint().has_filter()) ++n;
+  }
+  return n;
+}
+
+}  // namespace asf

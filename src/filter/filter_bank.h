@@ -1,0 +1,57 @@
+#ifndef ASF_FILTER_FILTER_BANK_H_
+#define ASF_FILTER_FILTER_BANK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "filter/filter.h"
+
+/// \file
+/// The collection of client-side filters, one per stream source. In the
+/// real deployment each filter lives at its stream (paper Figure 3, "agent
+/// software installed at each subnet router"); in the simulation they are
+/// held together for efficiency, but only the engine's transport layer may
+/// touch them, preserving the distributed-system message discipline.
+
+namespace asf {
+
+/// Dense array of per-stream filters.
+class FilterBank {
+ public:
+  explicit FilterBank(std::size_t num_streams) : filters_(num_streams) {}
+
+  std::size_t size() const { return filters_.size(); }
+
+  Filter& at(StreamId id) {
+    ASF_DCHECK(id < filters_.size());
+    return filters_[id];
+  }
+  const Filter& at(StreamId id) const {
+    ASF_DCHECK(id < filters_.size());
+    return filters_[id];
+  }
+
+  /// Installs a constraint on one stream given its current value.
+  void Deploy(StreamId id, const FilterConstraint& constraint,
+              Value current_value) {
+    at(id).Deploy(constraint, current_value);
+  }
+
+  /// Number of filters currently in the [−∞, ∞] (false positive) state.
+  std::size_t CountFalsePositiveFilters() const;
+
+  /// Number of filters currently in the [∞, ∞] (false negative) state.
+  std::size_t CountFalseNegativeFilters() const;
+
+  /// Number of streams with any interval filter installed.
+  std::size_t CountInstalled() const;
+
+ private:
+  std::vector<Filter> filters_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_FILTER_FILTER_BANK_H_

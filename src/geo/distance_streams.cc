@@ -1,0 +1,22 @@
+#include "geo/distance_streams.h"
+
+namespace asf {
+
+DistanceStreamSet::DistanceStreamSet(PlaneWalkStreams* plane,
+                                     const Point2& query_point)
+    : StreamSet(plane->size()), plane_(plane), q_(query_point) {
+  ASF_CHECK(plane != nullptr);
+  for (StreamId id = 0; id < plane_->size(); ++id) {
+    SetInitialValue(id, Distance(plane_->position(id), q_));
+  }
+  plane_->set_move_handler(
+      [this](StreamId id, const Point2& p, SimTime t) {
+        ApplyUpdate(id, Distance(p, q_), t);
+      });
+}
+
+void DistanceStreamSet::Start(Scheduler* scheduler, SimTime horizon) {
+  plane_->Start(scheduler, horizon);
+}
+
+}  // namespace asf

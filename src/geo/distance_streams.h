@@ -1,0 +1,46 @@
+#ifndef ASF_GEO_DISTANCE_STREAMS_H_
+#define ASF_GEO_DISTANCE_STREAMS_H_
+
+#include "geo/plane_walk.h"
+#include "stream/stream_set.h"
+
+/// \file
+/// The dimensionality reduction for rank-based queries (paper §7).
+///
+/// For a 2-D k-NN query at a fixed point q, the bound R the protocols
+/// deploy is always a score ball — in the plane, the disk Disk(q, d). A
+/// stream's membership in Disk(q, d) is exactly the predicate
+///     Distance(p_i, q) ≤ d,
+/// so each source can evaluate its filter on the scalar DERIVED stream
+/// s_i = Distance(p_i, q), which it can compute locally (it knows q and
+/// its own position). Consequently every 1-D rank protocol — RTP, ZT-RP,
+/// FT-RP — runs UNCHANGED on the derived stream with a bottom-k query
+/// (smallest distance = best rank), and all their tolerance guarantees
+/// carry over verbatim to the 2-D query.
+///
+/// DistanceStreamSet adapts a PlaneWalkStreams population into that
+/// derived scalar StreamSet.
+
+namespace asf {
+
+/// Scalar view of a 2-D population: value_i(t) = Distance(p_i(t), q).
+/// Borrows the plane streams, which must outlive the adapter. Use with
+/// QuerySpec::BottomK(k) and any rank protocol.
+class DistanceStreamSet : public StreamSet {
+ public:
+  /// Wires the adapter to `plane` (replacing any move handler installed
+  /// on it).
+  DistanceStreamSet(PlaneWalkStreams* plane, const Point2& query_point);
+
+  void Start(Scheduler* scheduler, SimTime horizon) override;
+
+  const Point2& query_point() const { return q_; }
+
+ private:
+  PlaneWalkStreams* plane_;
+  Point2 q_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_GEO_DISTANCE_STREAMS_H_

@@ -1,0 +1,86 @@
+#ifndef ASF_GEO_RANGE2D_H_
+#define ASF_GEO_RANGE2D_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/plane_filter.h"
+#include "net/message_stats.h"
+#include "protocol/options.h"
+#include "query/answer_set.h"
+#include "tolerance/tolerance.h"
+
+/// \file
+/// FT-NRP in the plane: the fraction-tolerance protocol for 2-D rectangle
+/// range queries (paper §7's multi-dimensional generalization of §5.1.1).
+/// The machinery is structurally identical to the 1-D FractionFilterCore —
+/// budgets from Equations 3–4, silent filters placed by the boundary-
+/// nearest or random heuristic, the `count` ledger, and Fix_Error — with
+/// Interval membership replaced by Rect membership. Zero tolerance
+/// degenerates to the 2-D ZT-NRP exactly as in 1-D.
+
+namespace asf {
+
+/// The server side of a 2-D fraction-tolerant rectangle query.
+class FtRange2d {
+ public:
+  /// Network primitives, supplied by the harness that owns the plane
+  /// population and its filter bank (messages are accounted here).
+  struct Transport {
+    /// Returns the stream's current position and syncs its filter
+    /// reference (one request + one response).
+    std::function<Point2(StreamId)> probe;
+    /// Installs a constraint at the stream (one message).
+    std::function<void(StreamId, const PlaneConstraint&)> deploy;
+  };
+
+  FtRange2d(std::size_t num_streams, const Rect& query,
+            const FractionTolerance& tolerance,
+            SelectionHeuristic heuristic, Rng* rng, Transport transport,
+            MessageStats* stats);
+
+  /// Probes every stream, derives the silent-filter budgets from the
+  /// initial answer, and installs all constraints.
+  void Initialize();
+
+  /// Handles one reported move from a rect-filtered stream.
+  void OnUpdate(StreamId id, const Point2& p);
+
+  const AnswerSet& answer() const { return answer_; }
+  const Rect& query() const { return query_; }
+  std::size_t n_plus() const { return fp_streams_.size(); }
+  std::size_t n_minus() const { return fn_streams_.size(); }
+  std::uint64_t fix_error_runs() const { return fix_error_runs_; }
+
+  /// Judges the current answer against true positions (the 2-D oracle).
+  static FractionCounts CountErrors(const std::vector<Point2>& truth,
+                                    const Rect& query,
+                                    const AnswerSet& answer);
+
+ private:
+  void FixError();
+  Point2 Probe(StreamId id);
+  void Deploy(StreamId id, const PlaneConstraint& constraint);
+
+  std::size_t num_streams_;
+  Rect query_;
+  FractionTolerance tolerance_;
+  SelectionHeuristic heuristic_;
+  Rng* rng_;
+  Transport transport_;
+  MessageStats* stats_;
+
+  std::vector<Point2> cache_;  ///< last known position per stream
+  AnswerSet answer_;
+  std::uint64_t count_ = 0;
+  std::uint64_t fix_error_runs_ = 0;
+  std::vector<StreamId> fp_streams_;
+  std::vector<StreamId> fn_streams_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_GEO_RANGE2D_H_

@@ -1,0 +1,47 @@
+#ifndef ASF_METRICS_TABLE_H_
+#define ASF_METRICS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Plain-text result tables for the benchmark harnesses: each bench prints
+/// the series of the paper figure it reproduces as an aligned table, and
+/// can dump the same data as CSV for plotting.
+
+namespace asf {
+
+/// A column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Renders with right-aligned columns and a separator under the header.
+  std::string ToString() const;
+
+  /// Writes header + rows as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string helper for table cells.
+std::string Fmt(const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+}  // namespace asf
+
+#endif  // ASF_METRICS_TABLE_H_

@@ -1,0 +1,108 @@
+#include "protocol/ft_core.h"
+
+#include <algorithm>
+
+namespace asf {
+
+void FractionFilterCore::InstallFilters(const Interval& range,
+                                        std::size_t n_plus,
+                                        std::size_t n_minus) {
+  range_ = range;
+  answer_.Clear();
+  count_ = 0;
+  fp_streams_.clear();
+  fn_streams_.clear();
+
+  // Partition streams by the server's (fresh) cache: A(t0) inside, Y(t0)
+  // outside (Figure 7, Initialization steps 2-3).
+  std::vector<StreamId> inside;
+  std::vector<StreamId> outside;
+  for (StreamId id = 0; id < ctx_->num_streams(); ++id) {
+    if (range_.Contains(ctx_->cached(id))) {
+      inside.push_back(id);
+      answer_.Insert(id);
+    } else {
+      outside.push_back(id);
+    }
+  }
+
+  const auto boundary_distance = [this](StreamId id) {
+    return range_.DistanceToBoundary(ctx_->cached(id));
+  };
+  fp_streams_ = SelectFilterHolders(inside, n_plus, heuristic_,
+                                    boundary_distance, rng_);
+  fn_streams_ = SelectFilterHolders(outside, n_minus, heuristic_,
+                                    boundary_distance, rng_);
+  // The selection lists are ordered most-boundary-prone first; Fix_Error
+  // consumes from the back so the streams most likely to cross stay silent
+  // the longest.
+  std::vector<bool> silent(ctx_->num_streams(), false);
+  for (StreamId id : fp_streams_) {
+    ctx_->Deploy(id, FilterConstraint::FalsePositive());
+    silent[id] = true;
+  }
+  for (StreamId id : fn_streams_) {
+    ctx_->Deploy(id, FilterConstraint::FalseNegative());
+    silent[id] = true;
+  }
+  const FilterConstraint range_filter = FilterConstraint::Range(range_);
+  for (StreamId id = 0; id < ctx_->num_streams(); ++id) {
+    if (!silent[id]) ctx_->Deploy(id, range_filter);
+  }
+}
+
+void FractionFilterCore::OnRangeUpdate(StreamId id, Value v, SimTime t) {
+  if (range_.Contains(v)) {
+    // Figure 7 Maintenance case 1: a new stream satisfies the query.
+    const bool inserted = answer_.Insert(id);
+    ASF_DCHECK(inserted);  // silent filters never report; members never
+                           // report an in-range value
+    if (inserted) ++count_;
+    return;
+  }
+  // Case 2: an answer stream left the range.
+  const bool erased = answer_.Erase(id);
+  ASF_DCHECK(erased);
+  if (!erased) return;
+  if (count_ > 0) {
+    --count_;
+  } else {
+    FixError(t);
+  }
+}
+
+void FractionFilterCore::FixError(SimTime t) {
+  ++fix_error_runs_;
+  const FilterConstraint range_filter = FilterConstraint::Range(range_);
+
+  // Step 1: consult a false-positive-filtered stream, if any remain.
+  if (!fp_streams_.empty()) {
+    const StreamId y = fp_streams_.back();
+    fp_streams_.pop_back();
+    const Value vy = ctx_->Probe(y, t);
+    // Whether or not S_y is still in range, it stops being a silent filter
+    // holder: the range filter is installed and E^max+ is decremented
+    // (DESIGN.md §4 — the Figure 7 pseudo-code omits the install in the
+    // out-of-range branch but the §5.1.1 proof requires it).
+    ctx_->Deploy(y, range_filter);
+    if (range_.Contains(vy)) {
+      // True positive: answer unchanged, false-positive budget shrank, both
+      // fractions improved. Done.
+      return;
+    }
+    // True negative: drop it from the answer and fall through to recruit a
+    // replacement from the false-negative pool.
+    answer_.Erase(y);
+  }
+
+  // Step 2: consult a false-negative-filtered stream, if any remain.
+  if (!fn_streams_.empty()) {
+    const StreamId z = fn_streams_.back();
+    fn_streams_.pop_back();
+    const Value vz = ctx_->Probe(z, t);
+    if (range_.Contains(vz)) answer_.Insert(z);
+    ctx_->Deploy(z, range_filter);
+  }
+}
+
+}  // namespace asf

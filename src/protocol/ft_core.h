@@ -1,0 +1,91 @@
+#ifndef ASF_PROTOCOL_FT_CORE_H_
+#define ASF_PROTOCOL_FT_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/rng.h"
+#include "protocol/heuristics.h"
+#include "protocol/options.h"
+#include "protocol/server_context.h"
+#include "query/answer_set.h"
+
+/// \file
+/// The fraction-tolerance filter machinery shared by FT-NRP (range queries,
+/// paper Figure 7) and FT-RP (k-NN transformed to a range query over the
+/// bound R, paper §5.2). Given a range and silent-filter budgets (n+, n−),
+/// it:
+///
+///  * installs [−∞,∞] on n+ answer streams (false-positive filters),
+///    [∞,∞] on n− non-answer streams (false-negative filters), and the
+///    range on everyone else — silenced streams are effectively shut down,
+///    which is the communication (and sensor-battery) saving;
+///  * maintains A(t) and the `count` of surplus insertions;
+///  * runs Fix_Error when a removal lands while count == 0, consulting one
+///    false-positive and possibly one false-negative stream to restore the
+///    F+/F− guarantees (Figure 7, with the §5.1.1 correctness-proof reading
+///    of step 1(III): the consulted FP stream always gets the range filter
+///    installed and n+ is decremented — see DESIGN.md §4).
+
+namespace asf {
+
+/// Reusable fraction-tolerance range-filter state machine.
+class FractionFilterCore {
+ public:
+  /// `rng` is used by the kRandom heuristic and may be null for
+  /// kBoundaryNearest.
+  FractionFilterCore(ServerContext* ctx, SelectionHeuristic heuristic,
+                     Rng* rng)
+      : ctx_(ctx), heuristic_(heuristic), rng_(rng) {}
+
+  /// (Re)installs all filters for `range` from the server's current value
+  /// cache: the answer becomes the cached-inside set, n_plus/n_minus silent
+  /// filters are placed per the heuristic, and `count` resets. Deploys one
+  /// constraint to every stream.
+  void InstallFilters(const Interval& range, std::size_t n_plus,
+                      std::size_t n_minus);
+
+  /// Handles one reported update from a range-filtered stream (Figure 7
+  /// Maintenance): insertion bumps `count`; removal consumes `count` or
+  /// triggers Fix_Error.
+  void OnRangeUpdate(StreamId id, Value v, SimTime t);
+
+  const AnswerSet& answer() const { return answer_; }
+  const Interval& range() const { return range_; }
+
+  /// Remaining false-positive / false-negative filter budgets.
+  std::size_t n_plus() const { return fp_streams_.size(); }
+  std::size_t n_minus() const { return fn_streams_.size(); }
+
+  /// True once both silent budgets are spent (the protocol has degenerated
+  /// to its zero-tolerance form; paper §5.1.1).
+  bool Exhausted() const { return fp_streams_.empty() && fn_streams_.empty(); }
+
+  /// Surplus-insertion counter (Figure 7's `count`).
+  std::uint64_t count() const { return count_; }
+
+  /// Number of Fix_Error executions so far.
+  std::uint64_t fix_error_runs() const { return fix_error_runs_; }
+
+ private:
+  void FixError(SimTime t);
+
+  ServerContext* ctx_;
+  SelectionHeuristic heuristic_;
+  Rng* rng_;
+
+  Interval range_ = Interval::Never();
+  AnswerSet answer_;
+  std::uint64_t count_ = 0;
+  std::uint64_t fix_error_runs_ = 0;
+
+  // Streams currently holding silent filters, best Fix_Error candidates
+  // last (the lists are consumed back-to-front).
+  std::vector<StreamId> fp_streams_;
+  std::vector<StreamId> fn_streams_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_PROTOCOL_FT_CORE_H_

@@ -1,0 +1,55 @@
+#include "protocol/heuristics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace asf {
+
+std::string_view SelectionHeuristicName(SelectionHeuristic h) {
+  switch (h) {
+    case SelectionHeuristic::kRandom:
+      return "random";
+    case SelectionHeuristic::kBoundaryNearest:
+      return "boundary-nearest";
+  }
+  return "unknown";
+}
+
+std::string_view ReinitPolicyName(ReinitPolicy p) {
+  switch (p) {
+    case ReinitPolicy::kNever:
+      return "never";
+    case ReinitPolicy::kWhenExhausted:
+      return "when-exhausted";
+  }
+  return "unknown";
+}
+
+std::vector<StreamId> SelectFilterHolders(
+    const std::vector<StreamId>& candidates, std::size_t count,
+    SelectionHeuristic heuristic,
+    const std::function<double(StreamId)>& priority, Rng* rng) {
+  std::vector<StreamId> picked = candidates;
+  const std::size_t take = std::min(count, picked.size());
+  switch (heuristic) {
+    case SelectionHeuristic::kRandom:
+      ASF_CHECK(rng != nullptr);
+      rng->Shuffle(&picked);
+      break;
+    case SelectionHeuristic::kBoundaryNearest:
+      ASF_CHECK(priority != nullptr);
+      std::sort(picked.begin(), picked.end(),
+                [&priority](StreamId a, StreamId b) {
+                  const double pa = priority(a);
+                  const double pb = priority(b);
+                  if (pa != pb) return pa < pb;
+                  return a < b;
+                });
+      break;
+  }
+  picked.resize(take);
+  return picked;
+}
+
+}  // namespace asf

@@ -1,0 +1,46 @@
+#ifndef ASF_PROTOCOL_OPTIONS_H_
+#define ASF_PROTOCOL_OPTIONS_H_
+
+#include <string_view>
+
+#include "tolerance/tolerance.h"
+
+/// \file
+/// Tunable policies of the fraction-tolerance protocols.
+
+namespace asf {
+
+/// How FT-NRP / FT-RP pick which streams receive the silent [−∞,∞] /
+/// [∞,∞] filters during initialization (paper §6.2, Figure 14).
+enum class SelectionHeuristic : int {
+  /// Streams are selected uniformly at random.
+  kRandom = 0,
+  /// Streams whose values lie closest to the range boundary are selected —
+  /// they are the most likely to cross it, so silencing them saves the most
+  /// messages.
+  kBoundaryNearest = 1,
+};
+
+std::string_view SelectionHeuristicName(SelectionHeuristic h);
+
+/// Whether FT-NRP re-runs its Initialization phase once both silent-filter
+/// budgets are exhausted (paper §5.1.1: "To exploit tolerance, the
+/// Initialization Phase of FT-NRP may be run again"). Re-initialization
+/// costs O(n) messages, accounted as maintenance.
+enum class ReinitPolicy : int {
+  kNever = 0,
+  kWhenExhausted = 1,
+};
+
+std::string_view ReinitPolicyName(ReinitPolicy p);
+
+/// Bundle of fraction-protocol knobs.
+struct FtOptions {
+  SelectionHeuristic heuristic = SelectionHeuristic::kBoundaryNearest;
+  ReinitPolicy reinit = ReinitPolicy::kNever;
+  RhoPolicy rho = RhoPolicy::kBalanced;  ///< FT-RP only (Eq 16 split)
+};
+
+}  // namespace asf
+
+#endif  // ASF_PROTOCOL_OPTIONS_H_

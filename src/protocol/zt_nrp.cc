@@ -1,0 +1,30 @@
+#include "protocol/zt_nrp.h"
+
+namespace asf {
+
+ZtNrp::ZtNrp(ServerContext* ctx, const RangeQuery& query)
+    : Protocol(ctx), query_(query) {}
+
+void ZtNrp::Initialize(SimTime t) {
+  ctx_->ProbeAll(t);
+  answer_.Clear();
+  for (StreamId id = 0; id < ctx_->num_streams(); ++id) {
+    if (query_.Matches(ctx_->cached(id))) answer_.Insert(id);
+  }
+  ctx_->DeployAll(FilterConstraint::Range(query_.range()));
+}
+
+void ZtNrp::OnUpdate(StreamId id, Value v, SimTime /*t*/) {
+  // A report means the value crossed [l, u]; membership simply flips.
+  if (query_.Matches(v)) {
+    const bool inserted = answer_.Insert(id);
+    ASF_DCHECK(inserted);
+    (void)inserted;
+  } else {
+    const bool erased = answer_.Erase(id);
+    ASF_DCHECK(erased);
+    (void)erased;
+  }
+}
+
+}  // namespace asf

@@ -1,0 +1,48 @@
+#ifndef ASF_QUERY_ANSWER_SET_H_
+#define ASF_QUERY_ANSWER_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// The answer A(t) of an entity-based query: a set of stream identifiers
+/// (paper §3.2: entity-based queries "return names or identifiers of
+/// objects as answers").
+
+namespace asf {
+
+/// An unordered set of stream ids with convenience accessors.
+class AnswerSet {
+ public:
+  AnswerSet() = default;
+
+  bool Insert(StreamId id) { return ids_.insert(id).second; }
+  bool Erase(StreamId id) { return ids_.erase(id) > 0; }
+  bool Contains(StreamId id) const { return ids_.contains(id); }
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  void Clear() { ids_.clear(); }
+
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  /// The ids in ascending order (for deterministic output and tests).
+  std::vector<StreamId> ToSortedVector() const {
+    std::vector<StreamId> out(ids_.begin(), ids_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  bool operator==(const AnswerSet& other) const { return ids_ == other.ids_; }
+
+ private:
+  std::unordered_set<StreamId> ids_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_QUERY_ANSWER_SET_H_

@@ -1,0 +1,23 @@
+#include "query/query.h"
+
+#include <cstdio>
+
+namespace asf {
+
+std::string RankQuery::ToString() const {
+  char buf[96];
+  switch (kind_) {
+    case RankKind::kNearest:
+      std::snprintf(buf, sizeof(buf), "%zu-NN at q=%g", k_, q_);
+      break;
+    case RankKind::kMax:
+      std::snprintf(buf, sizeof(buf), "top-%zu", k_);
+      break;
+    case RankKind::kMin:
+      std::snprintf(buf, sizeof(buf), "bottom-%zu", k_);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace asf

@@ -1,0 +1,127 @@
+#ifndef ASF_QUERY_QUERY_H_
+#define ASF_QUERY_QUERY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/check.h"
+#include "common/interval.h"
+#include "common/types.h"
+
+/// \file
+/// Entity-based continuous queries (paper §3.2).
+///
+/// * RangeQuery — the non-rank-based example: report streams whose values
+///   lie in a closed interval [l, u].
+/// * RankQuery  — the rank-based example: k-NN around a query point q,
+///   where "a k-NN query can be easily transformed to a k-minimum or
+///   k-maximum query by setting q to −∞ or +∞". We make that transformation
+///   explicit with a score geometry: every stream gets a *score* (lower is
+///   better); the k best scores answer the query, and the region
+///   {v : score(v) ≤ d} maps back to a value-space interval used as the
+///   filter bound R.
+
+namespace asf {
+
+/// Continuous range query: answer = {S_i : V_i ∈ [l, u]}.
+class RangeQuery {
+ public:
+  explicit RangeQuery(const Interval& range) : range_(range) {
+    ASF_CHECK_MSG(!range.empty(), "range query interval must be non-empty");
+  }
+  RangeQuery(Value lo, Value hi) : RangeQuery(Interval(lo, hi)) {}
+
+  const Interval& range() const { return range_; }
+  bool Matches(Value v) const { return range_.Contains(v); }
+
+  std::string ToString() const { return "range " + range_.ToString(); }
+
+ private:
+  Interval range_;
+};
+
+/// Flavor of a rank-based query.
+enum class RankKind : int {
+  kNearest = 0,  ///< k nearest to a finite query point q: score = |v − q|
+  kMax = 1,      ///< top-k by value (q = +∞): score = −v
+  kMin = 2,      ///< bottom-k by value (q = −∞): score = v
+};
+
+/// Continuous rank-based query with rank requirement k (paper §3.2(1)).
+class RankQuery {
+ public:
+  /// k-NN around a finite query point.
+  static RankQuery NearestNeighbors(std::size_t k, Value q) {
+    return RankQuery(RankKind::kNearest, k, q);
+  }
+  /// Top-k (k highest values).
+  static RankQuery TopK(std::size_t k) {
+    return RankQuery(RankKind::kMax, k, kInf);
+  }
+  /// Bottom-k (k lowest values).
+  static RankQuery BottomK(std::size_t k) {
+    return RankQuery(RankKind::kMin, k, -kInf);
+  }
+
+  RankKind kind() const { return kind_; }
+  std::size_t k() const { return k_; }
+
+  /// The query point (finite only for kNearest).
+  Value query_point() const { return q_; }
+
+  /// The ranking score of a value; lower scores rank higher. For kNearest
+  /// this is the distance |v − q| the paper ranks by.
+  double Score(Value v) const {
+    switch (kind_) {
+      case RankKind::kNearest:
+        return v >= q_ ? v - q_ : q_ - v;
+      case RankKind::kMax:
+        return -v;
+      case RankKind::kMin:
+        return v;
+    }
+    ASF_CHECK(false);
+    return 0;
+  }
+
+  /// The value-space region {v : Score(v) ≤ threshold}; this is the bound R
+  /// deployed as a filter constraint. For kNearest it is the interval
+  /// [q − d, q + d] of paper Figure 5 (Deploy_bound), and a negative
+  /// threshold yields the empty interval (distances cannot be negative).
+  /// For kMax/kMin the score is a raw (possibly negative) value and every
+  /// finite threshold yields a half-infinite ray. A threshold of +inf
+  /// always yields [−∞, ∞].
+  Interval ScoreBall(double threshold) const {
+    switch (kind_) {
+      case RankKind::kNearest:
+        if (threshold < 0) return Interval::Never();
+        if (threshold == kInf) return Interval::Always();
+        return Interval(q_ - threshold, q_ + threshold);
+      case RankKind::kMax:
+        return Interval(-threshold, kInf);
+      case RankKind::kMin:
+        return Interval(-kInf, threshold);
+    }
+    ASF_CHECK(false);
+    return Interval::Never();
+  }
+
+  std::string ToString() const;
+
+ private:
+  RankQuery(RankKind kind, std::size_t k, Value q) : kind_(kind), k_(k), q_(q) {
+    ASF_CHECK_MSG(k > 0, "rank requirement k must be positive");
+    if (kind == RankKind::kNearest) {
+      ASF_CHECK_MSG(q_ == q_ && q_ != kInf && q_ != -kInf,
+                    "k-NN query point must be finite");
+    }
+  }
+
+  RankKind kind_;
+  std::size_t k_;
+  Value q_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_QUERY_QUERY_H_

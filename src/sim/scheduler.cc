@@ -1,0 +1,72 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace asf {
+
+EventId Scheduler::ScheduleAt(SimTime t, Callback fn) {
+  ASF_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  ASF_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Scheduler::Cancel(EventId id) {
+  // Only ids that are still pending can be cancelled; this keeps the
+  // tombstone set from accumulating ids that already ran.
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Scheduler::PopNext(Entry* out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; moving the callback out is safe
+    // because the entry is popped immediately after.
+    Entry& top = const_cast<Entry&>(queue_.top());
+    Entry entry{top.time, top.id, std::move(top.fn)};
+    queue_.pop();
+    if (cancelled_.erase(entry.id) > 0) continue;
+    pending_.erase(entry.id);
+    *out = std::move(entry);
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::Step() {
+  Entry entry;
+  if (!PopNext(&entry)) return false;
+  ASF_DCHECK(entry.time >= now_);
+  now_ = entry.time;
+  ++dispatched_;
+  entry.fn();
+  return true;
+}
+
+std::size_t Scheduler::RunUntil(SimTime t) {
+  ASF_CHECK(t >= now_);
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    if (cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > t) break;
+    Step();
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+std::size_t Scheduler::RunAll() {
+  std::size_t n = 0;
+  while (Step()) ++n;
+  return n;
+}
+
+}  // namespace asf

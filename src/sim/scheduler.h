@@ -1,0 +1,102 @@
+#ifndef ASF_SIM_SCHEDULER_H_
+#define ASF_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+/// \file
+/// Discrete-event simulation kernel.
+///
+/// This is the substrate that replaces CSIM 19 in the paper's evaluation
+/// (§6: "We use CSIM 19 to simulate the environment in Figure 3"). The
+/// protocols only require a simulated clock and deterministic event
+/// dispatch; messages between streams and the server are delivered
+/// instantaneously within the handling of the event that produced them,
+/// which matches the paper's correctness assumption that "stream values do
+/// not change during resolution".
+///
+/// Determinism: events at equal timestamps run in scheduling (FIFO) order,
+/// so a (workload, seed) pair fully determines a run.
+
+namespace asf {
+
+/// Handle for a scheduled event, usable with Scheduler::Cancel.
+using EventId = std::uint64_t;
+
+/// A time-ordered event queue with an explicit clock.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()). Returns a
+  /// handle that can be cancelled.
+  EventId ScheduleAt(SimTime t, Callback fn);
+
+  /// Schedules `fn` after `delay` (must be >= 0) from now().
+  EventId ScheduleAfter(SimTime delay, Callback fn) {
+    ASF_CHECK(delay >= 0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if the event already ran, was
+  /// already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// Runs the single next event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs all events with time <= `t`, then advances the clock to exactly
+  /// `t`. Returns the number of events dispatched.
+  std::size_t RunUntil(SimTime t);
+
+  /// Runs until the queue is empty. Returns the number of events
+  /// dispatched.
+  std::size_t RunAll();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Total events dispatched so far.
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // also the FIFO tie-breaker: ids increase monotonically
+    Callback fn;
+  };
+  struct Later {
+    // Min-heap on (time, id).
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops the next non-cancelled entry; false if none.
+  bool PopNext(Entry* out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace asf
+
+#endif  // ASF_SIM_SCHEDULER_H_

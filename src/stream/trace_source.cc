@@ -1,0 +1,64 @@
+#include "stream/trace_source.h"
+
+namespace asf {
+
+Status TraceData::Validate() const {
+  if (num_streams == 0) {
+    return Status::InvalidArgument("trace must have at least one stream");
+  }
+  if (!initial_values.empty() && initial_values.size() != num_streams) {
+    return Status::InvalidArgument(
+        "initial_values must be empty or one per stream");
+  }
+  SimTime last = 0;
+  for (const TraceRecord& rec : records) {
+    if (rec.stream >= num_streams) {
+      return Status::OutOfRange("trace record references unknown stream");
+    }
+    if (rec.time < last) {
+      return Status::InvalidArgument("trace records must be time-sorted");
+    }
+    if (rec.time < 0) {
+      return Status::InvalidArgument("trace record time must be >= 0");
+    }
+    last = rec.time;
+  }
+  return Status::OK();
+}
+
+TraceStreams::TraceStreams(const TraceData* trace)
+    : StreamSet(trace->num_streams), trace_(trace) {
+  ASF_CHECK(trace != nullptr);
+  ASF_CHECK_MSG(trace->Validate().ok(), "invalid TraceData");
+  if (!trace_->initial_values.empty()) {
+    for (StreamId id = 0; id < trace_->num_streams; ++id) {
+      SetInitialValue(id, trace_->initial_values[id]);
+    }
+  }
+}
+
+void TraceStreams::ReplayNext(Scheduler* scheduler, SimTime horizon) {
+  ASF_DCHECK(next_ < trace_->records.size());
+  const TraceRecord& rec = trace_->records[next_];
+  ++next_;
+  ApplyUpdate(rec.stream, rec.value, rec.time);
+  if (next_ < trace_->records.size()) {
+    const SimTime t = trace_->records[next_].time;
+    if (t <= horizon) {
+      scheduler->ScheduleAt(
+          t, [this, scheduler, horizon] { ReplayNext(scheduler, horizon); });
+    }
+  }
+}
+
+void TraceStreams::Start(Scheduler* scheduler, SimTime horizon) {
+  ASF_CHECK(scheduler != nullptr);
+  next_ = 0;
+  if (trace_->records.empty()) return;
+  const SimTime t = trace_->records.front().time;
+  if (t > horizon) return;
+  scheduler->ScheduleAt(
+      t, [this, scheduler, horizon] { ReplayNext(scheduler, horizon); });
+}
+
+}  // namespace asf

@@ -1,0 +1,88 @@
+#include "tolerance/tolerance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace asf {
+
+Status FractionTolerance::Validate() const {
+  if (!(eps_plus >= 0.0) || !(eps_minus >= 0.0)) {
+    return Status::InvalidArgument("fraction tolerances must be >= 0");
+  }
+  if (eps_plus > 0.5 || eps_minus > 0.5) {
+    return Status::InvalidArgument(
+        "fraction tolerances must be <= 0.5 (paper §3.4)");
+  }
+  return Status::OK();
+}
+
+std::string FractionTolerance::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "eps+=%.3g eps-=%.3g", eps_plus, eps_minus);
+  return buf;
+}
+
+std::size_t MaxFalsePositiveFilters(std::size_t answer_size,
+                                    const FractionTolerance& tol) {
+  return static_cast<std::size_t>(
+      std::floor(static_cast<double>(answer_size) * tol.eps_plus));
+}
+
+std::size_t MaxFalseNegativeFilters(std::size_t answer_size,
+                                    const FractionTolerance& tol) {
+  ASF_CHECK(tol.eps_minus < 1.0);
+  const double raw = static_cast<double>(answer_size) * tol.eps_minus *
+                     (1.0 - tol.eps_plus) / (1.0 - tol.eps_minus);
+  return static_cast<std::size_t>(std::floor(raw));
+}
+
+KnnAnswerBounds ComputeKnnAnswerBounds(std::size_t k,
+                                       const FractionTolerance& tol) {
+  ASF_CHECK(tol.eps_plus < 1.0);
+  KnnAnswerBounds bounds;
+  bounds.lo = static_cast<double>(k) * (1.0 - tol.eps_minus);
+  bounds.hi = static_cast<double>(k) / (1.0 - tol.eps_plus);
+  return bounds;
+}
+
+double RhoPair::Eq15Slack(const FractionTolerance& tol) const {
+  const double m =
+      std::min((1.0 - tol.eps_minus) * tol.eps_plus, tol.eps_minus);
+  // Equation 15: rho- <= rho+/(eps+ - 1) + m. Note eps+ - 1 < 0.
+  const double rhs = rho_plus / (tol.eps_plus - 1.0) + m;
+  return rhs - rho_minus;
+}
+
+RhoPair SolveRho(const FractionTolerance& tol, RhoPolicy policy) {
+  ASF_CHECK(tol.eps_plus < 1.0);
+  const double m =
+      std::min((1.0 - tol.eps_minus) * tol.eps_plus, tol.eps_minus);
+  RhoPair rho;
+  switch (policy) {
+    case RhoPolicy::kBalanced:
+      // rho = rho/(eps+ - 1) + m  =>  rho = m (1 - eps+) / (2 - eps+).
+      rho.rho_plus = m * (1.0 - tol.eps_plus) / (2.0 - tol.eps_plus);
+      rho.rho_minus = rho.rho_plus;
+      break;
+    case RhoPolicy::kFavorPositive:
+      // rho- = 0  =>  rho+ = m (1 - eps+).
+      rho.rho_plus = m * (1.0 - tol.eps_plus);
+      rho.rho_minus = 0.0;
+      break;
+    case RhoPolicy::kFavorNegative:
+      // rho+ = 0  =>  rho- = m.
+      rho.rho_plus = 0.0;
+      rho.rho_minus = m;
+      break;
+  }
+  ASF_DCHECK(rho.rho_plus >= 0.0);
+  ASF_DCHECK(rho.rho_minus >= 0.0);
+  // Guard against floating-point drift pushing the pair outside Eq 15.
+  ASF_DCHECK(rho.Eq15Slack(tol) >= -1e-12);
+  return rho;
+}
+
+}  // namespace asf

@@ -1,0 +1,138 @@
+#ifndef ASF_TOLERANCE_TOLERANCE_H_
+#define ASF_TOLERANCE_TOLERANCE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+/// \file
+/// Non-value-based error tolerances (paper §3.3–§3.4) and the arithmetic
+/// the protocols derive from them.
+///
+/// * RankTolerance (Definition 1): for a rank-based query with rank
+///   requirement k and slack r, an answer A(t) is correct iff |A(t)| = k
+///   and every member's true rank is ≤ ε_k^r = k + r.
+/// * FractionTolerance (Definitions 2–3): an answer is correct iff
+///   F+(t) = E+/|A| ≤ ε+ and F−(t) = E−/(|A| − E+ + E−) ≤ ε−.
+///
+/// Also here: the FT-NRP initial filter budgets (Equations 3–4), the
+/// fraction-tolerant k-NN answer-size bounds (Equations 7–10), and the
+/// (ρ+, ρ−) solver for FT-RP (Equations 13–16).
+
+namespace asf {
+
+/// Rank-based tolerance ε_k^r = k + r (Definition 1).
+struct RankTolerance {
+  std::size_t k = 1;  ///< rank requirement of the query
+  std::size_t r = 0;  ///< extra rank slack
+
+  /// The maximum acceptable true rank, ε_k^r.
+  std::size_t MaxRank() const { return k + r; }
+
+  Status Validate() const {
+    if (k == 0) return Status::InvalidArgument("rank requirement k must be > 0");
+    return Status::OK();
+  }
+};
+
+/// Fraction-based tolerance (Definition 3). The paper assumes both
+/// fractions < 0.5 ("required for guaranteeing the correctness of our
+/// protocols"); the evaluation sweeps up to and including 0.5, so we accept
+/// the closed range [0, 0.5].
+struct FractionTolerance {
+  double eps_plus = 0.0;   ///< max fraction of answers that are wrong
+  double eps_minus = 0.0;  ///< max fraction of true answers missing
+
+  Status Validate() const;
+
+  /// True when no error at all is tolerated.
+  bool IsZero() const { return eps_plus == 0.0 && eps_minus == 0.0; }
+
+  std::string ToString() const;
+};
+
+/// False positive / false negative bookkeeping for one answer snapshot
+/// (Definition 2). `satisfying` = |A| − E+ + E− is the number of streams
+/// that truly satisfy the query.
+struct FractionCounts {
+  std::size_t answer_size = 0;     ///< |A(t)|
+  std::size_t false_positives = 0; ///< E+(t)
+  std::size_t false_negatives = 0; ///< E−(t)
+
+  /// F+(t) = E+ / |A|; defined as 0 when the answer is empty (no returned
+  /// answer can be wrong).
+  double FPlus() const {
+    if (answer_size == 0) return 0.0;
+    return static_cast<double>(false_positives) /
+           static_cast<double>(answer_size);
+  }
+
+  /// F−(t) = E− / (|A| − E+ + E−); defined as 0 when no stream satisfies
+  /// the query (nothing can be missing).
+  double FMinus() const {
+    const std::size_t satisfying =
+        answer_size - false_positives + false_negatives;
+    if (satisfying == 0) return 0.0;
+    return static_cast<double>(false_negatives) /
+           static_cast<double>(satisfying);
+  }
+
+  bool Satisfies(const FractionTolerance& tol) const {
+    return FPlus() <= tol.eps_plus && FMinus() <= tol.eps_minus;
+  }
+};
+
+/// E^max+(t0): the number of false-positive filters FT-NRP may hand out for
+/// an initial answer of the given size (Equation 3, floored so the bound
+/// holds with integer counts).
+std::size_t MaxFalsePositiveFilters(std::size_t answer_size,
+                                    const FractionTolerance& tol);
+
+/// E^max−(t0) = |A| · ε−(1−ε+)/(1−ε−) (Equation 4 rearranged; paper §5.1.1),
+/// floored.
+std::size_t MaxFalseNegativeFilters(std::size_t answer_size,
+                                    const FractionTolerance& tol);
+
+/// Answer-size bounds for a fraction-tolerant k-NN query: k(1 − ε−) ≤
+/// |A(t)| ≤ k/(1 − ε+) (Equations 7 and 9); FT-RP re-initializes when the
+/// answer size leaves this band (§5.2.3).
+struct KnnAnswerBounds {
+  double lo = 0;  ///< k(1 − ε−)
+  double hi = 0;  ///< k/(1 − ε+)
+
+  bool Contains(std::size_t answer_size) const {
+    const double s = static_cast<double>(answer_size);
+    return lo <= s && s <= hi;
+  }
+};
+
+KnnAnswerBounds ComputeKnnAnswerBounds(std::size_t k,
+                                       const FractionTolerance& tol);
+
+/// How the one remaining degree of freedom of Equation 16 is spent when
+/// deriving the FT-NRP tolerances (ρ+, ρ−) from a k-NN query's (ε+, ε−).
+enum class RhoPolicy : int {
+  kBalanced = 0,       ///< ρ+ = ρ−
+  kFavorPositive = 1,  ///< all budget on false-positive filters (ρ− = 0)
+  kFavorNegative = 2,  ///< all budget on false-negative filters (ρ+ = 0)
+};
+
+/// The (ρ+, ρ−) pair FT-RP passes to its inner range-filter machinery.
+struct RhoPair {
+  double rho_plus = 0;
+  double rho_minus = 0;
+
+  /// Left-hand side slack of Equation 15: ρ− ≤ ρ+/(ε+ − 1) + min((1−ε−)ε+,
+  /// ε−). Non-negative iff the pair is admissible.
+  double Eq15Slack(const FractionTolerance& tol) const;
+};
+
+/// Solves Equation 16 under the chosen policy. The result always satisfies
+/// Equation 15 with equality (up to rounding) and both components are
+/// non-negative for ε+, ε− ∈ [0, 0.5].
+RhoPair SolveRho(const FractionTolerance& tol, RhoPolicy policy);
+
+}  // namespace asf
+
+#endif  // ASF_TOLERANCE_TOLERANCE_H_

@@ -1,0 +1,69 @@
+#include "trace/tcp_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace asf {
+
+Status TcpSynthConfig::Validate() const {
+  if (num_subnets == 0) {
+    return Status::InvalidArgument("num_subnets must be > 0");
+  }
+  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
+  if (zipf_s < 0) return Status::InvalidArgument("zipf_s must be >= 0");
+  if (bytes_log_sigma < 0) {
+    return Status::InvalidArgument("bytes_log_sigma must be >= 0");
+  }
+  if (subnet_sigma < 0) {
+    return Status::InvalidArgument("subnet_sigma must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<TraceData> GenerateTcpTrace(const TcpSynthConfig& config) {
+  ASF_RETURN_IF_ERROR(config.Validate());
+  Rng rng(config.seed);
+  ZipfDistribution zipf(config.num_subnets, config.zipf_s);
+
+  TraceData trace;
+  trace.num_streams = config.num_subnets;
+
+  // Per-subnet size factor: persistent heavy hitters (median 1).
+  std::vector<double> subnet_factor(config.num_subnets);
+  for (double& f : subnet_factor) {
+    f = rng.Lognormal(0.0, config.subnet_sigma);
+  }
+  const auto draw_bytes = [&rng, &config, &subnet_factor](std::size_t subnet) {
+    return subnet_factor[subnet] *
+           rng.Lognormal(config.bytes_log_mu, config.bytes_log_sigma);
+  };
+
+  // Initial value per subnet: one synthetic connection that completed just
+  // before the observation window opened.
+  trace.initial_values.resize(config.num_subnets);
+  for (std::size_t i = 0; i < config.num_subnets; ++i) {
+    trace.initial_values[i] = draw_bytes(i);
+  }
+
+  // Draw each connection's subnet from the Zipf law and its arrival time
+  // uniformly in (0, duration]; sorting afterwards yields the superposed
+  // arrival process.
+  trace.records.reserve(config.total_connections);
+  for (std::uint64_t c = 0; c < config.total_connections; ++c) {
+    TraceRecord rec;
+    rec.stream = static_cast<StreamId>(zipf.Sample(&rng));
+    rec.time = rng.Uniform(0.0, config.duration);
+    rec.value = draw_bytes(rec.stream);
+    trace.records.push_back(rec);
+  }
+  std::sort(trace.records.begin(), trace.records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.stream < b.stream;
+            });
+  return trace;
+}
+
+}  // namespace asf

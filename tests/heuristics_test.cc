@@ -1,0 +1,94 @@
+#include "protocol/heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace asf {
+namespace {
+
+TEST(HeuristicsTest, BoundaryNearestPicksSmallestPriority) {
+  const std::vector<StreamId> candidates{0, 1, 2, 3, 4};
+  const std::vector<double> distance{50, 5, 30, 1, 40};
+  const auto picked = SelectFilterHolders(
+      candidates, 2, SelectionHeuristic::kBoundaryNearest,
+      [&distance](StreamId id) { return distance[id]; }, nullptr);
+  EXPECT_EQ(picked, (std::vector<StreamId>{3, 1}));
+}
+
+TEST(HeuristicsTest, BoundaryNearestBreaksTiesById) {
+  const std::vector<StreamId> candidates{4, 2, 0};
+  const auto picked = SelectFilterHolders(
+      candidates, 3, SelectionHeuristic::kBoundaryNearest,
+      [](StreamId) { return 1.0; }, nullptr);
+  EXPECT_EQ(picked, (std::vector<StreamId>{0, 2, 4}));
+}
+
+TEST(HeuristicsTest, CountLargerThanCandidatesTakesAll) {
+  const std::vector<StreamId> candidates{7, 8};
+  Rng rng(1);
+  auto picked = SelectFilterHolders(candidates, 10, SelectionHeuristic::kRandom,
+                                    nullptr, &rng);
+  std::sort(picked.begin(), picked.end());
+  EXPECT_EQ(picked, candidates);
+}
+
+TEST(HeuristicsTest, ZeroCountPicksNothing) {
+  Rng rng(1);
+  EXPECT_TRUE(SelectFilterHolders({1, 2, 3}, 0, SelectionHeuristic::kRandom,
+                                  nullptr, &rng)
+                  .empty());
+  EXPECT_TRUE(SelectFilterHolders({1, 2, 3}, 0,
+                                  SelectionHeuristic::kBoundaryNearest,
+                                  [](StreamId) { return 0.0; }, nullptr)
+                  .empty());
+}
+
+TEST(HeuristicsTest, RandomIsSubsetOfCandidates) {
+  const std::vector<StreamId> candidates{10, 20, 30, 40, 50};
+  Rng rng(3);
+  const auto picked = SelectFilterHolders(candidates, 3,
+                                          SelectionHeuristic::kRandom,
+                                          nullptr, &rng);
+  EXPECT_EQ(picked.size(), 3u);
+  for (StreamId id : picked) {
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), id),
+              candidates.end());
+  }
+  // No duplicates.
+  std::vector<StreamId> dedup = picked;
+  std::sort(dedup.begin(), dedup.end());
+  EXPECT_EQ(std::unique(dedup.begin(), dedup.end()), dedup.end());
+}
+
+TEST(HeuristicsTest, RandomCoversAllCandidatesOverTrials) {
+  const std::vector<StreamId> candidates{0, 1, 2, 3};
+  Rng rng(11);
+  std::vector<int> seen(4, 0);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (StreamId id : SelectFilterHolders(candidates, 1,
+                                           SelectionHeuristic::kRandom,
+                                           nullptr, &rng)) {
+      ++seen[id];
+    }
+  }
+  for (int count : seen) EXPECT_GT(count, 10);
+}
+
+TEST(HeuristicsTest, EmptyCandidates) {
+  Rng rng(1);
+  EXPECT_TRUE(SelectFilterHolders({}, 5, SelectionHeuristic::kRandom, nullptr,
+                                  &rng)
+                  .empty());
+}
+
+TEST(HeuristicsTest, Names) {
+  EXPECT_EQ(SelectionHeuristicName(SelectionHeuristic::kRandom), "random");
+  EXPECT_EQ(SelectionHeuristicName(SelectionHeuristic::kBoundaryNearest),
+            "boundary-nearest");
+  EXPECT_EQ(ReinitPolicyName(ReinitPolicy::kNever), "never");
+  EXPECT_EQ(ReinitPolicyName(ReinitPolicy::kWhenExhausted), "when-exhausted");
+}
+
+}  // namespace
+}  // namespace asf

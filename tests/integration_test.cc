@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "engine/system.h"
+#include "trace/tcp_synth.h"
+
+/// \file
+/// Integration tests asserting the paper's qualitative evaluation claims
+/// (§6) end-to-end on fixed seeds: who wins, and in which direction the
+/// curves move. Absolute counts are workload-dependent; orderings are not.
+
+namespace asf {
+namespace {
+
+std::uint64_t MaintMessages(const SystemConfig& config) {
+  auto result = RunSystem(config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result->MaintenanceMessages() : 0;
+}
+
+SystemConfig WalkConfig(std::size_t n, SimTime duration,
+                        std::uint64_t seed = 5) {
+  SystemConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = n;
+  walk.seed = seed;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = duration;
+  config.seed = seed;
+  return config;
+}
+
+TEST(IntegrationTest, FiltersBeatNoFilterOnRangeQueries) {
+  SystemConfig config = WalkConfig(500, 1000);
+  config.query = QuerySpec::Range(400, 600);
+  config.protocol = ProtocolKind::kNoFilter;
+  const auto no_filter = MaintMessages(config);
+  config.protocol = ProtocolKind::kZtNrp;
+  const auto zt = MaintMessages(config);
+  // Only ~a fifth of the streams sit in [400,600] and only boundary
+  // crossings report: ZT-NRP must be a large win.
+  EXPECT_LT(zt, no_filter / 2);
+}
+
+TEST(IntegrationTest, FtNrpExploitsToleranceMonotonically) {
+  // Paper Figure 12: messages decrease as (eps+, eps-) grow.
+  SystemConfig config = WalkConfig(1000, 2000);
+  config.query = QuerySpec::Range(400, 600);
+  config.protocol = ProtocolKind::kFtNrp;
+  config.fraction = {0.0, 0.0};
+  const auto zero = MaintMessages(config);
+  config.fraction = {0.2, 0.2};
+  const auto mid = MaintMessages(config);
+  config.fraction = {0.5, 0.5};
+  const auto high = MaintMessages(config);
+  EXPECT_LT(high, mid);
+  EXPECT_LT(mid, zero);
+}
+
+TEST(IntegrationTest, FtNrpZeroToleranceEqualsZtNrp) {
+  SystemConfig config = WalkConfig(300, 800);
+  config.query = QuerySpec::Range(400, 600);
+  config.protocol = ProtocolKind::kZtNrp;
+  const auto zt = MaintMessages(config);
+  config.protocol = ProtocolKind::kFtNrp;
+  config.fraction = {0.0, 0.0};
+  const auto ft0 = MaintMessages(config);
+  EXPECT_EQ(zt, ft0);
+}
+
+TEST(IntegrationTest, BoundaryNearestBeatsRandomPlacement) {
+  // Paper Figure 14. Averaged over a few seeds to avoid a fluke.
+  std::uint64_t random_total = 0;
+  std::uint64_t nearest_total = 0;
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    SystemConfig config = WalkConfig(1000, 1500, seed);
+    config.query = QuerySpec::Range(400, 600);
+    config.protocol = ProtocolKind::kFtNrp;
+    config.fraction = {0.4, 0.4};
+    config.ft.heuristic = SelectionHeuristic::kRandom;
+    random_total += MaintMessages(config);
+    config.ft.heuristic = SelectionHeuristic::kBoundaryNearest;
+    nearest_total += MaintMessages(config);
+  }
+  EXPECT_LT(nearest_total, random_total);
+}
+
+TEST(IntegrationTest, RtpToleranceReducesMessages) {
+  // Paper Figure 9: messages drop as r grows.
+  SystemConfig config = WalkConfig(300, 800);
+  config.query = QuerySpec::Knn(10, 500);
+  config.protocol = ProtocolKind::kRtp;
+  config.rank_r = 0;
+  const auto r0 = MaintMessages(config);
+  config.rank_r = 5;
+  const auto r5 = MaintMessages(config);
+  config.rank_r = 20;
+  const auto r20 = MaintMessages(config);
+  EXPECT_LT(r20, r5);
+  EXPECT_LT(r5, r0);
+}
+
+TEST(IntegrationTest, FtRpBeatsZtRp) {
+  // Paper Figure 15: fraction tolerance slashes the k-NN maintenance cost.
+  SystemConfig config = WalkConfig(400, 600);
+  config.query = QuerySpec::Knn(20, 500);
+  config.protocol = ProtocolKind::kZtRp;
+  const auto zt = MaintMessages(config);
+  config.protocol = ProtocolKind::kFtRp;
+  config.fraction = {0.4, 0.4};
+  const auto ft = MaintMessages(config);
+  EXPECT_LT(ft, zt / 4);
+}
+
+TEST(IntegrationTest, FtRpToleranceMonotone) {
+  SystemConfig config = WalkConfig(400, 600);
+  config.query = QuerySpec::Knn(20, 500);
+  config.protocol = ProtocolKind::kFtRp;
+  config.fraction = {0.1, 0.1};
+  const auto low = MaintMessages(config);
+  config.fraction = {0.5, 0.5};
+  const auto high = MaintMessages(config);
+  EXPECT_LT(high, low);
+}
+
+TEST(IntegrationTest, DataFluctuationIncreasesTraffic) {
+  // Paper Figure 13: larger sigma -> more boundary crossings -> more
+  // messages.
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (double sigma : {20.0, 60.0, 100.0}) {
+    SystemConfig config = WalkConfig(500, 1000);
+    config.source.walk.sigma = sigma;
+    config.query = QuerySpec::Range(400, 600);
+    config.protocol = ProtocolKind::kFtNrp;
+    config.fraction = {0.2, 0.2};
+    const auto msgs = MaintMessages(config);
+    if (!first) {
+      EXPECT_GT(msgs, prev) << "sigma=" << sigma;
+    }
+    prev = msgs;
+    first = false;
+  }
+}
+
+TEST(IntegrationTest, TcpTraceTopKPipeline) {
+  // The paper's §6.1 pipeline end-to-end: synthetic TCP trace, top-k query,
+  // RTP vs no filter.
+  TcpSynthConfig synth;
+  synth.num_subnets = 200;
+  synth.total_connections = 20000;
+  synth.duration = 2000;
+  auto trace = GenerateTcpTrace(synth);
+  ASSERT_TRUE(trace.ok());
+
+  SystemConfig config;
+  config.source = SourceSpec::Trace(&trace.value());
+  config.query = QuerySpec::TopK(10);
+  config.duration = 2000;
+  config.protocol = ProtocolKind::kNoFilter;
+  const auto no_filter = MaintMessages(config);
+
+  config.protocol = ProtocolKind::kRtp;
+  config.rank_r = 10;
+  const auto rtp = MaintMessages(config);
+  EXPECT_EQ(no_filter, 20000u);  // every connection is an update
+  EXPECT_LT(rtp, no_filter);
+}
+
+TEST(IntegrationTest, TcpTraceRangeQueryWithTolerance) {
+  TcpSynthConfig synth;
+  synth.num_subnets = 200;
+  synth.total_connections = 20000;
+  synth.duration = 2000;
+  auto trace = GenerateTcpTrace(synth);
+  ASSERT_TRUE(trace.ok());
+
+  SystemConfig config;
+  config.source = SourceSpec::Trace(&trace.value());
+  config.query = QuerySpec::Range(400, 600);
+  config.duration = 2000;
+  config.protocol = ProtocolKind::kFtNrp;
+  config.fraction = {0.0, 0.0};
+  const auto zero = MaintMessages(config);
+  config.fraction = {0.4, 0.4};
+  const auto tolerant = MaintMessages(config);
+  EXPECT_LT(tolerant, zero);
+}
+
+TEST(IntegrationTest, ScalabilityInStreamCount) {
+  // Paper Figure 11: cost grows with the population; tolerance helps at
+  // every size.
+  for (std::size_t n : {200u, 800u}) {
+    SystemConfig config = WalkConfig(n, 800);
+    config.query = QuerySpec::Range(400, 600);
+    config.protocol = ProtocolKind::kFtNrp;
+    config.fraction = {0.0, 0.0};
+    const auto zero = MaintMessages(config);
+    config.fraction = {0.4, 0.4};
+    const auto tolerant = MaintMessages(config);
+    EXPECT_LT(tolerant, zero) << "n=" << n;
+  }
+}
+
+TEST(IntegrationTest, OracleCleanAcrossLongMixedRun) {
+  // A longer soak with periodic oracle sampling on every protocol family.
+  struct Case {
+    ProtocolKind protocol;
+    QuerySpec query;
+  };
+  const Case cases[] = {
+      {ProtocolKind::kFtNrp, QuerySpec::Range(400, 600)},
+      {ProtocolKind::kRtp, QuerySpec::Knn(10, 500)},
+      {ProtocolKind::kFtRp, QuerySpec::Knn(10, 500)},
+  };
+  for (const Case& c : cases) {
+    SystemConfig config = WalkConfig(400, 3000);
+    config.query = c.query;
+    config.protocol = c.protocol;
+    config.fraction = {0.3, 0.3};
+    config.rank_r = 5;
+    config.oracle.sample_interval = 5;
+    auto result = RunSystem(config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->oracle_checks, 500u);
+    EXPECT_EQ(result->oracle_violations, 0u)
+        << ProtocolKindName(c.protocol);
+  }
+}
+
+}  // namespace
+}  // namespace asf

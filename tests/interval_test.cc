@@ -1,0 +1,138 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace asf {
+namespace {
+
+TEST(IntervalTest, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_FALSE(iv.all());
+  EXPECT_FALSE(iv.Contains(0.0));
+  EXPECT_FALSE(iv.Contains(kInf));
+}
+
+TEST(IntervalTest, ClosedMembership) {
+  Interval iv(400, 600);
+  EXPECT_TRUE(iv.Contains(400));   // closed at both ends (paper §3.1)
+  EXPECT_TRUE(iv.Contains(600));
+  EXPECT_TRUE(iv.Contains(500));
+  EXPECT_FALSE(iv.Contains(399.999));
+  EXPECT_FALSE(iv.Contains(600.001));
+}
+
+TEST(IntervalTest, SinglePointInterval) {
+  Interval iv(5, 5);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_FALSE(iv.Contains(5.0001));
+  EXPECT_EQ(iv.Width(), 0);
+}
+
+TEST(IntervalTest, InvertedEndpointsCanonicalizeToNever) {
+  Interval iv(10, 5);
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv, Interval::Never());
+}
+
+TEST(IntervalTest, AlwaysContainsEverything) {
+  Interval iv = Interval::Always();
+  EXPECT_TRUE(iv.all());
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.Contains(0));
+  EXPECT_TRUE(iv.Contains(-1e308));
+  EXPECT_TRUE(iv.Contains(1e308));
+  EXPECT_TRUE(iv.Contains(kInf));
+  EXPECT_TRUE(iv.Contains(-kInf));
+}
+
+TEST(IntervalTest, NeverIsTheFalseNegativeFilterForm) {
+  // [inf, inf] — the paper's false-negative filter: no finite value inside.
+  Interval iv = Interval::Never();
+  EXPECT_EQ(iv.lo(), kInf);
+  EXPECT_EQ(iv.hi(), kInf);
+  EXPECT_FALSE(iv.Contains(1e308));
+}
+
+TEST(IntervalTest, HalfInfiniteIntervals) {
+  // Top-k bound: [threshold, +inf).
+  Interval top(100, kInf);
+  EXPECT_TRUE(top.Contains(100));
+  EXPECT_TRUE(top.Contains(1e12));
+  EXPECT_FALSE(top.Contains(99));
+  EXPECT_FALSE(top.empty());
+  EXPECT_FALSE(top.all());
+
+  Interval bottom(-kInf, 100);
+  EXPECT_TRUE(bottom.Contains(-1e12));
+  EXPECT_FALSE(bottom.Contains(101));
+}
+
+TEST(IntervalTest, Ball) {
+  Interval iv = Interval::Ball(500, 50);
+  EXPECT_EQ(iv.lo(), 450);
+  EXPECT_EQ(iv.hi(), 550);
+  EXPECT_TRUE(Interval::Ball(0, -1).empty());
+  EXPECT_FALSE(Interval::Ball(0, 0).empty());  // degenerate point ball
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval outer(0, 100);
+  EXPECT_TRUE(outer.ContainsInterval(Interval(10, 90)));
+  EXPECT_TRUE(outer.ContainsInterval(Interval(0, 100)));
+  EXPECT_FALSE(outer.ContainsInterval(Interval(-1, 50)));
+  EXPECT_TRUE(outer.ContainsInterval(Interval::Never()));
+  EXPECT_FALSE(Interval::Never().ContainsInterval(outer));
+  EXPECT_TRUE(Interval::Always().ContainsInterval(outer));
+}
+
+TEST(IntervalTest, Intersect) {
+  EXPECT_EQ(Interval(0, 10).Intersect(Interval(5, 20)), Interval(5, 10));
+  EXPECT_TRUE(Interval(0, 10).Intersect(Interval(11, 20)).empty());
+  EXPECT_EQ(Interval(0, 10).Intersect(Interval::Always()), Interval(0, 10));
+  EXPECT_TRUE(Interval(0, 10).Intersect(Interval::Never()).empty());
+  // Touching endpoints intersect at a point.
+  EXPECT_EQ(Interval(0, 10).Intersect(Interval(10, 20)), Interval(10, 10));
+}
+
+TEST(IntervalTest, Width) {
+  EXPECT_EQ(Interval(400, 600).Width(), 200);
+  EXPECT_EQ(Interval::Never().Width(), 0);
+  EXPECT_EQ(Interval::Always().Width(), kInf);
+  EXPECT_EQ(Interval(0, kInf).Width(), kInf);
+}
+
+TEST(IntervalTest, DistanceToBoundary) {
+  Interval iv(400, 600);
+  EXPECT_EQ(iv.DistanceToBoundary(500), 100);  // middle
+  EXPECT_EQ(iv.DistanceToBoundary(410), 10);   // near lower edge, inside
+  EXPECT_EQ(iv.DistanceToBoundary(390), 10);   // near lower edge, outside
+  EXPECT_EQ(iv.DistanceToBoundary(650), 50);   // above, outside
+  EXPECT_EQ(iv.DistanceToBoundary(400), 0);    // on the edge
+}
+
+TEST(IntervalTest, DistanceToBoundaryHalfInfinite) {
+  // Only the finite edge is a reachable boundary.
+  Interval top(100, kInf);
+  EXPECT_EQ(top.DistanceToBoundary(150), 50);
+  EXPECT_EQ(top.DistanceToBoundary(20), 80);
+  EXPECT_EQ(Interval::Always().DistanceToBoundary(0), kInf);
+  EXPECT_EQ(Interval::Never().DistanceToBoundary(0), kInf);
+}
+
+TEST(IntervalTest, EqualityTreatsAllEmptyAsEqual) {
+  EXPECT_EQ(Interval(10, 5), Interval(100, 1));
+  EXPECT_EQ(Interval(10, 5), Interval::Never());
+  EXPECT_NE(Interval(0, 1), Interval(0, 2));
+  EXPECT_NE(Interval(0, 1), Interval::Never());
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval(400, 600).ToString(), "[400, 600]");
+  EXPECT_EQ(Interval::Always().ToString(), "[-inf, inf]");
+  EXPECT_EQ(Interval::Never().ToString(), "[empty]");
+}
+
+}  // namespace
+}  // namespace asf

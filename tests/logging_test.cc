@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace asf {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  // The library must be quiet in tests/benches by default.
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kWarning));
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kDebug));
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kOff));
+}
+
+TEST_F(LoggingTest, SuppressedBelowLevel) {
+  // Capture stderr around a suppressed and an emitted statement.
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  ASF_LOG_INFO("should not appear %d", 1);
+  ASF_LOG_DEBUG("nor this");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(out.empty()) << out;
+
+  ::testing::internal::CaptureStderr();
+  ASF_LOG_ERROR("fatal-ish %s", "detail");
+  out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[ERROR] fatal-ish detail"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  ASF_LOG_ERROR("even errors");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LoggingTest, FormatsArguments) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  ASF_LOG_WARN("k=%zu eps=%.2f", static_cast<std::size_t>(7), 0.25);
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[WARN] k=7 eps=0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asf

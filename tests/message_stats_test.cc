@@ -1,0 +1,77 @@
+#include "net/message_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace asf {
+namespace {
+
+TEST(MessageStatsTest, StartsAtZeroInInitPhase) {
+  MessageStats stats;
+  EXPECT_EQ(stats.Total(), 0u);
+  EXPECT_EQ(stats.phase(), MessagePhase::kInit);
+}
+
+TEST(MessageStatsTest, CountsUnderCurrentPhase) {
+  MessageStats stats;
+  stats.Count(MessageType::kProbeRequest);
+  stats.Count(MessageType::kProbeResponse);
+  stats.set_phase(MessagePhase::kMaintenance);
+  stats.Count(MessageType::kValueUpdate, 3);
+
+  EXPECT_EQ(stats.InitTotal(), 2u);
+  EXPECT_EQ(stats.MaintenanceTotal(), 3u);
+  EXPECT_EQ(stats.Total(), 5u);
+  EXPECT_EQ(stats.count(MessagePhase::kInit, MessageType::kProbeRequest), 1u);
+  EXPECT_EQ(
+      stats.count(MessagePhase::kMaintenance, MessageType::kValueUpdate), 3u);
+  EXPECT_EQ(stats.count(MessagePhase::kInit, MessageType::kValueUpdate), 0u);
+}
+
+TEST(MessageStatsTest, Reset) {
+  MessageStats stats;
+  stats.set_phase(MessagePhase::kMaintenance);
+  stats.Count(MessageType::kFilterDeploy, 10);
+  stats.Reset();
+  EXPECT_EQ(stats.Total(), 0u);
+  EXPECT_EQ(stats.phase(), MessagePhase::kInit);
+}
+
+TEST(MessageStatsTest, Merge) {
+  MessageStats a;
+  a.Count(MessageType::kProbeRequest, 2);
+  a.set_phase(MessagePhase::kMaintenance);
+  a.Count(MessageType::kValueUpdate, 5);
+
+  MessageStats b;
+  b.Count(MessageType::kProbeRequest, 1);
+  b.set_phase(MessagePhase::kMaintenance);
+  b.Count(MessageType::kValueUpdate, 7);
+  b.Count(MessageType::kFilterDeploy, 1);
+
+  a.Merge(b);
+  EXPECT_EQ(a.count(MessagePhase::kInit, MessageType::kProbeRequest), 3u);
+  EXPECT_EQ(a.count(MessagePhase::kMaintenance, MessageType::kValueUpdate),
+            12u);
+  EXPECT_EQ(a.MaintenanceTotal(), 13u);
+}
+
+TEST(MessageStatsTest, TypeNamesAreStable) {
+  EXPECT_EQ(MessageTypeName(MessageType::kValueUpdate), "update");
+  EXPECT_EQ(MessageTypeName(MessageType::kProbeRequest), "probe_req");
+  EXPECT_EQ(MessageTypeName(MessageType::kProbeResponse), "probe_resp");
+  EXPECT_EQ(MessageTypeName(MessageType::kRegionProbeRequest),
+            "region_probe");
+  EXPECT_EQ(MessageTypeName(MessageType::kFilterDeploy), "deploy");
+}
+
+TEST(MessageStatsTest, ToStringSummarizes) {
+  MessageStats stats;
+  stats.set_phase(MessagePhase::kMaintenance);
+  stats.Count(MessageType::kValueUpdate, 4);
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("maint/update=4"), std::string::npos);
+  EXPECT_NE(s.find("maint_total=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asf

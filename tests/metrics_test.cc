@@ -1,0 +1,68 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace asf {
+namespace {
+
+TEST(TextTableTest, AlignedRendering) {
+  TextTable table({"k", "messages"});
+  table.AddRow({"15", "5000"});
+  table.AddRow({"30", "123"});
+  const std::string out = table.ToString();
+  // Header first, separator second, then rows, right-aligned.
+  EXPECT_NE(out.find(" k  messages"), std::string::npos);
+  EXPECT_NE(out.find("15      5000"), std::string::npos);
+  EXPECT_NE(out.find("30       123"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_cols(), 2u);
+}
+
+TEST(TextTableTest, HeaderWiderThanCells) {
+  TextTable table({"very_long_header", "x"});
+  table.AddRow({"1", "2"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("very_long_header"), std::string::npos);
+  // The row under it pads to the header width.
+  EXPECT_NE(out.find("               1"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "asf_metrics_test.csv";
+  TextTable table({"eps", "msgs"});
+  table.AddRow({"0.1", "100"});
+  table.AddRow({"0.2", "90"});
+  ASSERT_TRUE(table.WriteCsv(path.string()).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "eps,msgs");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.1,100");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.2,90");
+  std::filesystem::remove(path);
+}
+
+TEST(TextTableTest, CsvToBadPathFails) {
+  TextTable table({"a"});
+  EXPECT_FALSE(table.WriteCsv("/nonexistent/dir/x.csv").ok());
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"1"}), "row width");
+}
+
+TEST(FmtTest, FormatsLikePrintf) {
+  EXPECT_EQ(Fmt("%d", 42), "42");
+  EXPECT_EQ(Fmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(Fmt("%s/%s", "a", "b"), "a/b");
+}
+
+}  // namespace
+}  // namespace asf

@@ -1,0 +1,227 @@
+#include "engine/multi_system.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/system.h"
+#include "trace/tcp_synth.h"
+
+namespace asf {
+namespace {
+
+MultiQueryConfig BaseConfig(std::uint64_t seed = 7) {
+  MultiQueryConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 300;
+  walk.seed = seed;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = 600;
+  config.seed = seed;
+  return config;
+}
+
+QueryDeployment RangeDep(std::string name, double lo, double hi, double eps) {
+  QueryDeployment dep;
+  dep.name = std::move(name);
+  dep.query = QuerySpec::Range(lo, hi);
+  dep.protocol = eps > 0 ? ProtocolKind::kFtNrp : ProtocolKind::kZtNrp;
+  dep.fraction = {eps, eps};
+  return dep;
+}
+
+QueryDeployment RtpDep(std::string name, std::size_t k, std::size_t r,
+                       double q) {
+  QueryDeployment dep;
+  dep.name = std::move(name);
+  dep.query = QuerySpec::Knn(k, q);
+  dep.protocol = ProtocolKind::kRtp;
+  dep.rank_r = r;
+  return dep;
+}
+
+// --- Validation ---
+
+TEST(MultiQueryConfigTest, RejectsEmptyQueryList) {
+  MultiQueryConfig config = BaseConfig();
+  EXPECT_FALSE(RunMultiQuerySystem(config).ok());
+}
+
+TEST(MultiQueryConfigTest, RejectsDuplicateNames) {
+  MultiQueryConfig config = BaseConfig();
+  config.queries.push_back(RangeDep("q", 400, 600, 0));
+  config.queries.push_back(RangeDep("q", 100, 200, 0));
+  EXPECT_FALSE(RunMultiQuerySystem(config).ok());
+}
+
+TEST(MultiQueryConfigTest, RejectsUnnamedQuery) {
+  MultiQueryConfig config = BaseConfig();
+  config.queries.push_back(RangeDep("", 400, 600, 0));
+  EXPECT_FALSE(RunMultiQuerySystem(config).ok());
+}
+
+TEST(MultiQueryConfigTest, RejectsMismatchedProtocol) {
+  MultiQueryConfig config = BaseConfig();
+  QueryDeployment bad = RtpDep("knn", 5, 2, 500);
+  bad.protocol = ProtocolKind::kFtNrp;  // range protocol, rank query
+  config.queries.push_back(bad);
+  EXPECT_FALSE(RunMultiQuerySystem(config).ok());
+}
+
+// --- Behaviour ---
+
+TEST(MultiSystemTest, SingleQueryMatchesSingleSystem) {
+  // A multi-query run with one query must reproduce RunSystem exactly.
+  MultiQueryConfig multi = BaseConfig();
+  multi.queries.push_back(RangeDep("range", 400, 600, 0.3));
+  auto multi_result = RunMultiQuerySystem(multi);
+  ASSERT_TRUE(multi_result.ok());
+
+  SystemConfig single;
+  single.source = multi.source;
+  single.query = QuerySpec::Range(400, 600);
+  single.protocol = ProtocolKind::kFtNrp;
+  single.fraction = {0.3, 0.3};
+  single.duration = multi.duration;
+  single.seed = multi.seed;
+  auto single_result = RunSystem(single);
+  ASSERT_TRUE(single_result.ok());
+
+  ASSERT_EQ(multi_result->queries.size(), 1u);
+  EXPECT_EQ(multi_result->queries[0].messages.MaintenanceTotal(),
+            single_result->messages.MaintenanceTotal());
+  EXPECT_EQ(multi_result->queries[0].updates_reported,
+            single_result->updates_reported);
+  EXPECT_EQ(multi_result->physical_updates, single_result->updates_reported);
+}
+
+TEST(MultiSystemTest, SharedUpdatesSaveMessages) {
+  // Two heavily overlapping range queries: most crossings violate both
+  // filters, so physical updates ~ half the logical ones.
+  MultiQueryConfig config = BaseConfig();
+  config.queries.push_back(RangeDep("a", 400, 600, 0));
+  config.queries.push_back(RangeDep("b", 400, 600, 0));  // identical range
+  auto result = RunMultiQuerySystem(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries[0].updates_reported,
+            result->queries[1].updates_reported);
+  EXPECT_EQ(result->physical_updates, result->queries[0].updates_reported);
+  EXPECT_EQ(result->LogicalUpdates(), 2 * result->physical_updates);
+  EXPECT_LT(result->PhysicalMaintenanceTotal(),
+            result->LogicalMaintenanceTotal());
+}
+
+TEST(MultiSystemTest, DisjointQueriesShareLittle) {
+  MultiQueryConfig config = BaseConfig();
+  config.queries.push_back(RangeDep("low", 100, 200, 0));
+  config.queries.push_back(RangeDep("high", 800, 900, 0));
+  auto result = RunMultiQuerySystem(config);
+  ASSERT_TRUE(result.ok());
+  // A crossing of [100,200] is never simultaneously a crossing of
+  // [800,900] (one value change can't cross both disjoint ranges from a
+  // single previous value... it can cross one boundary of each with a big
+  // jump, so allow a small overlap).
+  const std::uint64_t logical = result->LogicalUpdates();
+  EXPECT_GE(logical, result->physical_updates);
+  EXPECT_LT(logical - result->physical_updates, logical / 10);
+}
+
+TEST(MultiSystemTest, MixedClassesRunTogether) {
+  MultiQueryConfig config = BaseConfig();
+  config.oracle.check_every_update = true;
+  config.queries.push_back(RangeDep("range", 400, 600, 0.3));
+  config.queries.push_back(RtpDep("knn", 5, 3, 500));
+  QueryDeployment ftrp;
+  ftrp.name = "ftrp";
+  ftrp.query = QuerySpec::Knn(10, 250);
+  ftrp.protocol = ProtocolKind::kFtRp;
+  ftrp.fraction = {0.3, 0.3};
+  config.queries.push_back(ftrp);
+
+  auto result = RunMultiQuerySystem(config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->queries.size(), 3u);
+  for (const auto& q : result->queries) {
+    EXPECT_GT(q.oracle_checks, 0u) << q.name;
+    EXPECT_EQ(q.oracle_violations, 0u) << q.name;
+  }
+  // RTP's answers always have exactly k members.
+  EXPECT_DOUBLE_EQ(result->queries[1].answer_size.min(), 5.0);
+  EXPECT_DOUBLE_EQ(result->queries[1].answer_size.max(), 5.0);
+}
+
+TEST(MultiSystemTest, PerQueryIsolationOfFilters) {
+  // A probe or deploy from one query's protocol must not disturb another
+  // query's filter reference state: run an aggressive re-initializer
+  // (ZT-RP) next to a quiet range query and check the range query still
+  // sees exactly its own crossings.
+  MultiQueryConfig config = BaseConfig();
+  config.oracle.check_every_update = true;
+  config.queries.push_back(RangeDep("range", 400, 600, 0));
+  QueryDeployment ztrp;
+  ztrp.name = "ztrp";
+  ztrp.query = QuerySpec::Knn(5, 500);
+  ztrp.protocol = ProtocolKind::kZtRp;
+  config.queries.push_back(ztrp);
+  auto result = RunMultiQuerySystem(config);
+  ASSERT_TRUE(result.ok());
+  for (const auto& q : result->queries) {
+    EXPECT_EQ(q.oracle_violations, 0u) << q.name;
+  }
+}
+
+TEST(MultiSystemTest, Deterministic) {
+  MultiQueryConfig config = BaseConfig();
+  config.queries.push_back(RangeDep("a", 300, 500, 0.2));
+  config.queries.push_back(RtpDep("b", 8, 4, 700));
+  auto x = RunMultiQuerySystem(config);
+  auto y = RunMultiQuerySystem(config);
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(x->physical_updates, y->physical_updates);
+  EXPECT_EQ(x->LogicalMaintenanceTotal(), y->LogicalMaintenanceTotal());
+}
+
+TEST(MultiSystemTest, RunsOnTraceSource) {
+  TcpSynthConfig synth;
+  synth.num_subnets = 80;
+  synth.total_connections = 4000;
+  synth.duration = 800;
+  auto trace = GenerateTcpTrace(synth);
+  ASSERT_TRUE(trace.ok());
+
+  MultiQueryConfig config;
+  config.source = SourceSpec::Trace(&trace.value());
+  config.duration = 800;
+  config.oracle.sample_interval = 40;
+  config.queries.push_back(RangeDep("band", 400, 600, 0.3));
+  QueryDeployment topk;
+  topk.name = "top5";
+  topk.query = QuerySpec::TopK(5);
+  topk.protocol = ProtocolKind::kRtp;
+  topk.rank_r = 3;
+  config.queries.push_back(topk);
+
+  auto result = RunMultiQuerySystem(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->updates_generated, 4000u);
+  for (const auto& q : result->queries) {
+    EXPECT_EQ(q.oracle_violations, 0u) << q.name;
+    EXPECT_GT(q.oracle_checks, 0u) << q.name;
+  }
+}
+
+TEST(MultiSystemTest, TenQueriesScale) {
+  MultiQueryConfig config = BaseConfig();
+  for (int i = 0; i < 10; ++i) {
+    config.queries.push_back(
+        RangeDep("q" + std::to_string(i), 100.0 * i, 100.0 * i + 150, 0.2));
+  }
+  auto result = RunMultiQuerySystem(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries.size(), 10u);
+  EXPECT_GT(result->physical_updates, 0u);
+  EXPECT_LE(result->physical_updates, result->LogicalUpdates());
+  EXPECT_LE(result->physical_updates, result->updates_generated);
+}
+
+}  // namespace
+}  // namespace asf

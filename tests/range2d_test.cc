@@ -1,0 +1,242 @@
+#include "geo/range2d.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/plane_walk.h"
+#include "sim/scheduler.h"
+
+namespace asf {
+namespace {
+
+/// Scheduler-free 2-D harness mirroring tests/test_harness.h.
+class PlaneTestSystem {
+ public:
+  explicit PlaneTestSystem(std::vector<Point2> initial)
+      : positions_(std::move(initial)), filters_(positions_.size()) {}
+
+  FtRange2d::Transport MakeTransport() {
+    FtRange2d::Transport t;
+    t.probe = [this](StreamId id) {
+      filters_.at(id).SyncReference(positions_[id]);
+      return positions_[id];
+    };
+    t.deploy = [this](StreamId id, const PlaneConstraint& constraint) {
+      filters_.at(id).Deploy(constraint, positions_[id]);
+    };
+    return t;
+  }
+
+  /// Moves a stream; delivers to the protocol if its filter fires.
+  bool Move(FtRange2d* proto, StreamId id, const Point2& p) {
+    positions_[id] = p;
+    if (!filters_.at(id).OnMove(p)) return false;
+    stats_.Count(MessageType::kValueUpdate);
+    proto->OnUpdate(id, p);
+    return true;
+  }
+
+  void MoveSilently(StreamId id, const Point2& p) {
+    positions_[id] = p;
+    ASF_CHECK(!filters_.at(id).OnMove(p));
+  }
+
+  const std::vector<Point2>& positions() const { return positions_; }
+  PlaneFilterBank& filters() { return filters_; }
+  MessageStats& stats() { return stats_; }
+
+ private:
+  std::vector<Point2> positions_;
+  PlaneFilterBank filters_;
+  MessageStats stats_;
+};
+
+// Nine streams: five inside [0,100]² query zone corners/edges, four out.
+std::vector<Point2> NineStreams() {
+  return {{10, 50}, {50, 50}, {90, 50}, {50, 10}, {50, 90},
+          {150, 50}, {50, 150}, {-50, 50}, {200, 200}};
+}
+
+Rect Zone() { return Rect(0, 100, 0, 100); }
+
+TEST(FtRange2dTest, InitializationBudgetsAndAnswer) {
+  PlaneTestSystem sys(NineStreams());
+  FtRange2d proto(9, Zone(), FractionTolerance{0.4, 0.4},
+                  SelectionHeuristic::kBoundaryNearest, nullptr,
+                  sys.MakeTransport(), &sys.stats());
+  proto.Initialize();
+  EXPECT_EQ(proto.answer().ToSortedVector(),
+            (std::vector<StreamId>{0, 1, 2, 3, 4}));
+  // floor(5*0.4) = 2 FP; floor(5*0.4*0.6/0.6) = 2 FN.
+  EXPECT_EQ(proto.n_plus(), 2u);
+  EXPECT_EQ(proto.n_minus(), 2u);
+  // Init cost: 9 probes (x2) + 9 deploys = 27.
+  EXPECT_EQ(sys.stats().Total(), 27u);
+}
+
+TEST(FtRange2dTest, BoundaryNearestPlacement) {
+  PlaneTestSystem sys(NineStreams());
+  FtRange2d proto(9, Zone(), FractionTolerance{0.4, 0.4},
+                  SelectionHeuristic::kBoundaryNearest, nullptr,
+                  sys.MakeTransport(), &sys.stats());
+  proto.Initialize();
+  // Inside boundary distances: 0:10, 1:50, 2:10, 3:10, 4:10 -> the two
+  // nearest by (distance, id) are 0 and 2... ties at 10 for {0,2,3,4}:
+  // id order picks 0 and 2.
+  EXPECT_TRUE(sys.filters().at(0).constraint().IsFalsePositiveFilter());
+  EXPECT_TRUE(sys.filters().at(2).constraint().IsFalsePositiveFilter());
+  EXPECT_FALSE(sys.filters().at(1).constraint().IsSilent());
+  // Outside distances: 5:50, 6:50, 7:50, 8:141.4 -> 5 and 6.
+  EXPECT_TRUE(sys.filters().at(5).constraint().IsFalseNegativeFilter());
+  EXPECT_TRUE(sys.filters().at(6).constraint().IsFalseNegativeFilter());
+  EXPECT_FALSE(sys.filters().at(8).constraint().IsSilent());
+}
+
+TEST(FtRange2dTest, SilencedStreamsStaySilentAndTolerated) {
+  PlaneTestSystem sys(NineStreams());
+  const FractionTolerance tol{0.4, 0.4};
+  FtRange2d proto(9, Zone(), tol, SelectionHeuristic::kBoundaryNearest,
+                  nullptr, sys.MakeTransport(), &sys.stats());
+  proto.Initialize();
+  // FP holder 0 wanders out; FN holder 5 wanders in. No messages.
+  sys.MoveSilently(0, {500, 500});
+  sys.MoveSilently(5, {50, 50});
+  const FractionCounts counts =
+      FtRange2d::CountErrors(sys.positions(), Zone(), proto.answer());
+  EXPECT_EQ(counts.false_positives, 1u);
+  EXPECT_EQ(counts.false_negatives, 1u);
+  EXPECT_TRUE(counts.Satisfies(tol));
+}
+
+TEST(FtRange2dTest, CrossingsMaintainAnswer) {
+  PlaneTestSystem sys(NineStreams());
+  FtRange2d proto(9, Zone(), FractionTolerance{0.4, 0.4},
+                  SelectionHeuristic::kBoundaryNearest, nullptr,
+                  sys.MakeTransport(), &sys.stats());
+  proto.Initialize();
+  EXPECT_TRUE(sys.Move(&proto, 8, {50, 50}));  // enters
+  EXPECT_TRUE(proto.answer().Contains(8));
+  EXPECT_TRUE(sys.Move(&proto, 8, {300, 300}));  // leaves (count absorbs)
+  EXPECT_FALSE(proto.answer().Contains(8));
+  EXPECT_EQ(proto.fix_error_runs(), 0u);
+}
+
+TEST(FtRange2dTest, FixErrorRestoresFractions) {
+  PlaneTestSystem sys(NineStreams());
+  const FractionTolerance tol{0.4, 0.4};
+  FtRange2d proto(9, Zone(), tol, SelectionHeuristic::kBoundaryNearest,
+                  nullptr, sys.MakeTransport(), &sys.stats());
+  proto.Initialize();
+  // Removal at count == 0: Fix_Error consults an FP holder.
+  EXPECT_TRUE(sys.Move(&proto, 1, {120, 50}));
+  EXPECT_EQ(proto.fix_error_runs(), 1u);
+  EXPECT_EQ(proto.n_plus(), 1u);
+  const FractionCounts counts =
+      FtRange2d::CountErrors(sys.positions(), Zone(), proto.answer());
+  EXPECT_TRUE(counts.Satisfies(tol));
+}
+
+TEST(FtRange2dTest, ZeroToleranceIsExact) {
+  PlaneTestSystem sys(NineStreams());
+  FtRange2d proto(9, Zone(), FractionTolerance{0, 0},
+                  SelectionHeuristic::kBoundaryNearest, nullptr,
+                  sys.MakeTransport(), &sys.stats());
+  proto.Initialize();
+  EXPECT_EQ(proto.n_plus(), 0u);
+  EXPECT_EQ(proto.n_minus(), 0u);
+  const std::vector<std::pair<StreamId, Point2>> script{
+      {0, {150, 150}}, {5, {50, 50}}, {8, {0, 0}}, {1, {-1, 50}},
+  };
+  for (const auto& [id, p] : script) {
+    sys.Move(&proto, id, p);
+    const FractionCounts counts =
+        FtRange2d::CountErrors(sys.positions(), Zone(), proto.answer());
+    EXPECT_EQ(counts.false_positives, 0u);
+    EXPECT_EQ(counts.false_negatives, 0u);
+  }
+}
+
+TEST(FtRange2dTest, RandomizedWalkNeverViolates) {
+  // End-to-end on the plane walk: tolerance holds after every move.
+  PlaneWalkConfig config;
+  config.num_streams = 150;
+  config.sigma = 40;
+  config.seed = 11;
+  PlaneWalkStreams walk(config);
+  PlaneFilterBank filters(config.num_streams);
+  MessageStats stats;
+  const Rect zone(300, 700, 300, 700);
+  const FractionTolerance tol{0.3, 0.3};
+
+  FtRange2d::Transport transport;
+  transport.probe = [&](StreamId id) {
+    filters.at(id).SyncReference(walk.position(id));
+    return walk.position(id);
+  };
+  transport.deploy = [&](StreamId id, const PlaneConstraint& constraint) {
+    filters.at(id).Deploy(constraint, walk.position(id));
+  };
+  FtRange2d proto(config.num_streams, zone, tol,
+                  SelectionHeuristic::kBoundaryNearest, nullptr, transport,
+                  &stats);
+  proto.Initialize();
+
+  Scheduler sched;
+  std::uint64_t violations = 0;
+  walk.set_move_handler([&](StreamId id, const Point2& p, SimTime) {
+    if (filters.at(id).OnMove(p)) {
+      stats.Count(MessageType::kValueUpdate);
+      proto.OnUpdate(id, p);
+    }
+    if (!FtRange2d::CountErrors(walk.positions(), zone, proto.answer())
+             .Satisfies(tol)) {
+      ++violations;
+    }
+  });
+  walk.Start(&sched, 1500);
+  sched.RunUntil(1500);
+  EXPECT_GT(walk.moves_generated(), 5000u);
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(FtRange2dTest, ToleranceReducesMessagesOnWalk) {
+  // The headline claim carries to 2-D: higher tolerance, fewer messages.
+  std::uint64_t messages[2];
+  for (int i = 0; i < 2; ++i) {
+    PlaneWalkConfig config;
+    config.num_streams = 400;
+    config.seed = 13;
+    PlaneWalkStreams walk(config);
+    PlaneFilterBank filters(config.num_streams);
+    MessageStats stats;
+    const Rect zone(300, 700, 300, 700);
+    FtRange2d::Transport transport;
+    transport.probe = [&](StreamId id) {
+      filters.at(id).SyncReference(walk.position(id));
+      return walk.position(id);
+    };
+    transport.deploy = [&](StreamId id, const PlaneConstraint& constraint) {
+      filters.at(id).Deploy(constraint, walk.position(id));
+    };
+    const double eps = (i == 0) ? 0.0 : 0.4;
+    FtRange2d proto(config.num_streams, zone, FractionTolerance{eps, eps},
+                    SelectionHeuristic::kBoundaryNearest, nullptr, transport,
+                    &stats);
+    stats.set_phase(MessagePhase::kInit);
+    proto.Initialize();
+    stats.set_phase(MessagePhase::kMaintenance);
+    Scheduler sched;
+    walk.set_move_handler([&](StreamId id, const Point2& p, SimTime) {
+      if (filters.at(id).OnMove(p)) {
+        stats.Count(MessageType::kValueUpdate);
+        proto.OnUpdate(id, p);
+      }
+    });
+    walk.Start(&sched, 2000);
+    sched.RunUntil(2000);
+    messages[i] = stats.MaintenanceTotal();
+  }
+  EXPECT_LT(messages[1], messages[0]);
+}
+
+}  // namespace
+}  // namespace asf

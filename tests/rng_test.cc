@@ -1,0 +1,164 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace asf {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextSeed() == b.NextSeed()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(400, 600);
+    EXPECT_GE(x, 400);
+    EXPECT_LT(x, 600);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = rng.UniformInt(0, 9);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 9);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanMatchesPaperWorkload) {
+  // The paper's inter-arrival distribution: exponential, mean 20.
+  Rng rng(42);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.Exponential(20));
+  EXPECT_NEAR(stats.mean(), 20.0, 0.3);
+  EXPECT_NEAR(stats.stddev(), 20.0, 0.5);  // exponential: sd == mean
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(RngTest, NormalMomentsMatchPaperWorkload) {
+  // The paper's step distribution: N(0, sigma=20).
+  Rng rng(42);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.Normal(0, 20));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.3);
+  EXPECT_NEAR(stats.stddev(), 20.0, 0.3);
+}
+
+TEST(RngTest, NormalZeroSigmaIsDeterministic) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Normal(5, 0), 5.0);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 100001; ++i) xs.push_back(rng.Lognormal(std::log(500), 1.5));
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  // Median of lognormal(mu, sigma) is exp(mu) = 500.
+  EXPECT_NEAR(xs[xs.size() / 2], 500.0, 25.0);
+  EXPECT_GT(*std::max_element(xs.begin(), xs.end()), 10000.0);  // heavy tail
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(3);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(RngTest, ShuffleIsUniformish) {
+  // Position of element 0 after shuffling should be ~uniform.
+  std::vector<int> position_counts(4, 0);
+  Rng rng(11);
+  for (int trial = 0; trial < 40000; ++trial) {
+    std::vector<int> v{0, 1, 2, 3};
+    rng.Shuffle(&v);
+    for (int p = 0; p < 4; ++p) {
+      if (v[p] == 0) ++position_counts[p];
+    }
+  }
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_NEAR(position_counts[p], 10000, 400);
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  ZipfDistribution zipf(100, 1.0);
+  for (std::size_t i = 1; i < 100; ++i) {
+    EXPECT_GT(zipf.Pmf(i - 1), zipf.Pmf(i));
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(50, 1.3);
+  double total = 0;
+  for (std::size_t i = 0; i < 50; ++i) total += zipf.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(20, 1.0);
+  Rng rng(17);
+  std::vector<int> counts(20, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Sample(&rng)];
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(trials), zipf.Pmf(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SampleAlwaysInRange) {
+  ZipfDistribution zipf(5, 2.0);
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace asf

@@ -1,0 +1,151 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace asf {
+namespace {
+
+TEST(SchedulerTest, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.Step());
+}
+
+TEST(SchedulerTest, DispatchesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(3.0, [&] { order.push_back(3); });
+  s.ScheduleAt(1.0, [&] { order.push_back(1); });
+  s.ScheduleAt(2.0, [&] { order.push_back(2); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+}
+
+TEST(SchedulerTest, EqualTimesRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  s.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  SimTime observed = -1;
+  s.ScheduleAt(10.0, [&] {
+    s.ScheduleAfter(5.0, [&] { observed = s.now(); });
+  });
+  s.RunAll();
+  EXPECT_EQ(observed, 15.0);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundaryInclusive) {
+  Scheduler s;
+  int ran = 0;
+  s.ScheduleAt(1.0, [&] { ++ran; });
+  s.ScheduleAt(2.0, [&] { ++ran; });
+  s.ScheduleAt(2.5, [&] { ++ran; });
+  const std::size_t n = s.RunUntil(2.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(s.now(), 2.0);   // clock advanced exactly to the horizon
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWithNoEvents) {
+  Scheduler s;
+  EXPECT_EQ(s.RunUntil(42.0), 0u);
+  EXPECT_EQ(s.now(), 42.0);
+}
+
+TEST(SchedulerTest, CancelPreventsDispatch) {
+  Scheduler s;
+  int ran = 0;
+  const EventId id = s.ScheduleAt(1.0, [&] { ++ran; });
+  s.ScheduleAt(2.0, [&] { ++ran; });
+  EXPECT_TRUE(s.Cancel(id));
+  s.RunAll();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SchedulerTest, CancelReturnsFalseForUnknownOrDone) {
+  Scheduler s;
+  int ran = 0;
+  const EventId id = s.ScheduleAt(1.0, [&] { ++ran; });
+  s.RunAll();
+  EXPECT_FALSE(s.Cancel(id));     // already ran
+  EXPECT_FALSE(s.Cancel(99999));  // never existed
+}
+
+TEST(SchedulerTest, DoubleCancelReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, PendingCountExcludesCancelled) {
+  Scheduler s;
+  const EventId a = s.ScheduleAt(1.0, [] {});
+  s.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.Cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SchedulerTest, EventsScheduledDuringDispatchRun) {
+  // Self-perpetuating events (how stream sources reschedule themselves).
+  Scheduler s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 5) s.ScheduleAfter(1.0, tick);
+  };
+  s.ScheduleAt(1.0, tick);
+  s.RunAll();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(s.now(), 5.0);
+}
+
+TEST(SchedulerTest, ZeroDelayEventRunsAtSameTime) {
+  Scheduler s;
+  SimTime when = -1;
+  s.ScheduleAt(7.0, [&] { s.ScheduleAfter(0.0, [&] { when = s.now(); }); });
+  s.RunAll();
+  EXPECT_EQ(when, 7.0);
+}
+
+TEST(SchedulerTest, DispatchedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 4; ++i) s.ScheduleAt(i + 1.0, [] {});
+  s.RunAll();
+  EXPECT_EQ(s.dispatched(), 4u);
+}
+
+TEST(SchedulerTest, RunUntilSkipsCancelledHead) {
+  Scheduler s;
+  int ran = 0;
+  const EventId id = s.ScheduleAt(1.0, [&] { ++ran; });
+  s.ScheduleAt(2.0, [&] { ++ran; });
+  s.Cancel(id);
+  EXPECT_EQ(s.RunUntil(3.0), 1u);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SchedulerDeathTest, SchedulingIntoThePastAborts) {
+  Scheduler s;
+  s.ScheduleAt(5.0, [] {});
+  s.RunAll();
+  EXPECT_EQ(s.now(), 5.0);
+  EXPECT_DEATH(s.ScheduleAt(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace asf

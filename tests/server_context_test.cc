@@ -1,0 +1,194 @@
+#include "protocol/server_context.h"
+
+#include <gtest/gtest.h>
+
+#include "test_harness.h"
+
+namespace asf {
+namespace {
+
+TEST(ServerContextTest, CacheStartsCold) {
+  TestSystem sys({10, 20, 30});
+  EXPECT_EQ(sys.ctx()->num_streams(), 3u);
+  EXPECT_EQ(sys.ctx()->cached(0), 0.0);
+  EXPECT_EQ(sys.ctx()->cached_time(0), -1.0);
+}
+
+TEST(ServerContextTest, ProbeCountsRequestAndResponse) {
+  TestSystem sys({10, 20});
+  const Value v = sys.ctx()->Probe(1, 5.0);
+  EXPECT_EQ(v, 20);
+  EXPECT_EQ(sys.ctx()->cached(1), 20);
+  EXPECT_EQ(sys.ctx()->cached_time(1), 5.0);
+  EXPECT_EQ(sys.stats().count(MessagePhase::kInit, MessageType::kProbeRequest),
+            1u);
+  EXPECT_EQ(
+      sys.stats().count(MessagePhase::kInit, MessageType::kProbeResponse),
+      1u);
+  EXPECT_EQ(sys.stats().Total(), 2u);
+}
+
+TEST(ServerContextTest, ProbeAllCostsTwoPerStream) {
+  TestSystem sys({1, 2, 3, 4});
+  sys.ctx()->ProbeAll(0);
+  EXPECT_EQ(sys.stats().Total(), 8u);
+  for (StreamId id = 0; id < 4; ++id) {
+    EXPECT_EQ(sys.ctx()->cached(id), sys.value(id));
+  }
+}
+
+TEST(ServerContextTest, RegionProbeOnlyRespondsInside) {
+  TestSystem sys({100, 500});
+  // Stream 0 (value 100) is outside [400, 600]: request counted, no
+  // response, cache untouched.
+  EXPECT_FALSE(sys.ctx()->RegionProbe(0, Interval(400, 600), 1.0));
+  EXPECT_EQ(sys.ctx()->cached(0), 0.0);
+  EXPECT_EQ(sys.stats().count(MessagePhase::kInit,
+                              MessageType::kRegionProbeRequest),
+            1u);
+  EXPECT_EQ(
+      sys.stats().count(MessagePhase::kInit, MessageType::kProbeResponse),
+      0u);
+  // Stream 1 (value 500) responds and refreshes the cache.
+  EXPECT_TRUE(sys.ctx()->RegionProbe(1, Interval(400, 600), 2.0));
+  EXPECT_EQ(sys.ctx()->cached(1), 500);
+  EXPECT_EQ(
+      sys.stats().count(MessagePhase::kInit, MessageType::kProbeResponse),
+      1u);
+}
+
+TEST(ServerContextTest, DeployInstallsAndRecords) {
+  TestSystem sys({50});
+  const FilterConstraint c = FilterConstraint::Range(Interval(0, 100));
+  sys.ctx()->Deploy(0, c);
+  EXPECT_EQ(sys.ctx()->deployed(0), c);
+  EXPECT_TRUE(sys.filters().at(0).constraint() == c);
+  EXPECT_TRUE(sys.filters().at(0).reference_inside());
+  EXPECT_EQ(sys.stats().count(MessagePhase::kInit, MessageType::kFilterDeploy),
+            1u);
+}
+
+TEST(ServerContextTest, DeployAllCostsOnePerStream) {
+  TestSystem sys({1, 2, 3});
+  sys.ctx()->DeployAll(FilterConstraint::FalsePositive());
+  EXPECT_EQ(sys.stats().Total(), 3u);
+  EXPECT_EQ(sys.filters().CountFalsePositiveFilters(), 3u);
+}
+
+TEST(ServerContextTest, RecordReportRefreshesCacheWithoutMessages) {
+  TestSystem sys({5});
+  sys.ctx()->RecordReport(0, 42, 7.0);
+  EXPECT_EQ(sys.ctx()->cached(0), 42);
+  EXPECT_EQ(sys.ctx()->cached_time(0), 7.0);
+  EXPECT_EQ(sys.stats().Total(), 0u);
+}
+
+TEST(ServerContextTest, ProbeSyncsClientFilterReference) {
+  TestSystem sys({50});
+  sys.ctx()->Deploy(0, FilterConstraint::Range(Interval(0, 100)));
+  // Drift out silently is impossible with a range filter; but a probe after
+  // deployment must leave the reference consistent with the probed value.
+  sys.ctx()->Probe(0, 1.0);
+  EXPECT_TRUE(sys.filters().at(0).reference_inside());
+}
+
+TEST(ServerContextTest, RegionProbeGroupReturnsResponders) {
+  TestSystem sys({100, 500, 450, 900});
+  const auto responders =
+      sys.ctx()->RegionProbeGroup({0, 1, 2, 3}, Interval(400, 600), 1.0);
+  EXPECT_EQ(responders, (std::vector<StreamId>{1, 2}));
+  // 4 requests + 2 responses.
+  EXPECT_EQ(sys.stats().count(MessagePhase::kInit,
+                              MessageType::kRegionProbeRequest),
+            4u);
+  EXPECT_EQ(
+      sys.stats().count(MessagePhase::kInit, MessageType::kProbeResponse),
+      2u);
+}
+
+class BroadcastTestSystem {
+ public:
+  explicit BroadcastTestSystem(std::vector<Value> initial)
+      : values_(std::move(initial)),
+        filters_(values_.size()),
+        ctx_(values_.size(), MakeTransport(), &stats_,
+             BroadcastCostModel::kSingleMessage) {}
+
+  ServerContext* ctx() { return &ctx_; }
+  MessageStats& stats() { return stats_; }
+
+ private:
+  Transport MakeTransport() {
+    Transport t;
+    t.probe = [this](StreamId id) { return values_[id]; };
+    t.region_probe = [this](StreamId id,
+                            const Interval& region) -> std::optional<Value> {
+      if (!region.Contains(values_[id])) return std::nullopt;
+      return values_[id];
+    };
+    t.deploy = [this](StreamId id, const FilterConstraint& constraint) {
+      filters_.Deploy(id, constraint, values_[id]);
+    };
+    return t;
+  }
+
+  std::vector<Value> values_;
+  FilterBank filters_;
+  MessageStats stats_;
+  ServerContext ctx_;
+};
+
+TEST(ServerContextTest, BroadcastModelChargesDeployAllOnce) {
+  BroadcastTestSystem sys({1, 2, 3, 4});
+  sys.ctx()->DeployAll(FilterConstraint::Range(Interval(0, 10)));
+  EXPECT_EQ(sys.stats().count(MessagePhase::kInit, MessageType::kFilterDeploy),
+            1u);
+  // The constraint still reached every stream.
+  for (StreamId id = 0; id < 4; ++id) {
+    EXPECT_EQ(sys.ctx()->deployed(id),
+              FilterConstraint::Range(Interval(0, 10)));
+  }
+}
+
+TEST(ServerContextTest, BroadcastModelChargesProbeAllRequestOnce) {
+  BroadcastTestSystem sys({1, 2, 3, 4});
+  sys.ctx()->ProbeAll(0);
+  // 1 broadcast request + 4 responses.
+  EXPECT_EQ(sys.stats().count(MessagePhase::kInit, MessageType::kProbeRequest),
+            1u);
+  EXPECT_EQ(
+      sys.stats().count(MessagePhase::kInit, MessageType::kProbeResponse),
+      4u);
+  EXPECT_EQ(sys.ctx()->cached(3), 4);
+}
+
+TEST(ServerContextTest, BroadcastModelChargesRegionGroupOnce) {
+  BroadcastTestSystem sys({100, 500, 450, 900});
+  const auto responders =
+      sys.ctx()->RegionProbeGroup({0, 1, 2, 3}, Interval(400, 600), 1.0);
+  EXPECT_EQ(responders.size(), 2u);
+  EXPECT_EQ(sys.stats().count(MessagePhase::kInit,
+                              MessageType::kRegionProbeRequest),
+            1u);
+}
+
+TEST(ServerContextTest, PerRecipientIsTheDefaultModel) {
+  TestSystem sys({1, 2, 3});
+  EXPECT_EQ(static_cast<int>(sys.ctx()->broadcast_model()),
+            static_cast<int>(BroadcastCostModel::kPerRecipient));
+  sys.ctx()->DeployAll(FilterConstraint::FalsePositive());
+  EXPECT_EQ(sys.stats().count(MessagePhase::kInit, MessageType::kFilterDeploy),
+            3u);
+}
+
+TEST(ServerContextTest, PhaseAccountingSplitsInitAndMaintenance) {
+  TestSystem sys({1, 2});
+  sys.ctx()->Probe(0, 0.0);
+  sys.stats().set_phase(MessagePhase::kMaintenance);
+  sys.ctx()->Probe(1, 1.0);
+  EXPECT_EQ(sys.stats().InitTotal(), 2u);
+  EXPECT_EQ(sys.stats().MaintenanceTotal(), 2u);
+}
+
+}  // namespace
+}  // namespace asf

@@ -1,0 +1,180 @@
+#include "tolerance/tolerance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace asf {
+namespace {
+
+// --- RankTolerance (Definition 1) ---
+
+TEST(RankToleranceTest, MaxRank) {
+  RankTolerance tol{3, 2};
+  EXPECT_EQ(tol.MaxRank(), 5u);  // the paper's eps_3^2 = 5 example
+  EXPECT_TRUE(tol.Validate().ok());
+  EXPECT_FALSE((RankTolerance{0, 2}).Validate().ok());
+}
+
+// --- FractionTolerance (Definition 3) ---
+
+TEST(FractionToleranceTest, ValidationBounds) {
+  EXPECT_TRUE((FractionTolerance{0.0, 0.0}).Validate().ok());
+  EXPECT_TRUE((FractionTolerance{0.5, 0.5}).Validate().ok());
+  EXPECT_FALSE((FractionTolerance{0.51, 0.0}).Validate().ok());
+  EXPECT_FALSE((FractionTolerance{0.0, 0.6}).Validate().ok());
+  EXPECT_FALSE((FractionTolerance{-0.1, 0.0}).Validate().ok());
+}
+
+TEST(FractionToleranceTest, IsZero) {
+  EXPECT_TRUE((FractionTolerance{0, 0}).IsZero());
+  EXPECT_FALSE((FractionTolerance{0.1, 0}).IsZero());
+}
+
+// --- FractionCounts (Definition 2 / Figure 4) ---
+
+TEST(FractionCountsTest, PaperDefinitions) {
+  // |A| = 10, E+ = 2, E- = 1: F+ = 2/10, F- = 1/(10-2+1) = 1/9.
+  FractionCounts c{10, 2, 1};
+  EXPECT_DOUBLE_EQ(c.FPlus(), 0.2);
+  EXPECT_DOUBLE_EQ(c.FMinus(), 1.0 / 9.0);
+}
+
+TEST(FractionCountsTest, PerfectAnswer) {
+  FractionCounts c{5, 0, 0};
+  EXPECT_EQ(c.FPlus(), 0.0);
+  EXPECT_EQ(c.FMinus(), 0.0);
+  EXPECT_TRUE(c.Satisfies(FractionTolerance{0, 0}));
+}
+
+TEST(FractionCountsTest, EmptyAnswerEdgeCases) {
+  // Empty answer, nothing satisfies: both fractions 0 by convention.
+  FractionCounts none{0, 0, 0};
+  EXPECT_EQ(none.FPlus(), 0.0);
+  EXPECT_EQ(none.FMinus(), 0.0);
+  // Empty answer but 3 streams satisfy: everything is missing, F- = 1.
+  FractionCounts missing{0, 0, 3};
+  EXPECT_EQ(missing.FMinus(), 1.0);
+  EXPECT_FALSE(missing.Satisfies(FractionTolerance{0.5, 0.5}));
+}
+
+TEST(FractionCountsTest, SatisfiesIsInclusive) {
+  FractionCounts c{10, 2, 0};
+  EXPECT_TRUE(c.Satisfies(FractionTolerance{0.2, 0.0}));   // F+ == eps+
+  EXPECT_FALSE(c.Satisfies(FractionTolerance{0.19, 0.0}));
+}
+
+// --- Filter budgets (Equations 3-4) ---
+
+TEST(FilterBudgetTest, FalsePositiveBudgetFloors) {
+  EXPECT_EQ(MaxFalsePositiveFilters(100, {0.1, 0.0}), 10u);
+  EXPECT_EQ(MaxFalsePositiveFilters(105, {0.1, 0.0}), 10u);  // floor(10.5)
+  EXPECT_EQ(MaxFalsePositiveFilters(9, {0.1, 0.0}), 0u);
+  EXPECT_EQ(MaxFalsePositiveFilters(0, {0.5, 0.5}), 0u);
+}
+
+TEST(FilterBudgetTest, FalseNegativeBudgetFormula) {
+  // E^max- = |A| * eps-(1-eps+)/(1-eps-). With |A|=100, eps+=0.2,
+  // eps-=0.25: 100 * 0.25*0.8/0.75 = 26.67 -> 26.
+  EXPECT_EQ(MaxFalseNegativeFilters(100, {0.2, 0.25}), 26u);
+  EXPECT_EQ(MaxFalseNegativeFilters(100, {0.0, 0.0}), 0u);
+  // eps- = 0.5: |A| * 0.5*(1-eps+)/0.5 = |A|(1-eps+).
+  EXPECT_EQ(MaxFalseNegativeFilters(100, {0.2, 0.5}), 80u);
+}
+
+// --- k-NN answer-size bounds (Equations 7-10) ---
+
+TEST(KnnAnswerBoundsTest, Band) {
+  const KnnAnswerBounds b = ComputeKnnAnswerBounds(10, {0.1, 0.2});
+  EXPECT_DOUBLE_EQ(b.lo, 8.0);           // k(1 - eps-)
+  EXPECT_NEAR(b.hi, 10.0 / 0.9, 1e-12);  // k/(1 - eps+)
+  EXPECT_TRUE(b.Contains(10));
+  EXPECT_TRUE(b.Contains(8));
+  EXPECT_TRUE(b.Contains(11));
+  EXPECT_FALSE(b.Contains(7));
+  EXPECT_FALSE(b.Contains(12));
+}
+
+TEST(KnnAnswerBoundsTest, ZeroToleranceBandIsExactlyK) {
+  const KnnAnswerBounds b = ComputeKnnAnswerBounds(10, {0, 0});
+  EXPECT_TRUE(b.Contains(10));
+  EXPECT_FALSE(b.Contains(9));
+  EXPECT_FALSE(b.Contains(11));
+}
+
+TEST(KnnAnswerBoundsTest, PaperEquations8And10) {
+  // With eps+ < 0.5 and eps- < 0.5 the band is within [k/2, 2k].
+  for (double eps : {0.0, 0.2, 0.4, 0.4999}) {
+    const KnnAnswerBounds b = ComputeKnnAnswerBounds(10, {eps, eps});
+    EXPECT_GE(b.lo, 5.0);
+    EXPECT_LE(b.hi, 20.0);
+  }
+}
+
+// --- Rho solving (Equations 13-16) ---
+
+TEST(RhoTest, BalancedSatisfiesEq15WithEquality) {
+  for (double ep : {0.1, 0.2, 0.3, 0.5}) {
+    for (double em : {0.1, 0.2, 0.3, 0.5}) {
+      const FractionTolerance tol{ep, em};
+      const RhoPair rho = SolveRho(tol, RhoPolicy::kBalanced);
+      EXPECT_DOUBLE_EQ(rho.rho_plus, rho.rho_minus);
+      EXPECT_GE(rho.rho_plus, 0.0);
+      EXPECT_NEAR(rho.Eq15Slack(tol), 0.0, 1e-12) << ep << " " << em;
+    }
+  }
+}
+
+TEST(RhoTest, FavorPositivePutsAllBudgetOnRhoPlus) {
+  const FractionTolerance tol{0.2, 0.3};
+  const RhoPair rho = SolveRho(tol, RhoPolicy::kFavorPositive);
+  EXPECT_EQ(rho.rho_minus, 0.0);
+  EXPECT_GT(rho.rho_plus, 0.0);
+  EXPECT_NEAR(rho.Eq15Slack(tol), 0.0, 1e-12);
+}
+
+TEST(RhoTest, FavorNegativePutsAllBudgetOnRhoMinus) {
+  const FractionTolerance tol{0.2, 0.3};
+  const RhoPair rho = SolveRho(tol, RhoPolicy::kFavorNegative);
+  EXPECT_EQ(rho.rho_plus, 0.0);
+  // rho- = min((1-eps-)eps+, eps-) = min(0.7*0.2, 0.3) = 0.14.
+  EXPECT_DOUBLE_EQ(rho.rho_minus, 0.14);
+}
+
+TEST(RhoTest, ZeroToleranceGivesZeroRho) {
+  for (auto policy : {RhoPolicy::kBalanced, RhoPolicy::kFavorPositive,
+                      RhoPolicy::kFavorNegative}) {
+    const RhoPair rho = SolveRho(FractionTolerance{0, 0}, policy);
+    EXPECT_EQ(rho.rho_plus, 0.0);
+    EXPECT_EQ(rho.rho_minus, 0.0);
+  }
+}
+
+TEST(RhoTest, BalancedClosedForm) {
+  // rho = m(1-eps+)/(2-eps+) with m = min((1-eps-)eps+, eps-).
+  const FractionTolerance tol{0.3, 0.2};
+  const double m = std::min((1 - 0.2) * 0.3, 0.2);  // = 0.2
+  const RhoPair rho = SolveRho(tol, RhoPolicy::kBalanced);
+  EXPECT_NEAR(rho.rho_plus, m * 0.7 / 1.7, 1e-12);
+}
+
+TEST(RhoTest, BudgetGrowsThenPeaksBeforeHalf) {
+  // The balanced budget m(1-eps)/(2-eps) with m = (1-eps)eps grows over
+  // the practical range but is NOT monotone to 0.5: the (1-eps+)/(2-eps+)
+  // factor shrinks faster than m grows near the top. Both facts are
+  // properties of Equation 16, worth pinning down.
+  double prev = -1;
+  for (double eps : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    const RhoPair rho =
+        SolveRho(FractionTolerance{eps, eps}, RhoPolicy::kBalanced);
+    EXPECT_GT(rho.rho_plus, prev) << "eps=" << eps;
+    prev = rho.rho_plus;
+  }
+  const RhoPair at_half =
+      SolveRho(FractionTolerance{0.5, 0.5}, RhoPolicy::kBalanced);
+  EXPECT_LT(at_half.rho_plus, prev);  // the dip past the peak
+  EXPECT_GT(at_half.rho_plus, 0.0);
+}
+
+}  // namespace
+}  // namespace asf

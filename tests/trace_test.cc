@@ -1,0 +1,271 @@
+#include "trace/tcp_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/stats.h"
+#include "trace/trace_io.h"
+
+namespace asf {
+namespace {
+
+// --- Synthetic TCP trace generator (LBL substitute, DESIGN.md §3) ---
+
+TEST(TcpSynthTest, ConfigValidation) {
+  TcpSynthConfig ok;
+  EXPECT_TRUE(ok.Validate().ok());
+  TcpSynthConfig bad = ok;
+  bad.num_subnets = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ok;
+  bad.duration = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ok;
+  bad.zipf_s = -1;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(TcpSynthTest, ProducesRequestedShape) {
+  TcpSynthConfig config;
+  config.num_subnets = 100;
+  config.total_connections = 5000;
+  config.duration = 1000;
+  auto trace = GenerateTcpTrace(config);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_streams, 100u);
+  EXPECT_EQ(trace->records.size(), 5000u);
+  EXPECT_EQ(trace->initial_values.size(), 100u);
+  EXPECT_TRUE(trace->Validate().ok());
+  for (const TraceRecord& rec : trace->records) {
+    EXPECT_GT(rec.time, 0.0);
+    EXPECT_LE(rec.time, 1000.0);
+    EXPECT_GT(rec.value, 0.0);  // byte counts are positive
+  }
+}
+
+TEST(TcpSynthTest, SubnetActivityIsZipfSkewed) {
+  TcpSynthConfig config;
+  config.num_subnets = 50;
+  config.total_connections = 50000;
+  config.zipf_s = 1.0;
+  config.seed = 7;
+  auto trace = GenerateTcpTrace(config);
+  ASSERT_TRUE(trace.ok());
+  std::vector<std::size_t> counts(config.num_subnets, 0);
+  for (const TraceRecord& rec : trace->records) ++counts[rec.stream];
+  // Subnet 0 (rank 0) must dominate the median subnet by a wide margin.
+  std::vector<std::size_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(counts[0], 4 * sorted[config.num_subnets / 2]);
+}
+
+TEST(TcpSynthTest, BytesMedianMatchesMuWithoutSubnetSpread) {
+  TcpSynthConfig config;
+  config.num_subnets = 10;
+  config.total_connections = 40000;
+  config.subnet_sigma = 0;  // identical subnets: global median = exp(mu)
+  config.seed = 9;
+  auto trace = GenerateTcpTrace(config);
+  ASSERT_TRUE(trace.ok());
+  std::vector<double> bytes;
+  for (const TraceRecord& rec : trace->records) bytes.push_back(rec.value);
+  std::nth_element(bytes.begin(), bytes.begin() + bytes.size() / 2,
+                   bytes.end());
+  EXPECT_NEAR(bytes[bytes.size() / 2], 500.0, 40.0);
+}
+
+TEST(TcpSynthTest, BytesAreHeavyTailed) {
+  // Enough subnets that the cross-subnet factor (where most of the
+  // variance lives) gets sampled properly.
+  TcpSynthConfig config;
+  config.num_subnets = 100;
+  config.total_connections = 40000;
+  config.seed = 9;
+  auto trace = GenerateTcpTrace(config);
+  ASSERT_TRUE(trace.ok());
+  double max_bytes = 0;
+  for (const TraceRecord& rec : trace->records) {
+    max_bytes = std::max(max_bytes, rec.value);
+  }
+  EXPECT_GT(max_bytes, 50000.0);
+}
+
+TEST(TcpSynthTest, SubnetFactorsMakeHeavyHittersPersistent) {
+  // The top subnet by mean value should also hold most of the largest
+  // individual records — the persistence property RTP's top-k bound needs.
+  TcpSynthConfig config;
+  config.num_subnets = 40;
+  config.total_connections = 40000;
+  config.seed = 4;
+  auto trace = GenerateTcpTrace(config);
+  ASSERT_TRUE(trace.ok());
+  std::vector<double> sum(config.num_subnets, 0);
+  std::vector<std::size_t> count(config.num_subnets, 0);
+  for (const TraceRecord& rec : trace->records) {
+    sum[rec.stream] += rec.value;
+    ++count[rec.stream];
+  }
+  // Mean value per subnet varies by orders of magnitude.
+  double min_mean = kInf;
+  double max_mean = 0;
+  for (std::size_t i = 0; i < config.num_subnets; ++i) {
+    if (count[i] < 10) continue;  // skip rarely-active subnets
+    const double mean = sum[i] / static_cast<double>(count[i]);
+    min_mean = std::min(min_mean, mean);
+    max_mean = std::max(max_mean, mean);
+  }
+  EXPECT_GT(max_mean, 10 * min_mean);
+}
+
+TEST(TcpSynthTest, RangeQueryBandIsPopulated) {
+  // The paper's Figure 10 range query [400, 600] must capture a sizeable
+  // fraction of values or the experiment degenerates.
+  TcpSynthConfig config;
+  config.total_connections = 20000;
+  auto trace = GenerateTcpTrace(config);
+  ASSERT_TRUE(trace.ok());
+  std::size_t in_range = 0;
+  for (const TraceRecord& rec : trace->records) {
+    if (rec.value >= 400 && rec.value <= 600) ++in_range;
+  }
+  const double fraction =
+      static_cast<double>(in_range) / static_cast<double>(trace->records.size());
+  EXPECT_GT(fraction, 0.05);
+  EXPECT_LT(fraction, 0.3);
+}
+
+TEST(TcpSynthTest, DeterministicForSeed) {
+  TcpSynthConfig config;
+  config.total_connections = 1000;
+  config.num_subnets = 20;
+  auto a = GenerateTcpTrace(config);
+  auto b = GenerateTcpTrace(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->records.size(), b->records.size());
+  for (std::size_t i = 0; i < a->records.size(); ++i) {
+    EXPECT_EQ(a->records[i], b->records[i]);
+  }
+  config.seed += 1;
+  auto c = GenerateTcpTrace(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->records == c->records);
+}
+
+TEST(TcpSynthTest, RecordsAreTimeSorted) {
+  TcpSynthConfig config;
+  config.total_connections = 5000;
+  auto trace = GenerateTcpTrace(config);
+  ASSERT_TRUE(trace.ok());
+  for (std::size_t i = 1; i < trace->records.size(); ++i) {
+    EXPECT_LE(trace->records[i - 1].time, trace->records[i].time);
+  }
+}
+
+// --- Trace CSV I/O ---
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("asf_trace_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(TraceIoTest, RoundTrip) {
+  TraceData trace;
+  trace.num_streams = 3;
+  trace.initial_values = {1.5, 2.25, -3.75};
+  trace.records = {{0.5, 0, 10.125}, {1.5, 2, -20.5}, {2.0, 1, 0}};
+
+  ASSERT_TRUE(WriteTraceCsv(trace, path_.string()).ok());
+  auto loaded = ReadTraceCsv(path_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_streams, 3u);
+  EXPECT_EQ(loaded->initial_values, trace.initial_values);
+  ASSERT_EQ(loaded->records.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded->records[i], trace.records[i]);
+  }
+}
+
+TEST_F(TraceIoTest, RoundTripWithoutInitialValues) {
+  TraceData trace;
+  trace.num_streams = 2;
+  trace.records = {{1.0, 0, 5}, {2.0, 1, 6}};
+  ASSERT_TRUE(WriteTraceCsv(trace, path_.string()).ok());
+  auto loaded = ReadTraceCsv(path_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->initial_values.empty());
+  EXPECT_EQ(loaded->records.size(), 2u);
+}
+
+TEST_F(TraceIoTest, SyntheticTraceRoundTrips) {
+  TcpSynthConfig config;
+  config.num_subnets = 25;
+  config.total_connections = 500;
+  auto trace = GenerateTcpTrace(config);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(WriteTraceCsv(*trace, path_.string()).ok());
+  auto loaded = ReadTraceCsv(path_.string());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->records.size(), trace->records.size());
+  for (std::size_t i = 0; i < loaded->records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->records[i].value, trace->records[i].value);
+  }
+}
+
+TEST_F(TraceIoTest, MissingFileIsIoError) {
+  auto loaded = ReadTraceCsv("/nonexistent/dir/zzz.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(TraceIoTest, CorruptHeaderRejected) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    std::fputs("bogus,3\n", f);
+    std::fclose(f);
+  }
+  auto loaded = ReadTraceCsv(path_.string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(TraceIoTest, BadRecordRejected) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    std::fputs("num_streams,2\n1.0,0,5\nnot-a-number,1,6\n", f);
+    std::fclose(f);
+  }
+  auto loaded = ReadTraceCsv(path_.string());
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(TraceIoTest, OutOfRangeStreamRejected) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    std::fputs("num_streams,2\n1.0,7,5\n", f);
+    std::fclose(f);
+  }
+  auto loaded = ReadTraceCsv(path_.string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(TraceIoTest, FractionalStreamIdRejected) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    std::fputs("num_streams,2\n1.0,0.5,5\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadTraceCsv(path_.string()).ok());
+}
+
+}  // namespace
+}  // namespace asf

@@ -1,0 +1,209 @@
+/// asf_run — run one simulated deployment from the command line.
+///
+/// Examples:
+///   asf_run --protocol=ft-nrp --streams=5000 --range=400:600
+///           --eps-plus=0.2 --eps-minus=0.2 --duration=2000
+///   asf_run --protocol=rtp --query=knn --k=10 --q=500 --r=5
+///   asf_run --protocol=ft-rp --query=topk --k=20 --eps-plus=0.3
+///           --trace=mytrace.csv
+///
+/// Prints the run summary (message counts by type, oracle audit) as a
+/// table. `--help` lists every flag.
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/flags.h"
+#include "engine/system.h"
+#include "metrics/table.h"
+#include "trace/trace_io.h"
+
+namespace asf {
+namespace {
+
+constexpr const char* kHelp = R"(asf_run -- run one adaptive-stream-filter deployment
+
+Workload (random walk by default):
+  --streams=N             number of streams            [1000]
+  --sigma=S               random-walk step stddev      [20]
+  --interarrival=M        mean update inter-arrival    [20]
+  --trace=FILE            replay a trace CSV instead (see asf_tracegen)
+  --duration=T            simulated time units         [1000]
+  --warmup=T              query start time             [0]
+  --seed=N                seed                         [1]
+
+Query:
+  --query=range|knn|topk|bottomk                       [range]
+  --range=LO:HI           range query bounds           [400:600]
+  --k=K                   rank requirement             [10]
+  --q=Q                   k-NN query point             [500]
+
+Protocol & tolerance:
+  --protocol=no-filter|zt-nrp|ft-nrp|rtp|zt-rp|ft-rp   [zt-nrp]
+  --r=R                   RTP rank slack               [0]
+  --eps-plus=E --eps-minus=E   fraction tolerances     [0]
+  --heuristic=random|boundary-nearest                  [boundary-nearest]
+  --reinit=never|when-exhausted                        [never]
+  --rho=balanced|favor-positive|favor-negative         [balanced]
+
+Auditing:
+  --oracle-interval=T     sample the correctness oracle every T time units
+  --oracle-every-update   audit after every update (slow)
+)";
+
+Result<ProtocolKind> ParseProtocol(const std::string& name) {
+  if (name == "no-filter") return ProtocolKind::kNoFilter;
+  if (name == "zt-nrp") return ProtocolKind::kZtNrp;
+  if (name == "ft-nrp") return ProtocolKind::kFtNrp;
+  if (name == "rtp") return ProtocolKind::kRtp;
+  if (name == "zt-rp") return ProtocolKind::kZtRp;
+  if (name == "ft-rp") return ProtocolKind::kFtRp;
+  return Status::InvalidArgument("unknown --protocol: " + name);
+}
+
+Result<QuerySpec> ParseQuery(const Flags& flags) {
+  const std::string kind = flags.GetString("query", "range");
+  ASF_ASSIGN_OR_RETURN(const std::int64_t k, flags.GetInt("k", 10));
+  ASF_ASSIGN_OR_RETURN(const double q, flags.GetDouble("q", 500));
+  if (kind == "range") {
+    const std::string range = flags.GetString("range", "400:600");
+    const auto colon = range.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("--range expects LO:HI");
+    }
+    return QuerySpec::Range(std::atof(range.substr(0, colon).c_str()),
+                            std::atof(range.substr(colon + 1).c_str()));
+  }
+  if (k <= 0) return Status::InvalidArgument("--k must be positive");
+  if (kind == "knn") return QuerySpec::Knn(static_cast<std::size_t>(k), q);
+  if (kind == "topk") return QuerySpec::TopK(static_cast<std::size_t>(k));
+  if (kind == "bottomk") {
+    return QuerySpec::BottomK(static_cast<std::size_t>(k));
+  }
+  return Status::InvalidArgument("unknown --query: " + kind);
+}
+
+Status RunFromFlags(const Flags& flags) {
+  SystemConfig config;
+
+  // Workload.
+  TraceData trace;
+  if (flags.Has("trace")) {
+    ASF_ASSIGN_OR_RETURN(trace, ReadTraceCsv(flags.GetString("trace")));
+    config.source = SourceSpec::Trace(&trace);
+  } else {
+    RandomWalkConfig walk;
+    ASF_ASSIGN_OR_RETURN(const std::int64_t n, flags.GetInt("streams", 1000));
+    ASF_ASSIGN_OR_RETURN(walk.sigma, flags.GetDouble("sigma", 20));
+    ASF_ASSIGN_OR_RETURN(walk.mean_interarrival,
+                         flags.GetDouble("interarrival", 20));
+    ASF_ASSIGN_OR_RETURN(const std::int64_t wseed, flags.GetInt("seed", 1));
+    if (n <= 0) return Status::InvalidArgument("--streams must be positive");
+    walk.num_streams = static_cast<std::size_t>(n);
+    walk.seed = static_cast<std::uint64_t>(wseed);
+    config.source = SourceSpec::Walk(walk);
+  }
+
+  ASF_ASSIGN_OR_RETURN(config.duration, flags.GetDouble("duration", 1000));
+  ASF_ASSIGN_OR_RETURN(config.query_start, flags.GetDouble("warmup", 0));
+  ASF_ASSIGN_OR_RETURN(const std::int64_t seed, flags.GetInt("seed", 1));
+  config.seed = static_cast<std::uint64_t>(seed);
+
+  // Query + protocol + tolerance.
+  ASF_ASSIGN_OR_RETURN(config.query, ParseQuery(flags));
+  ASF_ASSIGN_OR_RETURN(config.protocol,
+                       ParseProtocol(flags.GetString("protocol", "zt-nrp")));
+  ASF_ASSIGN_OR_RETURN(const std::int64_t r, flags.GetInt("r", 0));
+  config.rank_r = static_cast<std::size_t>(r);
+  ASF_ASSIGN_OR_RETURN(config.fraction.eps_plus,
+                       flags.GetDouble("eps-plus", 0));
+  ASF_ASSIGN_OR_RETURN(config.fraction.eps_minus,
+                       flags.GetDouble("eps-minus", 0));
+  const std::string heuristic =
+      flags.GetString("heuristic", "boundary-nearest");
+  if (heuristic == "random") {
+    config.ft.heuristic = SelectionHeuristic::kRandom;
+  } else if (heuristic == "boundary-nearest") {
+    config.ft.heuristic = SelectionHeuristic::kBoundaryNearest;
+  } else {
+    return Status::InvalidArgument("unknown --heuristic: " + heuristic);
+  }
+  const std::string reinit = flags.GetString("reinit", "never");
+  if (reinit == "when-exhausted") {
+    config.ft.reinit = ReinitPolicy::kWhenExhausted;
+  } else if (reinit != "never") {
+    return Status::InvalidArgument("unknown --reinit: " + reinit);
+  }
+  const std::string rho = flags.GetString("rho", "balanced");
+  if (rho == "favor-positive") {
+    config.ft.rho = RhoPolicy::kFavorPositive;
+  } else if (rho == "favor-negative") {
+    config.ft.rho = RhoPolicy::kFavorNegative;
+  } else if (rho != "balanced") {
+    return Status::InvalidArgument("unknown --rho: " + rho);
+  }
+
+  // Oracle.
+  ASF_ASSIGN_OR_RETURN(config.oracle.sample_interval,
+                       flags.GetDouble("oracle-interval", 0));
+  ASF_ASSIGN_OR_RETURN(config.oracle.check_every_update,
+                       flags.GetBool("oracle-every-update", false));
+
+  ASF_ASSIGN_OR_RETURN(const RunResult result, RunSystem(config));
+
+  std::printf("%s over %zu streams, duration %g (warmup %g)\n\n",
+              std::string(ProtocolKindName(config.protocol)).c_str(),
+              config.source.NumStreams(), config.duration,
+              config.query_start);
+  TextTable table({"metric", "value"});
+  table.AddRow({"maintenance messages",
+                Fmt("%llu", (unsigned long long)result.MaintenanceMessages())});
+  table.AddRow({"init messages",
+                Fmt("%llu", (unsigned long long)result.messages.InitTotal())});
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    const auto type = static_cast<MessageType>(t);
+    const auto count =
+        result.messages.count(MessagePhase::kMaintenance, type);
+    if (count == 0) continue;
+    table.AddRow({Fmt("  maint %s", std::string(MessageTypeName(type)).c_str()),
+                  Fmt("%llu", (unsigned long long)count)});
+  }
+  table.AddRow({"updates generated",
+                Fmt("%llu", (unsigned long long)result.updates_generated)});
+  table.AddRow({"updates reported",
+                Fmt("%llu", (unsigned long long)result.updates_reported)});
+  table.AddRow({"re-initializations",
+                Fmt("%llu", (unsigned long long)result.reinits)});
+  table.AddRow({"answer size mean", Fmt("%.2f", result.answer_size.mean())});
+  if (result.oracle_checks > 0) {
+    table.AddRow({"oracle violations",
+                  Fmt("%llu/%llu", (unsigned long long)result.oracle_violations,
+                      (unsigned long long)result.oracle_checks)});
+    table.AddRow({"max F+ / F-", Fmt("%.3f / %.3f", result.max_f_plus,
+                                     result.max_f_minus)});
+  }
+  table.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
+  std::printf("%s", table.ToString().c_str());
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace asf
+
+int main(int argc, char** argv) {
+  auto flags = asf::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  if (flags->Has("help")) {
+    std::fputs(asf::kHelp, stdout);
+    return 0;
+  }
+  const asf::Status status = asf::RunFromFlags(*flags);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n(try --help)\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

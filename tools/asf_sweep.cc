@@ -1,0 +1,172 @@
+/// asf_sweep — sweep one tolerance parameter of a protocol and emit the
+/// (parameter, maintenance messages) series as a table and optional CSV,
+/// for plotting paper-style curves from arbitrary configurations.
+///
+/// Examples:
+///   asf_sweep --protocol=ft-nrp --param=eps --values=0,0.1,0.2,0.3
+///   asf_sweep --protocol=rtp --query=topk --k=20 --param=r
+///             --values=0,2,4,8,16 --csv=rtp.csv
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/flags.h"
+#include "engine/system.h"
+#include "metrics/table.h"
+
+namespace asf {
+namespace {
+
+constexpr const char* kHelp = R"(asf_sweep -- sweep a tolerance parameter
+
+  --param=eps|eps-plus|eps-minus|r|sigma|streams    swept parameter [eps]
+  --values=V1,V2,...                                sweep points (required)
+  --csv=FILE                                        also write CSV
+  --seeds=N                 average over N seeds    [1]
+plus the workload/query/protocol flags of asf_run:
+  --protocol, --query, --range, --k, --q, --streams, --sigma,
+  --duration, --seed, --heuristic
+)";
+
+std::vector<double> ParseValues(const std::string& csv) {
+  std::vector<double> values;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) values.push_back(std::atof(item.c_str()));
+  }
+  return values;
+}
+
+Result<SystemConfig> BaseConfig(const Flags& flags) {
+  SystemConfig config;
+  RandomWalkConfig walk;
+  ASF_ASSIGN_OR_RETURN(const std::int64_t n, flags.GetInt("streams", 1000));
+  ASF_ASSIGN_OR_RETURN(walk.sigma, flags.GetDouble("sigma", 20));
+  ASF_ASSIGN_OR_RETURN(const std::int64_t seed, flags.GetInt("seed", 1));
+  walk.num_streams = static_cast<std::size_t>(n);
+  walk.seed = static_cast<std::uint64_t>(seed);
+  config.source = SourceSpec::Walk(walk);
+  config.seed = walk.seed;
+  ASF_ASSIGN_OR_RETURN(config.duration, flags.GetDouble("duration", 1000));
+
+  const std::string query = flags.GetString("query", "range");
+  ASF_ASSIGN_OR_RETURN(const std::int64_t k, flags.GetInt("k", 10));
+  ASF_ASSIGN_OR_RETURN(const double q, flags.GetDouble("q", 500));
+  if (query == "range") {
+    const std::string range = flags.GetString("range", "400:600");
+    const auto colon = range.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("--range expects LO:HI");
+    }
+    config.query = QuerySpec::Range(std::atof(range.substr(0, colon).c_str()),
+                                    std::atof(range.substr(colon + 1).c_str()));
+  } else if (query == "knn") {
+    config.query = QuerySpec::Knn(static_cast<std::size_t>(k), q);
+  } else if (query == "topk") {
+    config.query = QuerySpec::TopK(static_cast<std::size_t>(k));
+  } else {
+    return Status::InvalidArgument("unknown --query: " + query);
+  }
+
+  const std::string protocol = flags.GetString("protocol", "ft-nrp");
+  if (protocol == "no-filter") {
+    config.protocol = ProtocolKind::kNoFilter;
+  } else if (protocol == "zt-nrp") {
+    config.protocol = ProtocolKind::kZtNrp;
+  } else if (protocol == "ft-nrp") {
+    config.protocol = ProtocolKind::kFtNrp;
+  } else if (protocol == "rtp") {
+    config.protocol = ProtocolKind::kRtp;
+  } else if (protocol == "zt-rp") {
+    config.protocol = ProtocolKind::kZtRp;
+  } else if (protocol == "ft-rp") {
+    config.protocol = ProtocolKind::kFtRp;
+  } else {
+    return Status::InvalidArgument("unknown --protocol: " + protocol);
+  }
+  if (flags.GetString("heuristic", "boundary-nearest") == "random") {
+    config.ft.heuristic = SelectionHeuristic::kRandom;
+  }
+  return config;
+}
+
+Status ApplyParam(SystemConfig* config, const std::string& param, double v) {
+  if (param == "eps") {
+    config->fraction = {v, v};
+  } else if (param == "eps-plus") {
+    config->fraction.eps_plus = v;
+  } else if (param == "eps-minus") {
+    config->fraction.eps_minus = v;
+  } else if (param == "r") {
+    config->rank_r = static_cast<std::size_t>(v);
+  } else if (param == "sigma") {
+    config->source.walk.sigma = v;
+  } else if (param == "streams") {
+    config->source.walk.num_streams = static_cast<std::size_t>(v);
+  } else {
+    return Status::InvalidArgument("unknown --param: " + param);
+  }
+  return Status::OK();
+}
+
+Status RunFromFlags(const Flags& flags) {
+  if (!flags.Has("values")) {
+    return Status::InvalidArgument("--values=V1,V2,... is required");
+  }
+  const std::vector<double> values = ParseValues(flags.GetString("values"));
+  if (values.empty()) {
+    return Status::InvalidArgument("--values parsed to an empty list");
+  }
+  const std::string param = flags.GetString("param", "eps");
+  ASF_ASSIGN_OR_RETURN(const std::int64_t seeds, flags.GetInt("seeds", 1));
+  if (seeds <= 0) return Status::InvalidArgument("--seeds must be positive");
+
+  TextTable table({param, "maint_messages", "reported", "reinits"});
+  for (double v : values) {
+    std::uint64_t messages = 0;
+    std::uint64_t reported = 0;
+    std::uint64_t reinits = 0;
+    for (std::int64_t s = 0; s < seeds; ++s) {
+      ASF_ASSIGN_OR_RETURN(SystemConfig config, BaseConfig(flags));
+      config.source.walk.seed += static_cast<std::uint64_t>(s);
+      config.seed += static_cast<std::uint64_t>(s);
+      ASF_RETURN_IF_ERROR(ApplyParam(&config, param, v));
+      ASF_ASSIGN_OR_RETURN(const RunResult result, RunSystem(config));
+      messages += result.MaintenanceMessages();
+      reported += result.updates_reported;
+      reinits += result.reinits;
+    }
+    table.AddRow({Fmt("%g", v),
+                  Fmt("%llu", (unsigned long long)(messages / seeds)),
+                  Fmt("%llu", (unsigned long long)(reported / seeds)),
+                  Fmt("%llu", (unsigned long long)(reinits / seeds))});
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (flags.Has("csv")) {
+    ASF_RETURN_IF_ERROR(table.WriteCsv(flags.GetString("csv")));
+    std::printf("wrote %s\n", flags.GetString("csv").c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace asf
+
+int main(int argc, char** argv) {
+  auto flags = asf::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  if (flags->Has("help")) {
+    std::fputs(asf::kHelp, stdout);
+    return 0;
+  }
+  const asf::Status status = asf::RunFromFlags(*flags);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n(try --help)\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
