@@ -39,10 +39,8 @@ void Run() {
        0},
   };
 
-  TextTable table(
-      {"protocol", "per-recipient", "broadcast", "ratio"});
+  std::vector<SystemConfig> configs;
   for (const Case& c : cases) {
-    std::uint64_t msgs[2];
     for (int b = 0; b < 2; ++b) {
       SystemConfig config;
       RandomWalkConfig walk;
@@ -55,9 +53,18 @@ void Run() {
       config.rank_r = c.r;
       config.broadcast_counts_as_one = (b == 1);
       config.duration = 300 * bench::Scale();
-      msgs[b] = bench::MustRun(config).MaintenanceMessages();
+      configs.push_back(config);
     }
-    table.AddRow({c.label, bench::Msgs(msgs[0]), bench::Msgs(msgs[1]),
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  TextTable table(
+      {"protocol", "per-recipient", "broadcast", "ratio"});
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const std::uint64_t msgs[2] = {
+        results[2 * i].MaintenanceMessages(),
+        results[2 * i + 1].MaintenanceMessages()};
+    table.AddRow({cases[i].label, bench::Msgs(msgs[0]), bench::Msgs(msgs[1]),
                   Fmt("%.2f", msgs[0] == 0
                                   ? 1.0
                                   : static_cast<double>(msgs[1]) /

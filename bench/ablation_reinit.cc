@@ -19,11 +19,11 @@ void Run() {
       "on long runs with high tolerance, when-exhausted approaches or "
       "beats never; on short runs the O(n) probes dominate");
 
-  TextTable table({"duration", "eps", "never", "when-exhausted", "reinits"});
-  for (double duration : {2000.0, 8000.0, 20000.0}) {
-    for (double eps : {0.1, 0.3}) {
-      std::uint64_t msgs[2] = {0, 0};
-      std::uint64_t reinits = 0;
+  const std::vector<double> durations{2000.0, 8000.0, 20000.0};
+  const std::vector<double> tolerances{0.1, 0.3};
+  std::vector<SystemConfig> configs;
+  for (double duration : durations) {
+    for (double eps : tolerances) {
       for (int p = 0; p < 2; ++p) {
         SystemConfig config;
         RandomWalkConfig walk;
@@ -37,13 +37,23 @@ void Run() {
         config.ft.reinit = (p == 0) ? ReinitPolicy::kNever
                                     : ReinitPolicy::kWhenExhausted;
         config.duration = duration * bench::Scale();
-        const RunResult result = bench::MustRun(config);
-        msgs[p] = result.MaintenanceMessages();
-        if (p == 1) reinits = result.reinits;
+        configs.push_back(config);
       }
+    }
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  TextTable table({"duration", "eps", "never", "when-exhausted", "reinits"});
+  std::size_t i = 0;
+  for (double duration : durations) {
+    for (double eps : tolerances) {
+      const RunResult& never = results[i++];
+      const RunResult& when_exhausted = results[i++];
       table.AddRow({Fmt("%.0f", duration), Fmt("%.1f", eps),
-                    bench::Msgs(msgs[0]), bench::Msgs(msgs[1]),
-                    Fmt("%llu", static_cast<unsigned long long>(reinits))});
+                    bench::Msgs(never.MaintenanceMessages()),
+                    bench::Msgs(when_exhausted.MaintenanceMessages()),
+                    Fmt("%llu", static_cast<unsigned long long>(
+                                    when_exhausted.reinits))});
     }
   }
   std::printf("%s\n", table.ToString().c_str());

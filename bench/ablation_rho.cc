@@ -30,10 +30,8 @@ void Run() {
       {RhoPolicy::kFavorPositive, "favor-positive"},
       {RhoPolicy::kFavorNegative, "favor-negative"},
   };
+  std::vector<SystemConfig> configs;
   for (const auto& p : policies) {
-    std::vector<std::string> row{p.name};
-    std::uint64_t violations = 0;
-    std::uint64_t checks = 0;
     for (double e : eps) {
       SystemConfig config;
       RandomWalkConfig walk;
@@ -46,7 +44,17 @@ void Run() {
       config.ft.rho = p.policy;
       config.duration = 400 * bench::Scale();
       config.oracle.sample_interval = config.duration / 50;
-      const RunResult result = bench::MustRun(config);
+      configs.push_back(config);
+    }
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  for (std::size_t pi = 0; pi < std::size(policies); ++pi) {
+    std::vector<std::string> row{policies[pi].name};
+    std::uint64_t violations = 0;
+    std::uint64_t checks = 0;
+    for (std::size_t ei = 0; ei < eps.size(); ++ei) {
+      const RunResult& result = results[pi * eps.size() + ei];
       row.push_back(bench::Msgs(result.MaintenanceMessages()));
       violations += result.oracle_violations;
       checks += result.oracle_checks;

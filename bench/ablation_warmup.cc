@@ -29,9 +29,9 @@ void Run() {
   auto trace = GenerateTcpTrace(synth);
   ASF_CHECK(trace.ok());
 
-  TextTable table({"query_start", "ZT-NRP", "FT-NRP(0.4)", "ratio"});
-  for (double start : {0.0, 500.0, 2000.0}) {
-    std::uint64_t msgs[2];
+  const std::vector<double> starts{0.0, 500.0, 2000.0};
+  std::vector<SystemConfig> configs;
+  for (double start : starts) {
     for (int p = 0; p < 2; ++p) {
       SystemConfig config;
       config.source = SourceSpec::Trace(&trace.value());
@@ -41,9 +41,17 @@ void Run() {
       config.fraction = {0.4, 0.4};
       config.duration = synth.duration;
       config.query_start = start;
-      msgs[p] = bench::MustRun(config).MaintenanceMessages();
+      configs.push_back(config);
     }
-    table.AddRow({Fmt("%.0f", start), bench::Msgs(msgs[0]),
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  TextTable table({"query_start", "ZT-NRP", "FT-NRP(0.4)", "ratio"});
+  for (std::size_t si = 0; si < starts.size(); ++si) {
+    const std::uint64_t msgs[2] = {
+        results[2 * si].MaintenanceMessages(),
+        results[2 * si + 1].MaintenanceMessages()};
+    table.AddRow({Fmt("%.0f", starts[si]), bench::Msgs(msgs[0]),
                   bench::Msgs(msgs[1]),
                   Fmt("%.2f", static_cast<double>(msgs[1]) /
                                   static_cast<double>(msgs[0]))});

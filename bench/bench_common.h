@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/check.h"
+#include "engine/sweep_runner.h"
 #include "engine/system.h"
 #include "metrics/table.h"
 
@@ -37,6 +39,32 @@ inline RunResult MustRun(const SystemConfig& config) {
   auto result = RunSystem(config);
   ASF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
   return std::move(result).value();
+}
+
+/// Parallel worker count for batched harness runs, from the REPRO_JOBS
+/// environment variable (default 0 = one worker per hardware thread; 1
+/// forces serial execution).
+inline std::size_t Jobs() {
+  static const std::size_t jobs = [] {
+    const char* env = std::getenv("REPRO_JOBS");
+    if (env == nullptr) return std::size_t{0};
+    const long j = std::atol(env);
+    return j > 0 ? static_cast<std::size_t>(j) : std::size_t{0};
+  }();
+  return jobs;
+}
+
+/// Runs a batch of configs through the thread-parallel sweep executor and
+/// returns the results in submission order (identical to running them
+/// serially — every run is seeded from its own config). Aborts on the
+/// first invalid config, like MustRun.
+inline std::vector<RunResult> MustRunAll(
+    const std::vector<SystemConfig>& configs) {
+  SweepOptions options;
+  options.num_threads = Jobs();
+  auto results = RunSweepAll(configs, options);
+  ASF_CHECK_MSG(results.ok(), results.status().ToString().c_str());
+  return std::move(results).value();
 }
 
 /// Prints the harness banner: which figure, what the paper shows, and what

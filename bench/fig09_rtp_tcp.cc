@@ -34,30 +34,41 @@ void Run() {
   base.oracle.sample_interval = synth.duration / 100;
 
   // Baseline: no filter at all. The query type does not change its cost.
+  // The baseline and the whole k × r grid run as one parallel batch.
   SystemConfig no_filter = base;
   no_filter.query = QuerySpec::TopK(15);
   no_filter.protocol = ProtocolKind::kNoFilter;
-  const RunResult baseline = bench::MustRun(no_filter);
-  std::printf("no filter: %s messages (= %llu updates)\n\n",
-              bench::Msgs(baseline.MaintenanceMessages()).c_str(),
-              static_cast<unsigned long long>(baseline.updates_generated));
 
-  std::vector<std::string> header{"k \\ r"};
+  const std::vector<std::size_t> ks{15, 20, 25, 30};
   const std::vector<std::size_t> rs{0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
-  for (std::size_t r : rs) header.push_back(Fmt("r=%zu", r));
-  header.push_back("oracle_viol");
-  TextTable table(header);
-
-  for (std::size_t k : {15, 20, 25, 30}) {
-    std::vector<std::string> row{Fmt("k=%zu", k)};
-    std::uint64_t violations = 0;
-    std::uint64_t checks = 0;
+  std::vector<SystemConfig> configs{no_filter};
+  for (std::size_t k : ks) {
     for (std::size_t r : rs) {
       SystemConfig config = base;
       config.query = QuerySpec::TopK(k);
       config.protocol = ProtocolKind::kRtp;
       config.rank_r = r;
-      const RunResult result = bench::MustRun(config);
+      configs.push_back(config);
+    }
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  const RunResult& baseline = results[0];
+  std::printf("no filter: %s messages (= %llu updates)\n\n",
+              bench::Msgs(baseline.MaintenanceMessages()).c_str(),
+              static_cast<unsigned long long>(baseline.updates_generated));
+
+  std::vector<std::string> header{"k \\ r"};
+  for (std::size_t r : rs) header.push_back(Fmt("r=%zu", r));
+  header.push_back("oracle_viol");
+  TextTable table(header);
+
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    std::vector<std::string> row{Fmt("k=%zu", ks[ki])};
+    std::uint64_t violations = 0;
+    std::uint64_t checks = 0;
+    for (std::size_t ri = 0; ri < rs.size(); ++ri) {
+      const RunResult& result = results[1 + ki * rs.size() + ri];
       row.push_back(bench::Msgs(result.MaintenanceMessages()));
       violations += result.oracle_violations;
       checks += result.oracle_checks;

@@ -41,14 +41,22 @@ void Run() {
   for (double em : eps) header.push_back(Fmt("%.1f", em));
   TextTable table(header);
 
-  std::uint64_t violations = 0;
-  std::uint64_t checks = 0;
+  std::vector<SystemConfig> configs;
   for (double ep : eps) {
-    std::vector<std::string> row{Fmt("%.1f", ep)};
     for (double em : eps) {
       SystemConfig config = base;
       config.fraction = {ep, em};
-      const RunResult result = bench::MustRun(config);
+      configs.push_back(config);
+    }
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  std::uint64_t violations = 0;
+  std::uint64_t checks = 0;
+  for (std::size_t pi = 0; pi < eps.size(); ++pi) {
+    std::vector<std::string> row{Fmt("%.1f", eps[pi])};
+    for (std::size_t mi = 0; mi < eps.size(); ++mi) {
+      const RunResult& result = results[pi * eps.size() + mi];
       row.push_back(bench::Msgs(result.MaintenanceMessages()));
       violations += result.oracle_violations;
       checks += result.oracle_checks;

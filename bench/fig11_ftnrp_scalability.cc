@@ -26,27 +26,46 @@ void Run() {
   for (double e : eps) header.push_back(Fmt("eps=%.1f", e));
   TextTable table(header);
 
-  for (std::size_t n = 200; n <= 2000; n += 200) {
+  // Generate every population's trace first (they must outlive the batch),
+  // then fan the whole population × tolerance grid across the worker pool.
+  std::vector<std::size_t> populations;
+  for (std::size_t n = 200; n <= 2000; n += 200) populations.push_back(n);
+
+  constexpr SimTime kDuration = 5000;
+  std::vector<TraceData> traces;
+  traces.reserve(populations.size());
+  for (std::size_t n : populations) {
     TcpSynthConfig synth;
     synth.num_subnets = n;
     // Constant per-subnet intensity: 75 connections per subnet.
     synth.total_connections =
         static_cast<std::uint64_t>(75.0 * n * bench::Scale());
-    synth.duration = 5000;
+    synth.duration = kDuration;
     synth.seed = 13;
     auto trace = GenerateTcpTrace(synth);
     ASF_CHECK(trace.ok());
+    traces.push_back(std::move(trace).value());
+  }
 
-    std::vector<std::string> row{Fmt("%zu", n)};
+  std::vector<SystemConfig> configs;
+  for (const TraceData& trace : traces) {
     for (double e : eps) {
       SystemConfig config;
-      config.source = SourceSpec::Trace(&trace.value());
+      config.source = SourceSpec::Trace(&trace);
       config.query = QuerySpec::Range(400, 600);
       config.protocol = ProtocolKind::kFtNrp;
       config.fraction = {e, e};
-      config.duration = synth.duration;
-      const RunResult result = bench::MustRun(config);
-      row.push_back(bench::Msgs(result.MaintenanceMessages()));
+      config.duration = kDuration;
+      configs.push_back(config);
+    }
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  for (std::size_t ni = 0; ni < populations.size(); ++ni) {
+    std::vector<std::string> row{Fmt("%zu", populations[ni])};
+    for (std::size_t ei = 0; ei < eps.size(); ++ei) {
+      row.push_back(bench::Msgs(
+          results[ni * eps.size() + ei].MaintenanceMessages()));
     }
     table.AddRow(row);
   }

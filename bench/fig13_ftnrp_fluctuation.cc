@@ -24,7 +24,9 @@ void Run() {
   for (double e : eps) header.push_back(Fmt("eps=%.1f", e));
   TextTable table(header);
 
-  for (double sigma : {20.0, 40.0, 60.0, 80.0, 100.0}) {
+  const std::vector<double> sigmas{20.0, 40.0, 60.0, 80.0, 100.0};
+  std::vector<SystemConfig> configs;
+  for (double sigma : sigmas) {
     SystemConfig base;
     RandomWalkConfig walk;
     walk.num_streams = 5000;
@@ -34,13 +36,19 @@ void Run() {
     base.query = QuerySpec::Range(400, 600);
     base.protocol = ProtocolKind::kFtNrp;
     base.duration = 1000 * bench::Scale();
-
-    std::vector<std::string> row{Fmt("%.0f", sigma)};
     for (double e : eps) {
       SystemConfig config = base;
       config.fraction = {e, e};
-      const RunResult result = bench::MustRun(config);
-      row.push_back(bench::Msgs(result.MaintenanceMessages()));
+      configs.push_back(config);
+    }
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  for (std::size_t si = 0; si < sigmas.size(); ++si) {
+    std::vector<std::string> row{Fmt("%.0f", sigmas[si])};
+    for (std::size_t ei = 0; ei < eps.size(); ++ei) {
+      row.push_back(bench::Msgs(
+          results[si * eps.size() + ei].MaintenanceMessages()));
     }
     table.AddRow(row);
   }

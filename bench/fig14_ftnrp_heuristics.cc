@@ -33,14 +33,11 @@ void Run() {
   std::vector<std::vector<std::uint64_t>> totals(
       2, std::vector<std::uint64_t>(eps.size(), 0));
 
-  for (int h = 0; h < 2; ++h) {
-    const SelectionHeuristic heuristic = (h == 0)
-                                             ? SelectionHeuristic::kRandom
-                                             : SelectionHeuristic::kBoundaryNearest;
-    std::vector<std::string> row{
-        std::string(SelectionHeuristicName(heuristic))};
-    for (std::size_t i = 0; i < eps.size(); ++i) {
-      std::uint64_t total = 0;
+  const SelectionHeuristic heuristics[] = {
+      SelectionHeuristic::kRandom, SelectionHeuristic::kBoundaryNearest};
+  std::vector<SystemConfig> configs;
+  for (SelectionHeuristic heuristic : heuristics) {
+    for (double e : eps) {
       for (std::uint64_t seed : seeds) {
         SystemConfig config;
         RandomWalkConfig walk;
@@ -50,11 +47,24 @@ void Run() {
         config.source = SourceSpec::Walk(walk);
         config.query = QuerySpec::Range(400, 600);
         config.protocol = ProtocolKind::kFtNrp;
-        config.fraction = {eps[i], eps[i]};
+        config.fraction = {e, e};
         config.ft.heuristic = heuristic;
         config.seed = seed;
         config.duration = 1000 * bench::Scale();
-        total += bench::MustRun(config).MaintenanceMessages();
+        configs.push_back(config);
+      }
+    }
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  for (int h = 0; h < 2; ++h) {
+    std::vector<std::string> row{
+        std::string(SelectionHeuristicName(heuristics[h]))};
+    for (std::size_t i = 0; i < eps.size(); ++i) {
+      std::uint64_t total = 0;
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        total += results[(h * eps.size() + i) * seeds.size() + s]
+                     .MaintenanceMessages();
       }
       totals[h][i] = total / seeds.size();
       row.push_back(bench::Msgs(totals[h][i]));

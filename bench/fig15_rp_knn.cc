@@ -29,9 +29,9 @@ void Run() {
   TextTable table(header);
   TextTable log_table(header);
 
-  for (std::size_t k : {20, 60, 100}) {
-    std::vector<std::string> row{Fmt("k=%zu", k)};
-    std::vector<std::string> log_row{Fmt("k=%zu", k)};
+  const std::vector<std::size_t> ks{20, 60, 100};
+  std::vector<SystemConfig> configs;
+  for (std::size_t k : ks) {
     for (double e : eps) {
       SystemConfig config;
       RandomWalkConfig walk;
@@ -45,7 +45,16 @@ void Run() {
                                    : ProtocolKind::kFtRp;
       config.fraction = {e, e};
       config.duration = 300 * bench::Scale();
-      const RunResult result = bench::MustRun(config);
+      configs.push_back(config);
+    }
+  }
+  const std::vector<RunResult> results = bench::MustRunAll(configs);
+
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    std::vector<std::string> row{Fmt("k=%zu", ks[ki])};
+    std::vector<std::string> log_row{Fmt("k=%zu", ks[ki])};
+    for (std::size_t ei = 0; ei < eps.size(); ++ei) {
+      const RunResult& result = results[ki * eps.size() + ei];
       row.push_back(bench::Msgs(result.MaintenanceMessages()));
       log_row.push_back(
           Fmt("%.2f", std::log10(static_cast<double>(

@@ -1,14 +1,8 @@
 #include "engine/multi_system.h"
 
-#include <algorithm>
-#include <chrono>
-#include <memory>
 #include <unordered_set>
 
-#include "common/rng.h"
 #include "engine/protocol_factory.h"
-#include "filter/filter_bank.h"
-#include "sim/scheduler.h"
 
 namespace asf {
 
@@ -60,159 +54,38 @@ std::uint64_t MultiQueryResult::LogicalMaintenanceTotal() const {
   return total;
 }
 
-namespace {
-
-/// Server-side state of one deployed query.
-struct QueryRuntime {
-  const QueryDeployment* deployment = nullptr;
-  std::unique_ptr<FilterBank> filters;
-  std::unique_ptr<ServerContext> ctx;
-  std::unique_ptr<Rng> rng;
-  std::unique_ptr<Protocol> protocol;
-  MultiQueryResult::PerQuery* out = nullptr;
-};
-
-}  // namespace
-
 Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
   ASF_RETURN_IF_ERROR(config.Validate());
-  const auto wall_start = std::chrono::steady_clock::now();
 
-  std::unique_ptr<StreamSet> owned_streams;
-  StreamSet* streams = nullptr;
-  switch (config.source.type) {
-    case SourceSpec::Type::kRandomWalk:
-      owned_streams = std::make_unique<RandomWalkStreams>(config.source.walk);
-      streams = owned_streams.get();
-      break;
-    case SourceSpec::Type::kTrace:
-      owned_streams = std::make_unique<TraceStreams>(config.source.trace);
-      streams = owned_streams.get();
-      break;
-    case SourceSpec::Type::kCustom:
-      streams = config.source.custom;  // borrowed (see SourceSpec::Custom)
-      break;
-  }
-  ASF_CHECK(streams != nullptr);
-  const std::size_t n = streams->size();
+  SimulationCore::Options options;
+  options.source = config.source;
+  options.duration = config.duration;
+  options.query_start = config.query_start;
+  options.seed = config.seed;
+  options.oracle = config.oracle;
+  SimulationCore core(options);
+  for (const QueryDeployment& dep : config.queries) core.AddQuery(dep);
+  core.Run();
 
   MultiQueryResult result;
   result.queries.resize(config.queries.size());
-
-  // Build every query's runtime: its own filter bank at the sources, its
-  // own server context, message accounting, and protocol instance.
-  std::vector<QueryRuntime> runtimes(config.queries.size());
   for (std::size_t i = 0; i < config.queries.size(); ++i) {
-    QueryRuntime& rt = runtimes[i];
-    const QueryDeployment& dep = config.queries[i];
-    rt.deployment = &dep;
-    rt.out = &result.queries[i];
-    rt.out->name = dep.name;
-    rt.filters = std::make_unique<FilterBank>(n);
-
-    FilterBank* bank = rt.filters.get();
-    StreamSet* source = streams;
-    Transport transport;
-    transport.probe = [source, bank](StreamId id) {
-      const Value v = source->value(id);
-      bank->at(id).SyncReference(v);
-      return v;
-    };
-    transport.region_probe =
-        [source, bank](StreamId id,
-                       const Interval& region) -> std::optional<Value> {
-      const Value v = source->value(id);
-      if (!region.Contains(v)) return std::nullopt;
-      bank->at(id).SyncReference(v);
-      return v;
-    };
-    transport.deploy = [source, bank](StreamId id,
-                                      const FilterConstraint& constraint) {
-      bank->Deploy(id, constraint, source->value(id));
-    };
-
-    rt.ctx = std::make_unique<ServerContext>(n, std::move(transport),
-                                             &rt.out->messages);
-    rt.rng = std::make_unique<Rng>(config.seed ^ (0x9e3779b97f4a7c15ULL + i));
-    rt.protocol = MakeProtocol(dep.query, dep.protocol, dep.rank_r,
-                               dep.fraction, dep.ft, rt.ctx.get(),
-                               rt.rng.get());
+    const QueryRunStats& stats = core.query_stats(i);
+    MultiQueryResult::PerQuery& out = result.queries[i];
+    out.name = stats.name;
+    out.messages = stats.messages;
+    out.updates_reported = stats.updates_reported;
+    out.reinits = stats.reinits;
+    out.answer_size = stats.answer_size;
+    out.oracle_checks = stats.oracle_checks;
+    out.oracle_violations = stats.oracle_violations;
+    out.max_f_plus = stats.max_f_plus;
+    out.max_f_minus = stats.max_f_minus;
+    out.max_worst_rank = stats.max_worst_rank;
   }
-
-  const auto run_oracle = [&](QueryRuntime& rt) {
-    const QueryDeployment& dep = *rt.deployment;
-    const OracleCheck check =
-        JudgeAnswer(dep.query, dep.protocol, dep.rank_r, dep.fraction,
-                    streams->values(), rt.protocol->answer());
-    ++rt.out->oracle_checks;
-    if (!check.ok) ++rt.out->oracle_violations;
-    rt.out->max_f_plus = std::max(rt.out->max_f_plus, check.f_plus);
-    rt.out->max_f_minus = std::max(rt.out->max_f_minus, check.f_minus);
-    rt.out->max_worst_rank =
-        std::max(rt.out->max_worst_rank, check.worst_rank);
-  };
-
-  Scheduler scheduler;
-  bool queries_active = false;
-
-  streams->set_update_handler([&](StreamId id, Value v, SimTime t) {
-    if (!queries_active) return;
-    ++result.updates_generated;
-    // One physical message serves every query whose filter fired; each
-    // affected query still accounts a logical update so its costs remain
-    // comparable to a single-query run.
-    bool any_fired = false;
-    for (QueryRuntime& rt : runtimes) {
-      if (!rt.filters->at(id).OnValueChange(v)) continue;
-      any_fired = true;
-      rt.out->messages.Count(MessageType::kValueUpdate);
-      ++rt.out->updates_reported;
-      rt.protocol->HandleUpdate(id, v, t);
-    }
-    if (any_fired) ++result.physical_updates;
-    for (QueryRuntime& rt : runtimes) {
-      rt.out->answer_size.Add(
-          static_cast<double>(rt.protocol->answer().size()));
-      if (config.oracle.check_every_update) run_oracle(rt);
-    }
-  });
-
-  scheduler.ScheduleAt(config.query_start, [&] {
-    for (QueryRuntime& rt : runtimes) {
-      rt.out->messages.set_phase(MessagePhase::kInit);
-      rt.protocol->Initialize(scheduler.now());
-      rt.out->messages.set_phase(MessagePhase::kMaintenance);
-    }
-    queries_active = true;
-  });
-
-  std::function<void()> sample_tick;
-  if (config.oracle.sample_interval > 0) {
-    sample_tick = [&] {
-      if (queries_active) {
-        for (QueryRuntime& rt : runtimes) run_oracle(rt);
-      }
-      if (scheduler.now() + config.oracle.sample_interval <=
-          config.duration) {
-        scheduler.ScheduleAfter(config.oracle.sample_interval, sample_tick);
-      }
-    };
-    scheduler.ScheduleAt(
-        std::min(config.query_start + config.oracle.sample_interval,
-                 config.duration),
-        sample_tick);
-  }
-
-  streams->Start(&scheduler, config.duration);
-  scheduler.RunUntil(config.duration);
-
-  for (QueryRuntime& rt : runtimes) {
-    rt.out->reinits = rt.protocol->reinit_count();
-  }
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  result.updates_generated = core.updates_generated();
+  result.physical_updates = core.physical_updates();
+  result.wall_seconds = core.wall_seconds();
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "engine/config.h"
 #include "engine/run_result.h"
+#include "engine/sim_core.h"
 
 /// \file
 /// Multiple continuous queries over one shared stream population — the
@@ -29,15 +30,8 @@
 
 namespace asf {
 
-/// One continuous query in a multi-query deployment.
-struct QueryDeployment {
-  std::string name;  ///< label used in results (must be unique)
-  QuerySpec query;
-  ProtocolKind protocol = ProtocolKind::kNoFilter;
-  std::size_t rank_r = 0;          ///< RTP only
-  FractionTolerance fraction;      ///< FT-NRP / FT-RP only
-  FtOptions ft;
-};
+// QueryDeployment (one continuous query in a deployment) lives in
+// engine/sim_core.h, shared with the single-query entry point.
 
 /// Configuration of a multi-query run.
 struct MultiQueryConfig {

@@ -1,0 +1,32 @@
+#include "engine/run_result.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace asf {
+
+std::string RunResult::ToString() const {
+  const auto format = [this](char* buf, std::size_t size) {
+    return std::snprintf(
+        buf, size,
+        "maint_msgs=%llu init_msgs=%llu updates=%llu reported=%llu "
+        "reinits=%llu answer_mean=%.2f oracle=%llu/%llu maxF+=%.3f "
+        "maxF-=%.3f",
+        static_cast<unsigned long long>(messages.MaintenanceTotal()),
+        static_cast<unsigned long long>(messages.InitTotal()),
+        static_cast<unsigned long long>(updates_generated),
+        static_cast<unsigned long long>(updates_reported),
+        static_cast<unsigned long long>(reinits), answer_size.mean(),
+        static_cast<unsigned long long>(oracle_violations),
+        static_cast<unsigned long long>(oracle_checks), max_f_plus,
+        max_f_minus);
+  };
+  const int needed = format(nullptr, 0);
+  ASF_CHECK(needed >= 0);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  format(out.data(), out.size() + 1);
+  return out;
+}
+
+}  // namespace asf

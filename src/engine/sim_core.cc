@@ -1,0 +1,187 @@
+#include "engine/sim_core.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "engine/protocol_factory.h"
+#include "stream/random_walk.h"
+#include "stream/trace_source.h"
+
+namespace asf {
+
+namespace {
+// Golden-ratio constant used to decorrelate the per-query protocol RNG
+// streams from the workload seed (slot i gets seed ^ (kSeedMix + i)).
+constexpr std::uint64_t kSeedMix = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+/// Server-side runtime of one deployed query.
+struct SimulationCore::Slot {
+  QueryDeployment deployment;
+  std::unique_ptr<FilterBank> filters;
+  std::unique_ptr<ServerContext> ctx;
+  std::unique_ptr<Rng> rng;
+  std::unique_ptr<Protocol> protocol;
+  QueryRunStats stats;
+};
+
+SimulationCore::SimulationCore(const Options& options)
+    : options_(options), wall_start_(std::chrono::steady_clock::now()) {
+  switch (options_.source.type) {
+    case SourceSpec::Type::kRandomWalk:
+      owned_streams_ = std::make_unique<RandomWalkStreams>(options_.source.walk);
+      streams_ = owned_streams_.get();
+      break;
+    case SourceSpec::Type::kTrace:
+      owned_streams_ = std::make_unique<TraceStreams>(options_.source.trace);
+      streams_ = owned_streams_.get();
+      break;
+    case SourceSpec::Type::kCustom:
+      streams_ = options_.source.custom;  // borrowed (see SourceSpec::Custom)
+      break;
+  }
+  ASF_CHECK(streams_ != nullptr);
+}
+
+SimulationCore::~SimulationCore() = default;
+
+std::size_t SimulationCore::AddQuery(const QueryDeployment& deployment) {
+  ASF_CHECK_MSG(!ran_, "AddQuery after Run()");
+  const std::size_t n = streams_->size();
+  const std::size_t index = slots_.size();
+
+  auto slot = std::make_unique<Slot>();
+  slot->deployment = deployment;
+  slot->stats.name = deployment.name;
+  slot->filters = std::make_unique<FilterBank>(n);
+
+  // The wires between this query's server context and the shared sources.
+  // Probes and deploys sync/reset this query's filter references only;
+  // other queries' filters are untouched (per-query isolation).
+  FilterBank* bank = slot->filters.get();
+  StreamSet* source = streams_;
+  Transport transport;
+  transport.probe = [source, bank](StreamId id) {
+    const Value v = source->value(id);
+    bank->at(id).SyncReference(v);  // the probed value is now "reported"
+    return v;
+  };
+  transport.region_probe =
+      [source, bank](StreamId id,
+                     const Interval& region) -> std::optional<Value> {
+    const Value v = source->value(id);
+    if (!region.Contains(v)) return std::nullopt;
+    bank->at(id).SyncReference(v);
+    return v;
+  };
+  transport.deploy = [source, bank](StreamId id,
+                                    const FilterConstraint& constraint) {
+    bank->Deploy(id, constraint, source->value(id));
+  };
+
+  slot->ctx = std::make_unique<ServerContext>(
+      n, std::move(transport), &slot->stats.messages, deployment.broadcast);
+  slot->rng = std::make_unique<Rng>(options_.seed ^ (kSeedMix + index));
+  slot->protocol =
+      MakeProtocol(deployment.query, deployment.protocol, deployment.rank_r,
+                   deployment.fraction, deployment.ft, slot->ctx.get(),
+                   slot->rng.get());
+  slots_.push_back(std::move(slot));
+  return index;
+}
+
+void SimulationCore::RunOracle(Slot& slot) {
+  const QueryDeployment& dep = slot.deployment;
+  const OracleCheck check =
+      JudgeAnswer(dep.query, dep.protocol, dep.rank_r, dep.fraction,
+                  streams_->values(), slot.protocol->answer());
+  QueryRunStats& out = slot.stats;
+  ++out.oracle_checks;
+  if (!check.ok) ++out.oracle_violations;
+  out.max_f_plus = std::max(out.max_f_plus, check.f_plus);
+  out.max_f_minus = std::max(out.max_f_minus, check.f_minus);
+  out.max_worst_rank = std::max(out.max_worst_rank, check.worst_rank);
+}
+
+void SimulationCore::Run() {
+  ASF_CHECK_MSG(!ran_, "Run() called twice");
+  ASF_CHECK_MSG(!slots_.empty(), "Run() without any deployed query");
+  ran_ = true;
+
+  streams_->set_update_handler([this](StreamId id, Value v, SimTime t) {
+    if (!queries_active_) return;  // warm-up: no query, no messages
+    ++updates_generated_;
+    // One physical message serves every query whose filter fired; each
+    // affected query still accounts a logical update so its costs remain
+    // comparable to a single-query run.
+    bool any_fired = false;
+    for (auto& slot : slots_) {
+      if (!slot->filters->at(id).OnValueChange(v)) continue;
+      any_fired = true;
+      slot->stats.messages.Count(MessageType::kValueUpdate);
+      ++slot->stats.updates_reported;
+      slot->protocol->HandleUpdate(id, v, t);
+    }
+    if (any_fired) ++physical_updates_;
+    for (auto& slot : slots_) {
+      slot->stats.answer_size.Add(
+          static_cast<double>(slot->protocol->answer().size()));
+      if (options_.oracle.check_every_update) RunOracle(*slot);
+    }
+  });
+
+  // Install the queries. Scheduled before Start() so that at equal
+  // timestamps initialization runs before the first update (FIFO order).
+  scheduler_.ScheduleAt(options_.query_start, [this] {
+    for (auto& slot : slots_) {
+      slot->stats.messages.set_phase(MessagePhase::kInit);
+      slot->protocol->Initialize(scheduler_.now());
+      slot->stats.messages.set_phase(MessagePhase::kMaintenance);
+      slot->stats.fp_filters_installed =
+          slot->filters->CountFalsePositiveFilters();
+      slot->stats.fn_filters_installed =
+          slot->filters->CountFalseNegativeFilters();
+    }
+    queries_active_ = true;
+    if (options_.oracle.check_every_update) {
+      for (auto& slot : slots_) RunOracle(*slot);
+    }
+  });
+
+  // Periodic oracle sampling, if requested.
+  std::function<void()> sample_tick;  // self-rescheduling
+  if (options_.oracle.sample_interval > 0) {
+    sample_tick = [this, &sample_tick] {
+      if (queries_active_) {
+        for (auto& slot : slots_) RunOracle(*slot);
+      }
+      if (scheduler_.now() + options_.oracle.sample_interval <=
+          options_.duration) {
+        scheduler_.ScheduleAfter(options_.oracle.sample_interval, sample_tick);
+      }
+    };
+    scheduler_.ScheduleAt(
+        std::min(options_.query_start + options_.oracle.sample_interval,
+                 options_.duration),
+        sample_tick);
+  }
+
+  streams_->Start(&scheduler_, options_.duration);
+  scheduler_.RunUntil(options_.duration);
+
+  for (auto& slot : slots_) {
+    slot->stats.reinits = slot->protocol->reinit_count();
+  }
+  wall_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+}
+
+const QueryRunStats& SimulationCore::query_stats(std::size_t i) const {
+  ASF_CHECK(i < slots_.size());
+  return slots_[i]->stats;
+}
+
+}  // namespace asf

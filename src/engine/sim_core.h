@@ -1,0 +1,144 @@
+#ifndef ASF_ENGINE_SIM_CORE_H_
+#define ASF_ENGINE_SIM_CORE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "engine/config.h"
+#include "filter/filter_bank.h"
+#include "net/message_stats.h"
+#include "protocol/protocol.h"
+#include "protocol/server_context.h"
+#include "sim/scheduler.h"
+#include "stream/stream_set.h"
+
+/// \file
+/// The shared simulation engine behind RunSystem and RunMultiQuerySystem.
+///
+/// SimulationCore owns everything a run needs regardless of how many
+/// queries are deployed: stream construction (walk / trace / custom), one
+/// filter bank + server context + protocol instance per query, the
+/// Transport closures that connect server to sources, the correctness
+/// oracle hooks, and the scheduler drive loop. The two public entry points
+/// are thin adapters over it: RunSystem deploys exactly one query and
+/// flattens the stats into a RunResult; RunMultiQuerySystem deploys many
+/// and adds the shared-update (physical vs logical) accounting.
+///
+/// Engine features added here — oracle sampling, phase accounting,
+/// warm-up, re-init bookkeeping — are therefore available to both entry
+/// points (and any future one) automatically.
+
+namespace asf {
+
+/// One continuous query in a deployment. A single-query run is simply a
+/// deployment of exactly one.
+struct QueryDeployment {
+  std::string name;  ///< label used in results (must be unique per run)
+  QuerySpec query;
+  ProtocolKind protocol = ProtocolKind::kNoFilter;
+  std::size_t rank_r = 0;          ///< RTP only
+  FractionTolerance fraction;      ///< FT-NRP / FT-RP only
+  FtOptions ft;
+  /// How server→all-streams transmissions of this query are charged
+  /// (DESIGN.md §3; `bench/ablation_broadcast`).
+  BroadcastCostModel broadcast = BroadcastCostModel::kPerRecipient;
+};
+
+/// Per-query outcome accumulated by the core — a superset of what both
+/// RunResult and MultiQueryResult::PerQuery report.
+struct QueryRunStats {
+  std::string name;
+  MessageStats messages;  ///< logical messages attributed to this query
+  std::uint64_t updates_reported = 0;
+  std::uint64_t reinits = 0;
+  std::size_t fp_filters_installed = 0;
+  std::size_t fn_filters_installed = 0;
+  OnlineStats answer_size;
+  std::uint64_t oracle_checks = 0;
+  std::uint64_t oracle_violations = 0;
+  double max_f_plus = 0.0;
+  double max_f_minus = 0.0;
+  std::size_t max_worst_rank = 0;
+};
+
+/// The shared engine runtime. Usage:
+///
+/// \code
+///   SimulationCore core(options);        // builds the streams
+///   core.AddQuery(deployment);           // one or more times
+///   core.Run();                          // drives the scheduler
+///   core.query_stats(0);                 // per-query outcomes
+/// \endcode
+///
+/// Inputs must already be validated (SystemConfig::Validate /
+/// MultiQueryConfig::Validate); the core checks invariants with ASF_CHECK
+/// only.
+class SimulationCore {
+ public:
+  /// The query-independent part of a run configuration.
+  struct Options {
+    SourceSpec source;
+    SimTime duration = 1000;
+    SimTime query_start = 0;
+    std::uint64_t seed = 1;
+    OracleOptions oracle;
+  };
+
+  explicit SimulationCore(const Options& options);
+  SimulationCore(const SimulationCore&) = delete;
+  SimulationCore& operator=(const SimulationCore&) = delete;
+  ~SimulationCore();
+
+  /// Deploys one query: its own filter bank at the sources, server
+  /// context, protocol RNG (derived deterministically from the run seed
+  /// and the slot index) and protocol instance. Must be called before
+  /// Run(). Returns the query's slot index.
+  std::size_t AddQuery(const QueryDeployment& deployment);
+
+  /// Drives the simulation to options.duration. Call exactly once, after
+  /// every AddQuery.
+  void Run();
+
+  std::size_t num_queries() const { return slots_.size(); }
+
+  /// Outcome of query slot `i`; valid after Run().
+  const QueryRunStats& query_stats(std::size_t i) const;
+
+  /// Value changes generated while the queries were live.
+  std::uint64_t updates_generated() const { return updates_generated_; }
+
+  /// Update messages actually transmitted: a value change that crossed
+  /// the filters of several queries at once costs one physical message
+  /// (each affected query still accounts a logical update).
+  std::uint64_t physical_updates() const { return physical_updates_; }
+
+  /// Host wall-clock seconds from construction to the end of Run().
+  double wall_seconds() const { return wall_seconds_; }
+
+ private:
+  struct Slot;
+
+  /// Judges slot `i`'s current answer against the true stream values.
+  void RunOracle(Slot& slot);
+
+  Options options_;
+  std::unique_ptr<StreamSet> owned_streams_;
+  StreamSet* streams_ = nullptr;  // owned_streams_.get() or borrowed custom
+  std::vector<std::unique_ptr<Slot>> slots_;
+  Scheduler scheduler_;
+  bool queries_active_ = false;
+  bool ran_ = false;
+  std::uint64_t updates_generated_ = 0;
+  std::uint64_t physical_updates_ = 0;
+  double wall_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_ENGINE_SIM_CORE_H_

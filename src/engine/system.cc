@@ -1,155 +1,48 @@
 #include "engine/system.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cstdio>
-
-#include "common/rng.h"
-#include "engine/protocol_factory.h"
-#include "filter/filter_bank.h"
-#include "sim/scheduler.h"
+#include "engine/sim_core.h"
 
 namespace asf {
 
 Result<RunResult> RunSystem(const SystemConfig& config) {
   ASF_RETURN_IF_ERROR(config.Validate());
-  const auto wall_start = std::chrono::steady_clock::now();
 
-  // --- The stream sources (true values live here). ---
-  std::unique_ptr<StreamSet> owned_streams;
-  StreamSet* streams = nullptr;
-  switch (config.source.type) {
-    case SourceSpec::Type::kRandomWalk:
-      owned_streams = std::make_unique<RandomWalkStreams>(config.source.walk);
-      streams = owned_streams.get();
-      break;
-    case SourceSpec::Type::kTrace:
-      owned_streams = std::make_unique<TraceStreams>(config.source.trace);
-      streams = owned_streams.get();
-      break;
-    case SourceSpec::Type::kCustom:
-      streams = config.source.custom;  // borrowed (see SourceSpec::Custom)
-      break;
-  }
-  ASF_CHECK(streams != nullptr);
-  const std::size_t n = streams->size();
+  SimulationCore::Options options;
+  options.source = config.source;
+  options.duration = config.duration;
+  options.query_start = config.query_start;
+  options.seed = config.seed;
+  options.oracle = config.oracle;
+  SimulationCore core(options);
 
-  // --- Client side: one adaptive filter per stream. ---
-  FilterBank filters(n);
+  QueryDeployment deployment;
+  deployment.query = config.query;
+  deployment.protocol = config.protocol;
+  deployment.rank_r = config.rank_r;
+  deployment.fraction = config.fraction;
+  deployment.ft = config.ft;
+  deployment.broadcast = config.broadcast_counts_as_one
+                             ? BroadcastCostModel::kSingleMessage
+                             : BroadcastCostModel::kPerRecipient;
+  core.AddQuery(deployment);
+  core.Run();
 
-  // --- The (simulated) network. ---
+  const QueryRunStats& stats = core.query_stats(0);
   RunResult result;
-  Transport transport;
-  transport.probe = [&streams, &filters](StreamId id) {
-    const Value v = streams->value(id);
-    filters.at(id).SyncReference(v);  // the probed value is now "reported"
-    return v;
-  };
-  transport.region_probe = [&streams, &filters](
-                               StreamId id,
-                               const Interval& region) -> std::optional<Value> {
-    const Value v = streams->value(id);
-    if (!region.Contains(v)) return std::nullopt;
-    filters.at(id).SyncReference(v);
-    return v;
-  };
-  transport.deploy = [&streams, &filters](StreamId id,
-                                          const FilterConstraint& constraint) {
-    filters.Deploy(id, constraint, streams->value(id));
-  };
-
-  // --- Server side. ---
-  ServerContext ctx(n, transport, &result.messages,
-                    config.broadcast_counts_as_one
-                        ? BroadcastCostModel::kSingleMessage
-                        : BroadcastCostModel::kPerRecipient);
-  Rng protocol_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
-  std::unique_ptr<Protocol> protocol =
-      MakeProtocol(config.query, config.protocol, config.rank_r,
-                   config.fraction, config.ft, &ctx, &protocol_rng);
-
-  // --- Oracle wiring. ---
-  const auto run_oracle = [&](RunResult* out) {
-    const OracleCheck check =
-        JudgeAnswer(config.query, config.protocol, config.rank_r,
-                    config.fraction, streams->values(), protocol->answer());
-    ++out->oracle_checks;
-    if (!check.ok) ++out->oracle_violations;
-    out->max_f_plus = std::max(out->max_f_plus, check.f_plus);
-    out->max_f_minus = std::max(out->max_f_minus, check.f_minus);
-    out->max_worst_rank = std::max(out->max_worst_rank, check.worst_rank);
-  };
-
-  // --- Drive the simulation. ---
-  Scheduler scheduler;
-  bool query_active = false;
-
-  streams->set_update_handler([&](StreamId id, Value v, SimTime t) {
-    if (!query_active) return;  // warm-up: no query, no messages
-    ++result.updates_generated;
-    if (filters.at(id).OnValueChange(v)) {
-      result.messages.Count(MessageType::kValueUpdate);
-      ++result.updates_reported;
-      protocol->HandleUpdate(id, v, t);
-    }
-    result.answer_size.Add(static_cast<double>(protocol->answer().size()));
-    if (config.oracle.check_every_update) run_oracle(&result);
-  });
-
-  // Install the query. Scheduled before Start() so that at equal
-  // timestamps initialization runs before the first update (FIFO order).
-  scheduler.ScheduleAt(config.query_start, [&] {
-    result.messages.set_phase(MessagePhase::kInit);
-    protocol->Initialize(scheduler.now());
-    result.messages.set_phase(MessagePhase::kMaintenance);
-    result.fp_filters_installed = filters.CountFalsePositiveFilters();
-    result.fn_filters_installed = filters.CountFalseNegativeFilters();
-    query_active = true;
-    if (config.oracle.check_every_update) run_oracle(&result);
-  });
-
-  // Periodic oracle sampling, if requested.
-  std::function<void()> sample_tick;  // self-rescheduling
-  if (config.oracle.sample_interval > 0) {
-    sample_tick = [&] {
-      if (query_active) run_oracle(&result);
-      if (scheduler.now() + config.oracle.sample_interval <=
-          config.duration) {
-        scheduler.ScheduleAfter(config.oracle.sample_interval, sample_tick);
-      }
-    };
-    scheduler.ScheduleAt(
-        std::min(config.query_start + config.oracle.sample_interval,
-                 config.duration),
-        sample_tick);
-  }
-
-  streams->Start(&scheduler, config.duration);
-  scheduler.RunUntil(config.duration);
-
-  result.reinits = protocol->reinit_count();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  result.messages = stats.messages;
+  result.updates_generated = core.updates_generated();
+  result.updates_reported = stats.updates_reported;
+  result.reinits = stats.reinits;
+  result.fp_filters_installed = stats.fp_filters_installed;
+  result.fn_filters_installed = stats.fn_filters_installed;
+  result.answer_size = stats.answer_size;
+  result.oracle_checks = stats.oracle_checks;
+  result.oracle_violations = stats.oracle_violations;
+  result.max_f_plus = stats.max_f_plus;
+  result.max_f_minus = stats.max_f_minus;
+  result.max_worst_rank = stats.max_worst_rank;
+  result.wall_seconds = core.wall_seconds();
   return result;
-}
-
-std::string RunResult::ToString() const {
-  char buf[256];
-  std::snprintf(
-      buf, sizeof(buf),
-      "maint_msgs=%llu init_msgs=%llu updates=%llu reported=%llu "
-      "reinits=%llu answer_mean=%.2f oracle=%llu/%llu maxF+=%.3f maxF-=%.3f",
-      static_cast<unsigned long long>(messages.MaintenanceTotal()),
-      static_cast<unsigned long long>(messages.InitTotal()),
-      static_cast<unsigned long long>(updates_generated),
-      static_cast<unsigned long long>(updates_reported),
-      static_cast<unsigned long long>(reinits), answer_size.mean(),
-      static_cast<unsigned long long>(oracle_violations),
-      static_cast<unsigned long long>(oracle_checks), max_f_plus,
-      max_f_minus);
-  return buf;
 }
 
 }  // namespace asf

@@ -21,19 +21,23 @@ bool Scheduler::Cancel(EventId id) {
   return true;
 }
 
-bool Scheduler::PopNext(Entry* out) {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; moving the callback out is safe
-    // because the entry is popped immediately after.
-    Entry& top = const_cast<Entry&>(queue_.top());
-    Entry entry{top.time, top.id, std::move(top.fn)};
+const Scheduler::Entry* Scheduler::PeekNext() {
+  while (!queue_.empty() && cancelled_.erase(queue_.top().id) > 0) {
     queue_.pop();
-    if (cancelled_.erase(entry.id) > 0) continue;
-    pending_.erase(entry.id);
-    *out = std::move(entry);
-    return true;
   }
-  return false;
+  return queue_.empty() ? nullptr : &queue_.top();
+}
+
+bool Scheduler::PopNext(Entry* out) {
+  if (PeekNext() == nullptr) return false;
+  // priority_queue::top returns const&; moving the callback out is safe
+  // because the entry is popped immediately after.
+  Entry& top = const_cast<Entry&>(queue_.top());
+  Entry entry{top.time, top.id, std::move(top.fn)};
+  queue_.pop();
+  pending_.erase(entry.id);
+  *out = std::move(entry);
+  return true;
 }
 
 bool Scheduler::Step() {
@@ -49,13 +53,8 @@ bool Scheduler::Step() {
 std::size_t Scheduler::RunUntil(SimTime t) {
   ASF_CHECK(t >= now_);
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    if (cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().time > t) break;
+  while (const Entry* next = PeekNext()) {
+    if (next->time > t) break;
     Step();
     ++n;
   }

@@ -86,6 +86,11 @@ class Scheduler {
     }
   };
 
+  /// Discards cancelled entries at the head of the queue, then returns a
+  /// view of the next live entry (nullptr if none). The single place the
+  /// cancelled-tombstone skip logic lives.
+  const Entry* PeekNext();
+
   /// Pops the next non-cancelled entry; false if none.
   bool PopNext(Entry* out);
 

@@ -139,6 +139,32 @@ TEST(SchedulerTest, RunUntilSkipsCancelledHead) {
   EXPECT_EQ(ran, 1);
 }
 
+TEST(SchedulerTest, CancelThenRunUntilPreservesOrdering) {
+  // Regression for the cancelled-entry skip logic shared by PopNext and
+  // RunUntil: cancelled events interleaved with live ones (including at
+  // the same timestamp) must neither run nor disturb FIFO order, and
+  // RunUntil must count only live dispatches.
+  Scheduler s;
+  std::vector<int> order;
+  const EventId a = s.ScheduleAt(1.0, [&] { order.push_back(1); });
+  s.ScheduleAt(1.0, [&] { order.push_back(2); });
+  const EventId c = s.ScheduleAt(2.0, [&] { order.push_back(3); });
+  s.ScheduleAt(2.0, [&] { order.push_back(4); });
+  const EventId e = s.ScheduleAt(3.0, [&] { order.push_back(5); });
+  s.Cancel(a);  // cancelled head at t=1
+  s.Cancel(c);  // cancelled head at t=2
+  s.Cancel(e);  // cancelled beyond the horizon
+
+  EXPECT_EQ(s.RunUntil(2.0), 2u);
+  EXPECT_EQ(order, (std::vector<int>{2, 4}));
+  EXPECT_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.pending(), 0u);
+
+  // The cancelled event past the horizon must not surface later either.
+  EXPECT_EQ(s.RunUntil(5.0), 0u);
+  EXPECT_EQ(order, (std::vector<int>{2, 4}));
+}
+
 TEST(SchedulerDeathTest, SchedulingIntoThePastAborts) {
   Scheduler s;
   s.ScheduleAt(5.0, [] {});

@@ -1,0 +1,173 @@
+#include "engine/sim_core.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/multi_system.h"
+#include "engine/system.h"
+
+namespace asf {
+namespace {
+
+SystemConfig SingleConfig(ProtocolKind protocol, const QuerySpec& query,
+                          double eps, std::size_t rank_r) {
+  SystemConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 250;
+  walk.seed = 11;
+  config.source = SourceSpec::Walk(walk);
+  config.query = query;
+  config.protocol = protocol;
+  config.fraction = {eps, eps};
+  config.rank_r = rank_r;
+  config.duration = 400;
+  config.seed = 11;
+  config.oracle.sample_interval = 20;
+  return config;
+}
+
+/// The refactor's load-bearing guarantee: one query deployed through the
+/// multi-query adapter must produce byte-identical per-query accounting to
+/// the single-query adapter, for every protocol family — both are thin
+/// wrappers over the same SimulationCore.
+TEST(SimCoreEquivalenceTest, SingleAndMultiAdaptersAgreePerProtocol) {
+  struct Case {
+    const char* label;
+    ProtocolKind protocol;
+    QuerySpec query;
+    double eps;
+    std::size_t rank_r;
+  };
+  const Case cases[] = {
+      {"no-filter", ProtocolKind::kNoFilter, QuerySpec::Range(400, 600), 0, 0},
+      {"zt-nrp", ProtocolKind::kZtNrp, QuerySpec::Range(400, 600), 0, 0},
+      {"ft-nrp", ProtocolKind::kFtNrp, QuerySpec::Range(400, 600), 0.3, 0},
+      {"rtp", ProtocolKind::kRtp, QuerySpec::Knn(5, 500), 0, 3},
+      {"zt-rp", ProtocolKind::kZtRp, QuerySpec::Knn(5, 500), 0, 0},
+      {"ft-rp", ProtocolKind::kFtRp, QuerySpec::Knn(10, 500), 0.3, 0},
+  };
+
+  for (const Case& c : cases) {
+    const SystemConfig single_config =
+        SingleConfig(c.protocol, c.query, c.eps, c.rank_r);
+    auto single = RunSystem(single_config);
+    ASSERT_TRUE(single.ok()) << c.label;
+
+    MultiQueryConfig multi_config;
+    multi_config.source = single_config.source;
+    multi_config.duration = single_config.duration;
+    multi_config.query_start = single_config.query_start;
+    multi_config.seed = single_config.seed;
+    multi_config.oracle = single_config.oracle;
+    QueryDeployment dep;
+    dep.name = c.label;
+    dep.query = c.query;
+    dep.protocol = c.protocol;
+    dep.fraction = {c.eps, c.eps};
+    dep.rank_r = c.rank_r;
+    multi_config.queries.push_back(dep);
+    auto multi = RunMultiQuerySystem(multi_config);
+    ASSERT_TRUE(multi.ok()) << c.label;
+    ASSERT_EQ(multi->queries.size(), 1u);
+    const MultiQueryResult::PerQuery& q = multi->queries[0];
+
+    // Message counts: identical per phase and per type.
+    EXPECT_EQ(q.messages.InitTotal(), single->messages.InitTotal())
+        << c.label;
+    EXPECT_EQ(q.messages.MaintenanceTotal(),
+              single->messages.MaintenanceTotal())
+        << c.label;
+    for (int phase = 0; phase < kNumMessagePhases; ++phase) {
+      for (int type = 0; type < kNumMessageTypes; ++type) {
+        EXPECT_EQ(q.messages.count(static_cast<MessagePhase>(phase),
+                                   static_cast<MessageType>(type)),
+                  single->messages.count(static_cast<MessagePhase>(phase),
+                                         static_cast<MessageType>(type)))
+            << c.label << " phase=" << phase << " type=" << type;
+      }
+    }
+
+    // Run dynamics and answers.
+    EXPECT_EQ(multi->updates_generated, single->updates_generated) << c.label;
+    EXPECT_EQ(q.updates_reported, single->updates_reported) << c.label;
+    EXPECT_EQ(multi->physical_updates, single->updates_reported) << c.label;
+    EXPECT_EQ(q.reinits, single->reinits) << c.label;
+    EXPECT_EQ(q.answer_size.count(), single->answer_size.count()) << c.label;
+    EXPECT_DOUBLE_EQ(q.answer_size.mean(), single->answer_size.mean())
+        << c.label;
+
+    // Oracle observations.
+    EXPECT_EQ(q.oracle_checks, single->oracle_checks) << c.label;
+    EXPECT_EQ(q.oracle_violations, single->oracle_violations) << c.label;
+    EXPECT_DOUBLE_EQ(q.max_f_plus, single->max_f_plus) << c.label;
+    EXPECT_DOUBLE_EQ(q.max_f_minus, single->max_f_minus) << c.label;
+  }
+}
+
+// --- Direct SimulationCore API ---
+
+SimulationCore::Options WalkOptions(std::size_t n = 200,
+                                    std::uint64_t seed = 5) {
+  SimulationCore::Options options;
+  RandomWalkConfig walk;
+  walk.num_streams = n;
+  walk.seed = seed;
+  options.source = SourceSpec::Walk(walk);
+  options.duration = 300;
+  options.seed = seed;
+  return options;
+}
+
+QueryDeployment RangeDeployment(double lo, double hi, double eps) {
+  QueryDeployment dep;
+  dep.query = QuerySpec::Range(lo, hi);
+  dep.protocol = eps > 0 ? ProtocolKind::kFtNrp : ProtocolKind::kZtNrp;
+  dep.fraction = {eps, eps};
+  return dep;
+}
+
+TEST(SimCoreTest, SlotIndicesAreSequential) {
+  SimulationCore core(WalkOptions());
+  EXPECT_EQ(core.AddQuery(RangeDeployment(400, 600, 0)), 0u);
+  EXPECT_EQ(core.AddQuery(RangeDeployment(100, 200, 0.2)), 1u);
+  EXPECT_EQ(core.num_queries(), 2u);
+}
+
+TEST(SimCoreTest, RunAccumulatesPerQueryStats) {
+  SimulationCore core(WalkOptions());
+  core.AddQuery(RangeDeployment(400, 600, 0));
+  core.AddQuery(RangeDeployment(400, 600, 0));  // identical twin
+  core.Run();
+
+  const QueryRunStats& a = core.query_stats(0);
+  const QueryRunStats& b = core.query_stats(1);
+  EXPECT_GT(core.updates_generated(), 0u);
+  EXPECT_GT(a.updates_reported, 0u);
+  // Identical deployments see identical crossings...
+  EXPECT_EQ(a.updates_reported, b.updates_reported);
+  EXPECT_EQ(a.messages.MaintenanceTotal(), b.messages.MaintenanceTotal());
+  // ...and share every physical update message.
+  EXPECT_EQ(core.physical_updates(), a.updates_reported);
+  EXPECT_GT(core.wall_seconds(), 0.0);
+}
+
+TEST(SimCoreTest, PerQueryBroadcastModelsCoexist) {
+  // The broadcast cost model is per-deployment: the same run can charge
+  // one query per-recipient and another per-broadcast.
+  SimulationCore core(WalkOptions());
+  QueryDeployment per_recipient = RangeDeployment(400, 600, 0);
+  QueryDeployment broadcast = RangeDeployment(400, 600, 0);
+  broadcast.broadcast = BroadcastCostModel::kSingleMessage;
+  core.AddQuery(per_recipient);
+  core.AddQuery(broadcast);
+  core.Run();
+
+  // ZT-NRP init probes all n streams then deploys to all n: per-recipient
+  // that is n requests + n responses + n deploys; under broadcast the
+  // request and deploy sides cost one message each.
+  const std::uint64_t n = 200;
+  EXPECT_EQ(core.query_stats(0).messages.InitTotal(), 3 * n);
+  EXPECT_EQ(core.query_stats(1).messages.InitTotal(), n + 2);
+}
+
+}  // namespace
+}  // namespace asf

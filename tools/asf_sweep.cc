@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/flags.h"
+#include "engine/sweep_runner.h"
 #include "engine/system.h"
 #include "metrics/table.h"
 
@@ -23,9 +24,14 @@ constexpr const char* kHelp = R"(asf_sweep -- sweep a tolerance parameter
   --values=V1,V2,...                                sweep points (required)
   --csv=FILE                                        also write CSV
   --seeds=N                 average over N seeds    [1]
+  --jobs=N                  parallel workers (0 = all hardware threads) [0]
 plus the workload/query/protocol flags of asf_run:
   --protocol, --query, --range, --k, --q, --streams, --sigma,
   --duration, --seed, --heuristic
+
+All (value, seed) runs execute through the thread-parallel sweep executor;
+results are aggregated in submission order, so the output is identical for
+any --jobs value.
 )";
 
 std::vector<double> ParseValues(const std::string& csv) {
@@ -121,23 +127,41 @@ Status RunFromFlags(const Flags& flags) {
   const std::string param = flags.GetString("param", "eps");
   ASF_ASSIGN_OR_RETURN(const std::int64_t seeds, flags.GetInt("seeds", 1));
   if (seeds <= 0) return Status::InvalidArgument("--seeds must be positive");
+  ASF_ASSIGN_OR_RETURN(const std::int64_t jobs, flags.GetInt("jobs", 0));
+  if (jobs < 0) return Status::InvalidArgument("--jobs must be >= 0");
+
+  // Build the whole (value, seed) grid up front, then fan it across the
+  // worker pool; each task carries its own deterministic seeds, and the
+  // executor returns results in submission order.
+  std::vector<SystemConfig> configs;
+  configs.reserve(values.size() * static_cast<std::size_t>(seeds));
+  for (double v : values) {
+    ASF_ASSIGN_OR_RETURN(SystemConfig base, BaseConfig(flags));
+    ASF_RETURN_IF_ERROR(ApplyParam(&base, param, v));
+    for (SystemConfig& config :
+         ExpandSeeds(base, static_cast<std::size_t>(seeds))) {
+      configs.push_back(std::move(config));
+    }
+  }
+  SweepOptions sweep;
+  sweep.num_threads = static_cast<std::size_t>(jobs);
+  ASF_ASSIGN_OR_RETURN(const std::vector<RunResult> results,
+                       RunSweepAll(configs, sweep));
 
   TextTable table({param, "maint_messages", "reported", "reinits"});
-  for (double v : values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
     std::uint64_t messages = 0;
     std::uint64_t reported = 0;
     std::uint64_t reinits = 0;
     for (std::int64_t s = 0; s < seeds; ++s) {
-      ASF_ASSIGN_OR_RETURN(SystemConfig config, BaseConfig(flags));
-      config.source.walk.seed += static_cast<std::uint64_t>(s);
-      config.seed += static_cast<std::uint64_t>(s);
-      ASF_RETURN_IF_ERROR(ApplyParam(&config, param, v));
-      ASF_ASSIGN_OR_RETURN(const RunResult result, RunSystem(config));
+      const RunResult& result =
+          results[i * static_cast<std::size_t>(seeds) +
+                  static_cast<std::size_t>(s)];
       messages += result.MaintenanceMessages();
       reported += result.updates_reported;
       reinits += result.reinits;
     }
-    table.AddRow({Fmt("%g", v),
+    table.AddRow({Fmt("%g", values[i]),
                   Fmt("%llu", (unsigned long long)(messages / seeds)),
                   Fmt("%llu", (unsigned long long)(reported / seeds)),
                   Fmt("%llu", (unsigned long long)(reinits / seeds))});
