@@ -79,6 +79,7 @@ void Run() {
   }
   std::printf("%s\n", table.ToString().c_str());
   bench::MaybeWriteCsv(table, "fig09");
+  bench::MaybeWriteBenchJsonFromResults("fig09", results);
 }
 
 }  // namespace

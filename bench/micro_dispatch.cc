@@ -1,0 +1,130 @@
+/// Microbenchmark of the multi-query update dispatch path — the fig11
+/// scalability hot loop. Two measurements:
+///
+///  * strip_scan: the raw per-update filter evaluation over Q queries'
+///    filters for one stream, exactly as the engine's update handler runs
+///    it against the stream-major SoA layout.
+///  * engine: end-to-end RunMultiQuerySystem throughput (generated
+///    updates per wall second) with Q concurrent range queries over a
+///    shared random-walk population.
+///
+/// Writes BENCH_micro_dispatch.json by default (--json=PATH to override,
+/// --json= to disable).
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "engine/multi_system.h"
+#include "filter/filter_bank.h"
+
+namespace asf {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The engine's inner loop in isolation: scan the contiguous strip of Q
+/// filters for the updated stream. Filters get staggered ranges so a
+/// realistic minority fire per update.
+double StripScanUpdatesPerSec(std::size_t num_streams, std::size_t q_count,
+                              std::uint64_t total_updates) {
+  std::vector<Filter> storage(num_streams * q_count);
+  std::vector<FilterBank> banks;
+  banks.reserve(q_count);
+  for (std::size_t q = 0; q < q_count; ++q) {
+    banks.emplace_back(&storage[q], q_count, num_streams);
+    const double lo = 100.0 + 50.0 * static_cast<double>(q % 16);
+    const FilterConstraint c =
+        FilterConstraint::Range(Interval(lo, lo + 100.0));
+    for (StreamId id = 0; id < num_streams; ++id) {
+      banks[q].Deploy(id, c, 500.0);
+    }
+  }
+
+  Rng rng(7);
+  std::vector<Value> values;
+  std::vector<StreamId> ids;
+  for (int i = 0; i < 4096; ++i) {
+    values.push_back(rng.Uniform(0, 1000));
+    ids.push_back(static_cast<StreamId>(
+        rng.Uniform(0, static_cast<double>(num_streams))));
+  }
+
+  std::uint64_t fired = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t u = 0; u < total_updates; ++u) {
+    const StreamId id = ids[u & 4095];
+    const Value v = values[u & 4095];
+    Filter* strip = &storage[id * q_count];
+    for (std::size_t q = 0; q < q_count; ++q) {
+      if (strip[q].OnValueChange(v)) ++fired;
+    }
+  }
+  const double elapsed = Seconds(start);
+  if (fired == 0) std::fprintf(stderr, "unreachable\n");
+  return static_cast<double>(total_updates) / elapsed;
+}
+
+/// End-to-end: Q range queries with staggered windows over one shared
+/// walk population, protocol ZT-NRP (pure filter maintenance, no
+/// tolerance slack) — the fig11 configuration shape.
+double EngineUpdatesPerSec(std::size_t num_streams, std::size_t q_count,
+                           double duration, std::uint64_t* out_updates) {
+  MultiQueryConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = num_streams;
+  walk.seed = 9;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = duration;
+  config.seed = 9;
+  for (std::size_t q = 0; q < q_count; ++q) {
+    QueryDeployment dep;
+    dep.name = "q" + std::to_string(q);
+    const double lo = 100.0 + 50.0 * static_cast<double>(q % 16);
+    dep.query = QuerySpec::Range(lo, lo + 100.0);
+    dep.protocol = ProtocolKind::kZtNrp;
+    config.queries.push_back(dep);
+  }
+  auto result = RunMultiQuerySystem(config);
+  ASF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  *out_updates = result->updates_generated;
+  return static_cast<double>(result->updates_generated) /
+         result->wall_seconds;
+}
+
+int Main(int argc, char** argv) {
+  const double scale = bench::Scale();
+
+  std::printf("=== micro_dispatch ===\n");
+  const double scan64 = StripScanUpdatesPerSec(
+      800, 64, static_cast<std::uint64_t>(2'000'000 * scale));
+  std::printf("strip_scan Q=64    %12.3e updates/sec\n", scan64);
+  const double scan256 = StripScanUpdatesPerSec(
+      800, 256, static_cast<std::uint64_t>(500'000 * scale));
+  std::printf("strip_scan Q=256   %12.3e updates/sec\n", scan256);
+
+  std::uint64_t updates = 0;
+  const double engine64 =
+      EngineUpdatesPerSec(800, 64, 2000 * scale, &updates);
+  std::printf("engine Q=64        %12.3e updates/sec  (%llu updates)\n",
+              engine64, static_cast<unsigned long long>(updates));
+
+  return bench::FinishMicroBench(
+      argc, argv, "BENCH_micro_dispatch.json", "micro_dispatch",
+      {{"strip_scan_q64_updates_per_sec", scan64},
+       {"strip_scan_q256_updates_per_sec", scan256},
+       {"engine_q64_updates_per_sec", engine64}});
+}
+
+}  // namespace
+}  // namespace asf
+
+int main(int argc, char** argv) { return asf::Main(argc, argv); }

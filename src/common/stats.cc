@@ -21,6 +21,25 @@ void OnlineStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::AddRepeated(double x, std::uint64_t k) {
+  if (k == 0) return;
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  // Chan et al. pairwise update with a zero-variance batch of size k.
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(k);
+  const double delta = x - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += delta * delta * n1 * n2 / (n1 + n2);
+  count_ += k;
+  sum_ += x * n2;
+}
+
 double OnlineStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

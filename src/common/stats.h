@@ -18,6 +18,12 @@ class OnlineStats {
  public:
   void Add(double x);
 
+  /// Adds `k` samples of the same value `x` in O(1) — the run-length form
+  /// of Add the engine uses for per-update answer-size accounting, where
+  /// long stretches of updates leave a query's answer unchanged.
+  /// Equivalent to merging an accumulator holding k copies of x.
+  void AddRepeated(double x, std::uint64_t k);
+
   std::uint64_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
   /// Sample variance (n − 1 denominator); 0 with fewer than two samples.

@@ -24,6 +24,13 @@ struct SimulationCore::Slot {
   std::unique_ptr<Rng> rng;
   std::unique_ptr<Protocol> protocol;
   QueryRunStats stats;
+
+  /// Incremental answer-size accounting: the answer only changes when this
+  /// query's protocol handles a fired update, so the per-update sample
+  /// stream is a run-length sequence — `answer_cur_size` repeated since
+  /// sample number `answer_sampled_upto` (see FlushAnswerSamples).
+  double answer_cur_size = 0.0;
+  std::uint64_t answer_sampled_upto = 0;
 };
 
 SimulationCore::SimulationCore(const Options& options)
@@ -104,30 +111,73 @@ void SimulationCore::RunOracle(Slot& slot) {
   out.max_worst_rank = std::max(out.max_worst_rank, check.worst_rank);
 }
 
+void SimulationCore::BindFilterStorage() {
+  const std::size_t n = streams_->size();
+  const std::size_t q_count = slots_.size();
+  filter_storage_.assign(n * q_count, Filter());
+  for (std::size_t q = 0; q < q_count; ++q) {
+    *slots_[q]->filters = FilterBank(&filter_storage_[q], q_count, n);
+  }
+}
+
+void SimulationCore::FlushAnswerSamples(Slot& slot, std::uint64_t upto) {
+  if (upto > slot.answer_sampled_upto) {
+    slot.stats.answer_size.AddRepeated(slot.answer_cur_size,
+                                       upto - slot.answer_sampled_upto);
+    slot.answer_sampled_upto = upto;
+  }
+}
+
+void SimulationCore::OracleSampleTick() {
+  if (queries_active_) {
+    for (auto& slot : slots_) RunOracle(*slot);
+  }
+  if (scheduler_.now() + options_.oracle.sample_interval <=
+      options_.duration) {
+    scheduler_.ScheduleAfter(options_.oracle.sample_interval,
+                             [this] { OracleSampleTick(); });
+  }
+}
+
 void SimulationCore::Run() {
   ASF_CHECK_MSG(!ran_, "Run() called twice");
   ASF_CHECK_MSG(!slots_.empty(), "Run() without any deployed query");
   ran_ = true;
 
+  // Flatten the per-slot banks into the shared stream-major layout now
+  // that the query count is final.
+  BindFilterStorage();
+
   streams_->set_update_handler([this](StreamId id, Value v, SimTime t) {
     if (!queries_active_) return;  // warm-up: no query, no messages
     ++updates_generated_;
+    const std::size_t q_count = slots_.size();
+    // All queries' filters for this stream sit in one contiguous strip.
+    Filter* strip = &filter_storage_[id * q_count];
     // One physical message serves every query whose filter fired; each
     // affected query still accounts a logical update so its costs remain
     // comparable to a single-query run.
     bool any_fired = false;
-    for (auto& slot : slots_) {
-      if (!slot->filters->at(id).OnValueChange(v)) continue;
+    for (std::size_t q = 0; q < q_count; ++q) {
+      if (!strip[q].OnValueChange(v)) continue;
       any_fired = true;
-      slot->stats.messages.Count(MessageType::kValueUpdate);
-      ++slot->stats.updates_reported;
-      slot->protocol->HandleUpdate(id, v, t);
+      Slot& slot = *slots_[q];
+      slot.stats.messages.Count(MessageType::kValueUpdate);
+      ++slot.stats.updates_reported;
+      // The answer can only change while this slot handles the update:
+      // close the run of unchanged samples first, then sample the new
+      // size for the current update. Slots whose filter stays silent are
+      // not touched at all — per-update accounting is O(fired), not O(Q).
+      FlushAnswerSamples(slot, updates_generated_ - 1);
+      slot.protocol->HandleUpdate(id, v, t);
+      slot.answer_cur_size =
+          static_cast<double>(slot.protocol->answer().size());
+      slot.stats.answer_size.AddRepeated(slot.answer_cur_size, 1);
+      slot.answer_sampled_upto = updates_generated_;
     }
     if (any_fired) ++physical_updates_;
-    for (auto& slot : slots_) {
-      slot->stats.answer_size.Add(
-          static_cast<double>(slot->protocol->answer().size()));
-      if (options_.oracle.check_every_update) RunOracle(*slot);
+    if (options_.oracle.check_every_update) {
+      for (auto& slot : slots_) RunOracle(*slot);
     }
   });
 
@@ -142,6 +192,8 @@ void SimulationCore::Run() {
           slot->filters->CountFalsePositiveFilters();
       slot->stats.fn_filters_installed =
           slot->filters->CountFalseNegativeFilters();
+      slot->answer_cur_size =
+          static_cast<double>(slot->protocol->answer().size());
     }
     queries_active_ = true;
     if (options_.oracle.check_every_update) {
@@ -149,28 +201,23 @@ void SimulationCore::Run() {
     }
   });
 
-  // Periodic oracle sampling, if requested.
-  std::function<void()> sample_tick;  // self-rescheduling
+  // Periodic oracle sampling, if requested. OracleSampleTick reschedules
+  // itself (a plain member function — no self-referential std::function).
   if (options_.oracle.sample_interval > 0) {
-    sample_tick = [this, &sample_tick] {
-      if (queries_active_) {
-        for (auto& slot : slots_) RunOracle(*slot);
-      }
-      if (scheduler_.now() + options_.oracle.sample_interval <=
-          options_.duration) {
-        scheduler_.ScheduleAfter(options_.oracle.sample_interval, sample_tick);
-      }
-    };
     scheduler_.ScheduleAt(
         std::min(options_.query_start + options_.oracle.sample_interval,
                  options_.duration),
-        sample_tick);
+        [this] { OracleSampleTick(); });
   }
 
   streams_->Start(&scheduler_, options_.duration);
   scheduler_.RunUntil(options_.duration);
 
   for (auto& slot : slots_) {
+    // Close every slot's trailing run of unchanged answer-size samples so
+    // each has exactly one sample per generated update, like the old
+    // every-update loop produced.
+    FlushAnswerSamples(*slot, updates_generated_);
     slot->stats.reinits = slot->protocol->reinit_count();
   }
   wall_seconds_ =

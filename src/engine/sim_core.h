@@ -126,10 +126,30 @@ class SimulationCore {
   /// Judges slot `i`'s current answer against the true stream values.
   void RunOracle(Slot& slot);
 
+  /// Rebinds every slot's FilterBank as a strided view into
+  /// `filter_storage_`, laid out stream-major: the filters of all Q
+  /// queries for stream i occupy `filter_storage_[i*Q .. i*Q+Q-1]`, so the
+  /// per-update dispatch scans one contiguous strip instead of Q
+  /// heap-separated banks. Called once at the top of Run(), when Q is
+  /// final; the Transport closures hold FilterBank pointers, so they
+  /// follow the rebind automatically.
+  void BindFilterStorage();
+
+  /// Periodic correctness sampling; reschedules itself every
+  /// options_.oracle.sample_interval until the horizon.
+  void OracleSampleTick();
+
+  /// Appends the pending run of unchanged answer-size samples (one per
+  /// generated update, up to update number `upto`) in O(1).
+  void FlushAnswerSamples(Slot& slot, std::uint64_t upto);
+
   Options options_;
   std::unique_ptr<StreamSet> owned_streams_;
   StreamSet* streams_ = nullptr;  // owned_streams_.get() or borrowed custom
   std::vector<std::unique_ptr<Slot>> slots_;
+  /// Stream-major shared filter storage (see BindFilterStorage); stable
+  /// for the whole run once built.
+  std::vector<Filter> filter_storage_;
   Scheduler scheduler_;
   bool queries_active_ = false;
   bool ran_ = false;

@@ -4,24 +4,24 @@ namespace asf {
 
 std::size_t FilterBank::CountFalsePositiveFilters() const {
   std::size_t n = 0;
-  for (const Filter& f : filters_) {
-    if (f.constraint().IsFalsePositiveFilter()) ++n;
+  for (StreamId id = 0; id < size_; ++id) {
+    if (at(id).constraint().IsFalsePositiveFilter()) ++n;
   }
   return n;
 }
 
 std::size_t FilterBank::CountFalseNegativeFilters() const {
   std::size_t n = 0;
-  for (const Filter& f : filters_) {
-    if (f.constraint().IsFalseNegativeFilter()) ++n;
+  for (StreamId id = 0; id < size_; ++id) {
+    if (at(id).constraint().IsFalseNegativeFilter()) ++n;
   }
   return n;
 }
 
 std::size_t FilterBank::CountInstalled() const {
   std::size_t n = 0;
-  for (const Filter& f : filters_) {
-    if (f.constraint().has_filter()) ++n;
+  for (StreamId id = 0; id < size_; ++id) {
+    if (at(id).constraint().has_filter()) ++n;
   }
   return n;
 }

@@ -14,23 +14,46 @@
 /// software installed at each subnet router"); in the simulation they are
 /// held together for efficiency, but only the engine's transport layer may
 /// touch them, preserving the distributed-system message discipline.
+///
+/// A bank is either *owning* (its own dense array, stride 1 — the
+/// standalone mode tests and tools use) or a *strided view* into storage
+/// shared by several banks. The engine uses views to lay all queries'
+/// filters out stream-major (every query's filter for stream i is
+/// contiguous), so the per-update dispatch scans one cache line strip
+/// instead of chasing one heap allocation per query (see
+/// SimulationCore::BindFilterStorage).
 
 namespace asf {
 
-/// Dense array of per-stream filters.
+/// Dense (or strided) array of per-stream filters.
 class FilterBank {
  public:
-  explicit FilterBank(std::size_t num_streams) : filters_(num_streams) {}
+  /// Owning bank: `num_streams` default-constructed filters, stride 1.
+  explicit FilterBank(std::size_t num_streams)
+      : owned_(num_streams), base_(owned_.data()), stride_(1),
+        size_(num_streams) {}
 
-  std::size_t size() const { return filters_.size(); }
+  /// Non-owning strided view: the filter of stream `id` lives at
+  /// `base[id * stride]`. The caller keeps `base` alive and stable for
+  /// the lifetime of the view.
+  FilterBank(Filter* base, std::size_t stride, std::size_t num_streams)
+      : base_(base), stride_(stride), size_(num_streams) {
+    ASF_CHECK(base != nullptr);
+    ASF_CHECK(stride >= 1);
+  }
+
+  FilterBank(FilterBank&&) = default;
+  FilterBank& operator=(FilterBank&&) = default;
+
+  std::size_t size() const { return size_; }
 
   Filter& at(StreamId id) {
-    ASF_DCHECK(id < filters_.size());
-    return filters_[id];
+    ASF_DCHECK(id < size_);
+    return base_[id * stride_];
   }
   const Filter& at(StreamId id) const {
-    ASF_DCHECK(id < filters_.size());
-    return filters_[id];
+    ASF_DCHECK(id < size_);
+    return base_[id * stride_];
   }
 
   /// Installs a constraint on one stream given its current value.
@@ -49,7 +72,10 @@ class FilterBank {
   std::size_t CountInstalled() const;
 
  private:
-  std::vector<Filter> filters_;
+  std::vector<Filter> owned_;  ///< empty for views
+  Filter* base_;
+  std::size_t stride_;
+  std::size_t size_;
 };
 
 }  // namespace asf

@@ -1,0 +1,25 @@
+#include "metrics/bench_json.h"
+
+#include <cstdio>
+
+namespace asf {
+
+Status WriteBenchJson(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+               bench.c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.17g%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  if (std::fclose(f) != 0) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace asf

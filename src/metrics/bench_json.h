@@ -1,0 +1,29 @@
+#ifndef ASF_METRICS_BENCH_JSON_H_
+#define ASF_METRICS_BENCH_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Machine-readable benchmark output. Every perf harness (bench/micro_*,
+/// bench/fig*, tools/asf_sweep --bench-json) writes the same flat schema
+///
+///   {"bench": "<name>", "metrics": {"<key>": <number>, ...}}
+///
+/// so BENCH_*.json files are diffable across commits — the perf
+/// trajectory of the project lives in these files.
+
+namespace asf {
+
+/// Writes `metrics` to `path` in the schema above. Values are printed
+/// with %.17g (round-trip exact for doubles).
+Status WriteBenchJson(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& metrics);
+
+}  // namespace asf
+
+#endif  // ASF_METRICS_BENCH_JSON_H_

@@ -4,57 +4,156 @@
 
 namespace asf {
 
+std::uint32_t Scheduler::AcquireSlot() {
+  if (free_.empty()) {
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(chunks_.size()) * kChunkSize;
+    ASF_CHECK_MSG(base + kChunkSize <= (1u << kSlotBits),
+                  "too many pending events");
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    free_.reserve(free_.size() + kChunkSize);
+    // Push in reverse so the LIFO free list hands out ascending indices.
+    for (std::uint32_t i = kChunkSize; i > 0; --i) {
+      free_.push_back(base + i - 1);
+    }
+  }
+  const std::uint32_t index = free_.back();
+  free_.pop_back();
+  return index;
+}
+
+void Scheduler::ReleaseSlot(std::uint32_t index) {
+  Slot& s = slot(index);
+  s.fn = EventCallback();
+  s.armed = false;
+  ++s.generation;
+  free_.push_back(index);
+  --live_;
+}
+
+void Scheduler::HeapGrow() {
+  // aligned_alloc wants a size multiple of the alignment: capacities stay
+  // multiples of 4 nodes (64 bytes), plus the 64-byte offset block.
+  const std::size_t new_cap =
+      heap_.capacity == 0 ? kChunkSize : heap_.capacity * 2;
+  void* raw = std::aligned_alloc(64, new_cap * sizeof(HeapNode) + 64);
+  ASF_CHECK(raw != nullptr);
+  HeapNode* data =
+      reinterpret_cast<HeapNode*>(static_cast<char*>(raw) + 48);
+  if (heap_.size > 0) {
+    __builtin_memcpy(data, heap_.data, heap_.size * sizeof(HeapNode));
+  }
+  std::free(heap_.raw);
+  heap_.raw = raw;
+  heap_.data = data;
+  heap_.capacity = new_cap;
+}
+
+void Scheduler::HeapPush(HeapNode node) {
+  if (heap_.size == heap_.capacity) HeapGrow();
+  // Hole percolation: bubble the insertion hole up, then drop the node in;
+  // one 16-byte move per level instead of a swap.
+  std::size_t i = heap_.size++;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!Before(node, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+void Scheduler::HeapPopRoot() {
+  const HeapNode node = heap_[--heap_.size];
+  const std::size_t n = heap_.size;
+  if (n == 0) return;
+  // Percolate the root hole down along the min-child path, then place the
+  // former tail node.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (Before(heap_[c], heap_[best])) best = c;
+    }
+    if (!Before(heap_[best], node)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = node;
+}
+
 EventId Scheduler::ScheduleAt(SimTime t, Callback fn) {
   ASF_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  ASF_CHECK(fn != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Entry{t, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  ASF_CHECK(static_cast<bool>(fn));
+  ASF_CHECK_MSG(next_seq_ < (1ULL << (64 - kSlotBits)),
+                "event sequence space exhausted");
+  const std::uint32_t index = AcquireSlot();
+  Slot& s = slot(index);
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  s.armed = true;
+  ++live_;
+  HeapPush(MakeNode(t, s.seq, index));
+  return (static_cast<EventId>(s.generation) << 32) |
+         static_cast<EventId>(index);
 }
 
 bool Scheduler::Cancel(EventId id) {
-  // Only ids that are still pending can be cancelled; this keeps the
-  // tombstone set from accumulating ids that already ran.
-  if (pending_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+  const std::uint32_t index = SlotIndex(id);
+  if (index >= chunks_.size() * kChunkSize) return false;
+  const Slot& s = slot(index);
+  if (!s.armed || s.generation != Generation(id)) return false;
+  ReleaseSlot(index);
+  ++tombstones_;  // the heap node stays behind until it surfaces
   return true;
 }
 
-const Scheduler::Entry* Scheduler::PeekNext() {
-  while (!queue_.empty() && cancelled_.erase(queue_.top().id) > 0) {
-    queue_.pop();
+const Scheduler::HeapNode* Scheduler::PeekLive() {
+  while (!heap_.empty()) {
+    // With no cancelled events in flight every heap node is live; skip the
+    // slab validation entirely (the common case on the hot path).
+    if (tombstones_ == 0) return &heap_[0];
+    const HeapNode& top = heap_[0];
+    const Slot& s = slot(NodeSlot(top));
+    if (s.armed && s.seq == NodeSeq(top)) return &top;
+    HeapPopRoot();  // tombstone of a cancelled (possibly recycled) event
+    --tombstones_;
   }
-  return queue_.empty() ? nullptr : &queue_.top();
-}
-
-bool Scheduler::PopNext(Entry* out) {
-  if (PeekNext() == nullptr) return false;
-  // priority_queue::top returns const&; moving the callback out is safe
-  // because the entry is popped immediately after.
-  Entry& top = const_cast<Entry&>(queue_.top());
-  Entry entry{top.time, top.id, std::move(top.fn)};
-  queue_.pop();
-  pending_.erase(entry.id);
-  *out = std::move(entry);
-  return true;
+  return nullptr;
 }
 
 bool Scheduler::Step() {
-  Entry entry;
-  if (!PopNext(&entry)) return false;
-  ASF_DCHECK(entry.time >= now_);
-  now_ = entry.time;
+  const HeapNode* next = PeekLive();
+  if (next == nullptr) return false;
+  const HeapNode node = *next;
+  HeapPopRoot();
+  ASF_DCHECK(node.time() >= now_);
+  // Dispatch in place: the slot stays occupied (so a nested ScheduleAt
+  // cannot reuse it) but its generation is bumped first, so the running
+  // event's own id is already stale — Cancel from inside the callback is
+  // a no-op, matching the "already ran" contract. Chunked slab storage
+  // never moves, so growth during the callback is safe too.
+  const std::uint32_t index = NodeSlot(node);
+  Slot& s = slot(index);
+  ++s.generation;
+  --live_;
+  now_ = node.time();
   ++dispatched_;
-  entry.fn();
+  s.fn();
+  s.fn = EventCallback();
+  s.armed = false;
+  free_.push_back(index);
   return true;
 }
 
 std::size_t Scheduler::RunUntil(SimTime t) {
   ASF_CHECK(t >= now_);
   std::size_t n = 0;
-  while (const Entry* next = PeekNext()) {
-    if (next->time > t) break;
+  while (const HeapNode* next = PeekLive()) {
+    if (next->time() > t) break;
     Step();
     ++n;
   }

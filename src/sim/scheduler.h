@@ -1,10 +1,13 @@
 #ifndef ASF_SIM_SCHEDULER_H_
 #define ASF_SIM_SCHEDULER_H_
 
+#include <cstddef>
+#include <cstdlib>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -23,16 +26,130 @@
 ///
 /// Determinism: events at equal timestamps run in scheduling (FIFO) order,
 /// so a (workload, seed) pair fully determines a run.
+///
+/// The kernel is allocation-free in steady state: the event queue is a
+/// hand-rolled 4-ary min-heap of POD (time, seq, id) keys, callbacks live
+/// in a chunked slab with free-list reuse, captures up to
+/// EventCallback::kInlineSize bytes are stored inline (no heap
+/// allocation), and cancellation uses generation-tagged tombstones — no
+/// hash sets anywhere on the hot path.
 
 namespace asf {
 
-/// Handle for a scheduled event, usable with Scheduler::Cancel.
+/// Handle for a scheduled event, usable with Scheduler::Cancel. Encodes
+/// (generation << 32 | slab slot), so stale handles are rejected in O(1)
+/// without any lookup structure.
 using EventId = std::uint64_t;
+
+/// A move-only callable with small-buffer optimization, the event
+/// payload type of the kernel. Captures of at most kInlineSize bytes
+/// (every self-rescheduling source lambda and engine event in this
+/// codebase) are stored inline; larger or over-aligned callables fall
+/// back to one heap allocation, exactly like std::function.
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::remove_cv_t<std::remove_reference_t<F>>, EventCallback>>>
+  EventCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Decayed) <= kInlineSize &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(buf_)) Decayed(std::forward<F>(fn));
+      ops_ = &kInlineOps<Decayed>;
+    } else {
+      ::new (static_cast<void*>(buf_))
+          Decayed*(new Decayed(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Decayed>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  /// True when a callable is stored.
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    ASF_DCHECK(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs dst's storage from src's and destroys src's.
+    /// nullptr means trivially relocatable: a plain byte copy suffices.
+    void (*relocate)(void* src, void* dst);
+    /// nullptr means trivially destructible: nothing to do.
+    void (*destroy)(void* self);
+  };
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*std::launder(reinterpret_cast<F*>(self)))(); },
+      std::is_trivially_copyable_v<F>
+          ? nullptr
+          : +[](void* src, void* dst) {
+              F* f = std::launder(reinterpret_cast<F*>(src));
+              ::new (dst) F(std::move(*f));
+              f->~F();
+            },
+      std::is_trivially_destructible_v<F>
+          ? nullptr
+          : +[](void* self) {
+              std::launder(reinterpret_cast<F*>(self))->~F();
+            }};
+
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**std::launder(reinterpret_cast<F**>(self)))(); },
+      nullptr,  // relocating the owning pointer is a byte copy
+      [](void* self) { delete *std::launder(reinterpret_cast<F**>(self)); }};
+
+  void MoveFrom(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+      } else {
+        __builtin_memcpy(buf_, other.buf_, kInlineSize);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
 
 /// A time-ordered event queue with an explicit clock.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -51,8 +168,10 @@ class Scheduler {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event. Returns false if the event already ran, was
-  /// already cancelled, or never existed.
+  /// Cancels a pending event in O(1): the slab slot is released for reuse
+  /// immediately and the heap key becomes a generation-mismatched
+  /// tombstone, discarded lazily when it reaches the top. Returns false if
+  /// the event already ran, was already cancelled, or never existed.
   bool Cancel(EventId id);
 
   /// Runs the single next event. Returns false if the queue is empty.
@@ -67,38 +186,125 @@ class Scheduler {
   std::size_t RunAll();
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return pending_.size(); }
+  std::size_t pending() const { return live_; }
 
   /// Total events dispatched so far.
   std::uint64_t dispatched() const { return dispatched_; }
 
  private:
-  struct Entry {
-    SimTime time;
-    EventId id;  // also the FIFO tie-breaker: ids increase monotonically
-    Callback fn;
-  };
-  struct Later {
-    // Min-heap on (time, id).
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+  /// POD heap key, 16 bytes so four fit a cache line. The whole ordering
+  /// is one unsigned 128-bit comparison: the high 64 bits are the raw IEEE
+  /// bit pattern of the (non-negative — ScheduleAt enforces t >= now >= 0)
+  /// event time, which for non-negative doubles orders identically to the
+  /// values; the low 64 bits pack a monotonically increasing sequence
+  /// number over the slab slot (lower kSlotBits). Sequence order breaks
+  /// time ties in schedule order, preserving FIFO dispatch at equal
+  /// timestamps even though slab-encoded ids are reused, and the slot
+  /// rides along for free.
+  struct HeapNode {
+    unsigned __int128 key;
+
+    SimTime time() const {
+      std::uint64_t bits = static_cast<std::uint64_t>(key >> 64);
+      SimTime t;
+      static_assert(sizeof(t) == sizeof(bits));
+      __builtin_memcpy(&t, &bits, sizeof(t));
+      return t;
     }
   };
 
-  /// Discards cancelled entries at the head of the queue, then returns a
-  /// view of the next live entry (nullptr if none). The single place the
-  /// cancelled-tombstone skip logic lives.
-  const Entry* PeekNext();
+  static HeapNode MakeNode(SimTime t, std::uint64_t seq,
+                           std::uint32_t index) {
+    t += 0.0;  // canonicalize -0.0 (sign bit would corrupt the ordering)
+    std::uint64_t bits;
+    __builtin_memcpy(&bits, &t, sizeof(bits));
+    return HeapNode{(static_cast<unsigned __int128>(bits) << 64) |
+                    ((seq << kSlotBits) | index)};
+  }
 
-  /// Pops the next non-cancelled entry; false if none.
-  bool PopNext(Entry* out);
+  /// Slab capacity bound: up to 2^24 (16.7M) simultaneously pending
+  /// events, leaving 40 bits of sequence (1.1e12 total schedules per
+  /// Scheduler). Both limits are ASF_CHECKed.
+  static constexpr std::uint32_t kSlotBits = 24;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> pending_;
-  std::unordered_set<EventId> cancelled_;
+  /// One slab cell: the callback plus two validity tags. `generation`
+  /// authenticates public EventIds (Cancel); `seq` authenticates heap
+  /// nodes — a stale node whose slot was recycled for a newer event can
+  /// never match, because sequence numbers are globally unique.
+  struct Slot {
+    EventCallback fn;
+    std::uint64_t seq = 0;
+    std::uint32_t generation = 0;
+    bool armed = false;
+  };
+
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;  // slots
+
+  static bool Before(const HeapNode& a, const HeapNode& b) {
+    return a.key < b.key;
+  }
+
+  Slot& slot(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  static std::uint32_t NodeSlot(const HeapNode& node) {
+    return static_cast<std::uint32_t>(node.key) & ((1u << kSlotBits) - 1);
+  }
+  static std::uint64_t NodeSeq(const HeapNode& node) {
+    return static_cast<std::uint64_t>(node.key) >> kSlotBits;
+  }
+  static std::uint32_t SlotIndex(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t Generation(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// Takes a slot from the free list, growing the slab by one chunk when
+  /// empty. Chunks are stable in memory: growing never moves live slots.
+  std::uint32_t AcquireSlot();
+
+  /// Destroys the slot's callback and recycles it. Bumps the generation so
+  /// every outstanding heap key / EventId referring to it goes stale.
+  void ReleaseSlot(std::uint32_t index);
+
+  /// Discards tombstones at the heap top, then returns the next live node
+  /// (nullptr if none). The single place the tombstone skip logic lives.
+  const HeapNode* PeekLive();
+
+  void HeapPush(HeapNode node);
+  void HeapPopRoot();
+  void HeapGrow();
+
+  /// 4-ary min-heap storage with standard indexing (children of i at
+  /// 4i+1 .. 4i+4) but with element 0 placed at byte offset 48 of a
+  /// 64-byte-aligned allocation: every sibling group of four 16-byte
+  /// nodes then starts at a 64-byte boundary (byte (4i+1)*16 + 48 =
+  /// 64(i+1)), so each sift level touches exactly one cache line.
+  struct AlignedHeap {
+    void* raw = nullptr;       ///< 64-aligned allocation
+    HeapNode* data = nullptr;  ///< raw + 48 bytes
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+
+    AlignedHeap() = default;
+    AlignedHeap(const AlignedHeap&) = delete;
+    AlignedHeap& operator=(const AlignedHeap&) = delete;
+    ~AlignedHeap() { std::free(raw); }
+
+    HeapNode& operator[](std::size_t i) { return data[i]; }
+    bool empty() const { return size == 0; }
+  };
+
+  AlignedHeap heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;  ///< cancelled events still in the heap
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
 };
 

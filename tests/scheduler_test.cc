@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace asf {
@@ -163,6 +166,152 @@ TEST(SchedulerTest, CancelThenRunUntilPreservesOrdering) {
   // The cancelled event past the horizon must not surface later either.
   EXPECT_EQ(s.RunUntil(5.0), 0u);
   EXPECT_EQ(order, (std::vector<int>{2, 4}));
+}
+
+TEST(SchedulerTest, NegativeZeroTimeSortsAsZero) {
+  // -0.0 passes the t >= now() check; its sign bit must not leak into the
+  // packed heap key, or the event would sort after every positive time.
+  Scheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(1.0, [&] { order.push_back(1); });
+  s.ScheduleAt(-0.0, [&] { order.push_back(0); });
+  EXPECT_EQ(s.RunUntil(0.5), 1u);
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SchedulerTest, LargeCaptureTakesHeapPathCorrectly) {
+  // Captures beyond EventCallback::kInlineSize must fall back to a heap
+  // allocation with identical semantics (dispatch, cancel, destruction).
+  Scheduler s;
+  std::array<double, 16> payload{};  // 128 bytes > 48-byte inline buffer
+  payload[7] = 42.0;
+  double observed = 0.0;
+  s.ScheduleAt(1.0, [payload, &observed] { observed = payload[7]; });
+  const EventId doomed =
+      s.ScheduleAt(2.0, [payload, &observed] { observed = -payload[7]; });
+  EXPECT_TRUE(s.Cancel(doomed));
+  s.RunAll();
+  EXPECT_EQ(observed, 42.0);
+}
+
+TEST(SchedulerTest, IdsOfRecycledSlotsStayStale) {
+  // After cancel or dispatch, a slot is recycled for later events; the old
+  // EventId must keep reporting "gone" rather than cancelling the
+  // newcomer that reuses its slab slot.
+  Scheduler s;
+  int ran = 0;
+  const EventId a = s.ScheduleAt(1.0, [&] { ++ran; });
+  EXPECT_TRUE(s.Cancel(a));
+  const EventId b = s.ScheduleAt(1.0, [&] { ++ran; });
+  EXPECT_FALSE(s.Cancel(a));  // stale handle, slot now belongs to b
+  s.RunAll();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(s.Cancel(a));
+  EXPECT_FALSE(s.Cancel(b));
+}
+
+TEST(SchedulerTest, CancelFromInsideOwnCallbackIsNoop) {
+  Scheduler s;
+  EventId self = 0;
+  bool cancel_result = true;
+  self = s.ScheduleAt(1.0, [&] { cancel_result = s.Cancel(self); });
+  s.RunAll();
+  EXPECT_FALSE(cancel_result);  // "already ran", like the old kernel
+  EXPECT_EQ(s.dispatched(), 1u);
+}
+
+/// Naive reference kernel: a flat list scanned for the (time, insertion
+/// seq) minimum. Cross-checks the 4-ary heap + slab + tombstone machinery
+/// under a deterministic interleaving of ScheduleAt / ScheduleAfter /
+/// Cancel (including cancel-after-fire and duplicate cancel).
+TEST(SchedulerStressTest, MatchesNaiveReference) {
+  struct RefEvent {
+    SimTime time;
+    int tag;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  Scheduler s;
+  std::vector<RefEvent> ref;        // insertion order == seq order
+  std::vector<EventId> handles;     // handles[i] belongs to ref[i]
+  std::vector<int> real_order;
+  std::vector<int> ref_order;
+  SimTime ref_now = 0;
+
+  std::uint64_t rng = 20260730;
+  const auto next = [&rng] {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng >> 33;
+  };
+  const auto ref_run_until = [&](SimTime horizon) {
+    for (;;) {
+      std::size_t best = ref.size();
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        if (ref[i].cancelled || ref[i].fired || ref[i].time > horizon) {
+          continue;
+        }
+        if (best == ref.size() || ref[i].time < ref[best].time) best = i;
+        // Ties keep the lowest index: FIFO at equal timestamps.
+      }
+      if (best == ref.size()) break;
+      ref[best].fired = true;
+      ref_order.push_back(ref[best].tag);
+    }
+    ref_now = horizon;
+  };
+
+  for (int round = 0; round < 300; ++round) {
+    // A burst of schedules, mixing absolute and relative forms and
+    // clustering times so equal timestamps are common.
+    const std::size_t burst = 1 + next() % 8;
+    for (std::size_t b = 0; b < burst; ++b) {
+      const SimTime dt = static_cast<double>(next() % 64) / 4.0;
+      const int tag = static_cast<int>(ref.size());
+      EventId id;
+      if (next() % 2 == 0) {
+        id = s.ScheduleAt(s.now() + dt, [&real_order, tag] {
+          real_order.push_back(tag);
+        });
+      } else {
+        id = s.ScheduleAfter(dt, [&real_order, tag] {
+          real_order.push_back(tag);
+        });
+      }
+      handles.push_back(id);
+      ref.push_back(RefEvent{ref_now + dt, tag});
+    }
+
+    // A few cancels aimed at arbitrary handles, old and new: some hit
+    // pending events, some events that already fired, some repeat a
+    // previous cancel. The kernel must agree with the reference on every
+    // return value.
+    const std::size_t cancels = next() % 4;
+    for (std::size_t c = 0; c < cancels; ++c) {
+      const std::size_t victim = next() % handles.size();
+      const bool expect =
+          !ref[victim].cancelled && !ref[victim].fired;
+      EXPECT_EQ(s.Cancel(handles[victim]), expect) << "victim " << victim;
+      ref[victim].cancelled = true;  // idempotent in the reference
+    }
+
+    // Advance both kernels through a shared horizon.
+    const SimTime horizon = s.now() + static_cast<double>(next() % 40);
+    s.RunUntil(horizon);
+    ref_run_until(horizon);
+    ASSERT_EQ(real_order.size(), ref_order.size()) << "round " << round;
+  }
+
+  // Drain everything left.
+  s.RunAll();
+  ref_run_until(1e18);
+  EXPECT_EQ(real_order, ref_order);
+  EXPECT_EQ(s.pending(), 0u);
+  // Sanity: the schedule actually exercised all paths.
+  EXPECT_GT(real_order.size(), 500u);
+  std::size_t cancelled = 0;
+  for (const RefEvent& e : ref) cancelled += e.cancelled && !e.fired;
+  EXPECT_GT(cancelled, 10u);
 }
 
 TEST(SchedulerDeathTest, SchedulingIntoThePastAborts) {

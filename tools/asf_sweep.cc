@@ -13,6 +13,7 @@
 #include "common/flags.h"
 #include "engine/sweep_runner.h"
 #include "engine/system.h"
+#include "metrics/bench_json.h"
 #include "metrics/table.h"
 
 namespace asf {
@@ -23,6 +24,7 @@ constexpr const char* kHelp = R"(asf_sweep -- sweep a tolerance parameter
   --param=eps|eps-plus|eps-minus|r|sigma|streams    swept parameter [eps]
   --values=V1,V2,...                                sweep points (required)
   --csv=FILE                                        also write CSV
+  --bench-json=FILE         write per-point wall time / message totals JSON
   --seeds=N                 average over N seeds    [1]
   --jobs=N                  parallel workers (0 = all hardware threads) [0]
 plus the workload/query/protocol flags of asf_run:
@@ -149,10 +151,12 @@ Status RunFromFlags(const Flags& flags) {
                        RunSweepAll(configs, sweep));
 
   TextTable table({param, "maint_messages", "reported", "reinits"});
+  std::vector<std::pair<std::string, double>> bench_metrics;
   for (std::size_t i = 0; i < values.size(); ++i) {
     std::uint64_t messages = 0;
     std::uint64_t reported = 0;
     std::uint64_t reinits = 0;
+    double wall = 0.0;
     for (std::int64_t s = 0; s < seeds; ++s) {
       const RunResult& result =
           results[i * static_cast<std::size_t>(seeds) +
@@ -160,16 +164,31 @@ Status RunFromFlags(const Flags& flags) {
       messages += result.MaintenanceMessages();
       reported += result.updates_reported;
       reinits += result.reinits;
+      wall += result.wall_seconds;
     }
     table.AddRow({Fmt("%g", values[i]),
                   Fmt("%llu", (unsigned long long)(messages / seeds)),
                   Fmt("%llu", (unsigned long long)(reported / seeds)),
                   Fmt("%llu", (unsigned long long)(reinits / seeds))});
+    const std::string prefix = param + "=" + Fmt("%g", values[i]);
+    bench_metrics.emplace_back(prefix + "_wall_seconds",
+                               wall / static_cast<double>(seeds));
+    bench_metrics.emplace_back(
+        prefix + "_maint_messages",
+        static_cast<double>(messages) / static_cast<double>(seeds));
+    bench_metrics.emplace_back(
+        prefix + "_updates_reported",
+        static_cast<double>(reported) / static_cast<double>(seeds));
   }
   std::printf("%s", table.ToString().c_str());
   if (flags.Has("csv")) {
     ASF_RETURN_IF_ERROR(table.WriteCsv(flags.GetString("csv")));
     std::printf("wrote %s\n", flags.GetString("csv").c_str());
+  }
+  if (flags.Has("bench-json")) {
+    ASF_RETURN_IF_ERROR(WriteBenchJson(flags.GetString("bench-json"),
+                                         "asf_sweep", bench_metrics));
+    std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
   }
   return Status::OK();
 }
