@@ -1,0 +1,111 @@
+/// Query-churn scaling bench — message cost and engine throughput as a
+/// function of query arrival rate and stream population, the
+/// reproducible figure for the dynamic-lifecycle engine (alongside
+/// fig09–fig15 for the static protocols).
+///
+/// Workload: Poisson query arrivals with exponential lifetimes (FT-NRP
+/// range mix) over a shared random-walk population. The heaviest point
+/// peaks above 64 concurrent queries, exercising arena growth and
+/// live-column compaction on every arrival/retirement.
+///
+/// Writes BENCH_churn_multiquery.json by default (--json=PATH to
+/// override, --json= to disable).
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/churn.h"
+#include "engine/multi_system.h"
+#include "metrics/table.h"
+
+namespace asf {
+namespace {
+
+struct ChurnPoint {
+  double arrival_rate;
+  std::size_t num_streams;
+};
+
+int Main(int argc, char** argv) {
+  const double scale = bench::Scale();
+  const SimTime duration = 2000 * scale;
+
+  std::printf("=== churn_multiquery ===\n");
+  std::printf("open query population: Poisson arrivals x exponential "
+              "lifetimes (FT-NRP range mix)\n");
+  std::printf("expect: maintenance cost grows ~linearly with arrival rate; "
+              "per-update dispatch cost tracks the live population, not "
+              "the total number of queries ever deployed\n\n");
+
+  const ChurnPoint points[] = {
+      {0.05, 400}, {0.2, 400}, {0.6, 400},
+      {0.05, 1600}, {0.2, 1600}, {0.6, 1600},
+  };
+
+  TextTable table({"rate", "streams", "queries", "peak_live", "updates",
+                   "logical_maint", "physical_maint", "updates_per_sec"});
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const ChurnPoint& point : points) {
+    ChurnSpec spec;
+    spec.arrival_rate = point.arrival_rate;
+    spec.mean_lifetime = 250 * scale;
+    spec.seed = 99;
+    auto deployments = ExpandChurn(spec, duration);
+    ASF_CHECK_MSG(deployments.ok(),
+                  deployments.status().ToString().c_str());
+
+    MultiQueryConfig config;
+    RandomWalkConfig walk;
+    walk.num_streams = point.num_streams;
+    walk.seed = 17;
+    config.source = SourceSpec::Walk(walk);
+    config.duration = duration;
+    config.seed = 17;
+    config.queries = std::move(deployments).value();
+    auto result = RunMultiQuerySystem(config);
+    ASF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+
+    const double updates_per_sec =
+        result->wall_seconds > 0
+            ? static_cast<double>(result->updates_generated) /
+                  result->wall_seconds
+            : 0.0;
+    table.AddRow(
+        {Fmt("%g", point.arrival_rate), Fmt("%zu", point.num_streams),
+         Fmt("%zu", result->queries.size()),
+         Fmt("%zu", result->peak_live_queries),
+         bench::Msgs(result->updates_generated),
+         bench::Msgs(result->LogicalMaintenanceTotal()),
+         bench::Msgs(result->PhysicalMaintenanceTotal()),
+         Fmt("%.3e", updates_per_sec)});
+
+    const std::string prefix = Fmt("rate=%g_n=%zu", point.arrival_rate,
+                                   point.num_streams);
+    metrics.emplace_back(prefix + "_queries",
+                         static_cast<double>(result->queries.size()));
+    metrics.emplace_back(prefix + "_peak_live",
+                         static_cast<double>(result->peak_live_queries));
+    metrics.emplace_back(
+        prefix + "_logical_maint",
+        static_cast<double>(result->LogicalMaintenanceTotal()));
+    metrics.emplace_back(
+        prefix + "_physical_maint",
+        static_cast<double>(result->PhysicalMaintenanceTotal()));
+    metrics.emplace_back(prefix + "_wall_seconds", result->wall_seconds);
+    metrics.emplace_back(prefix + "_updates_per_sec", updates_per_sec);
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::MaybeWriteCsv(table, "churn_multiquery");
+
+  return bench::FinishMicroBench(argc, argv,
+                                 "BENCH_churn_multiquery.json",
+                                 "churn_multiquery", metrics);
+}
+
+}  // namespace
+}  // namespace asf
+
+int main(int argc, char** argv) { return asf::Main(argc, argv); }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "engine/system.h"
+#include "example_common.h"
 
 int main() {
   asf::RandomWalkConfig troops;
@@ -24,7 +25,7 @@ int main() {
   asf::SystemConfig config;
   config.source = asf::SourceSpec::Walk(troops);
   config.query = asf::QuerySpec::Range(zone_lo, zone_hi);
-  config.duration = 3000;
+  config.duration = 3000 * asf_examples::Scale();
   config.oracle.sample_interval = 10;
 
   std::printf("Danger zone [%g, %g], %zu units\n\n", zone_lo, zone_hi,

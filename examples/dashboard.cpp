@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "engine/multi_system.h"
+#include "example_common.h"
 
 int main() {
   asf::MultiQueryConfig config;
@@ -14,7 +15,7 @@ int main() {
   walk.sigma = 20;
   walk.seed = 11;
   config.source = asf::SourceSpec::Walk(walk);
-  config.duration = 1500;
+  config.duration = 1500 * asf_examples::Scale();
   config.oracle.sample_interval = 15;
 
   // Panel 1: which sensors read within the nominal band? (exact)

@@ -1,0 +1,24 @@
+#ifndef ASF_EXAMPLES_EXAMPLE_COMMON_H_
+#define ASF_EXAMPLES_EXAMPLE_COMMON_H_
+
+#include <cstdlib>
+
+/// \file
+/// Shared knobs for the examples/ binaries.
+
+namespace asf_examples {
+
+/// Workload scale factor from the ASF_EXAMPLE_SCALE environment variable
+/// (default 1.0). The ctest smoke tests run every example with a tiny
+/// scale so the binaries stay exercised without slowing the suite;
+/// interactive runs keep the full showcase durations.
+inline double Scale() {
+  const char* env = std::getenv("ASF_EXAMPLE_SCALE");
+  if (env == nullptr) return 1.0;
+  const double s = std::atof(env);
+  return s > 0 ? s : 1.0;
+}
+
+}  // namespace asf_examples
+
+#endif  // ASF_EXAMPLES_EXAMPLE_COMMON_H_

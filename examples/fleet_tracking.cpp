@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "engine/system.h"
+#include "example_common.h"
 
 int main() {
   asf::RandomWalkConfig fleet;
@@ -26,7 +27,7 @@ int main() {
   asf::SystemConfig config;
   config.source = asf::SourceSpec::Walk(fleet);
   config.query = asf::QuerySpec::Knn(k, depot);
-  config.duration = 600;
+  config.duration = 600 * asf_examples::Scale();
   config.oracle.sample_interval = 5;
 
   std::printf("Continuous %zu-NN around depot at %g, %zu vehicles\n\n", k,

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "engine/system.h"
+#include "example_common.h"
 #include "trace/tcp_synth.h"
 
 int main() {
@@ -18,8 +19,9 @@ int main() {
   // DESIGN.md §3).
   asf::TcpSynthConfig synth;
   synth.num_subnets = 800;
-  synth.total_connections = 45000;
-  synth.duration = 5000;
+  synth.total_connections =
+      static_cast<std::size_t>(45000 * asf_examples::Scale());
+  synth.duration = 5000 * asf_examples::Scale();
   auto trace = asf::GenerateTcpTrace(synth);
   if (!trace.ok()) {
     std::fprintf(stderr, "trace generation failed: %s\n",

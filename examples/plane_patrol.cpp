@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "engine/system.h"
+#include "example_common.h"
 #include "geo/distance_streams.h"
 #include "geo/range2d.h"
 #include "sim/scheduler.h"
@@ -43,6 +44,7 @@ int main() {
     geofence.Initialize();
     stats.set_phase(asf::MessagePhase::kMaintenance);
 
+    const double horizon = 2000 * asf_examples::Scale();
     asf::Scheduler sched;
     std::uint64_t worst_violations = 0;
     std::uint64_t checks = 0;
@@ -61,11 +63,11 @@ int main() {
                .Satisfies(asf::FractionTolerance{0.2, 0.2})) {
         ++worst_violations;
       }
-      if (sched.now() + 20 <= 2000) sched.ScheduleAfter(20, audit);
+      if (sched.now() + 20 <= horizon) sched.ScheduleAfter(20, audit);
     };
     sched.ScheduleAt(20, audit);
-    walk.Start(&sched, 2000);
-    sched.RunUntil(2000);
+    walk.Start(&sched, horizon);
+    sched.RunUntil(horizon);
 
     std::printf("Geofence %s over %zu vehicles (20%% tolerance):\n",
                 sector.ToString().c_str(), walk.size());
@@ -88,7 +90,7 @@ int main() {
     config.query = asf::QuerySpec::BottomK(15);
     config.protocol = asf::ProtocolKind::kFtRp;
     config.fraction = {0.3, 0.3};
-    config.duration = 2000;
+    config.duration = 2000 * asf_examples::Scale();
     config.oracle.sample_interval = 20;
     auto result = asf::RunSystem(config);
     if (!result.ok()) {

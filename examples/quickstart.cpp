@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "engine/system.h"
+#include "example_common.h"
 
 int main() {
   // 1. Describe the streams: the paper's synthetic model — values start
@@ -26,7 +27,7 @@ int main() {
   config.query = asf::QuerySpec::Range(400, 600);
   config.protocol = asf::ProtocolKind::kFtNrp;
   config.fraction = {0.2, 0.2};
-  config.duration = 2000;
+  config.duration = 2000 * asf_examples::Scale();
   // Let the oracle audit the answer 100 times during the run.
   config.oracle.sample_interval = config.duration / 100;
 

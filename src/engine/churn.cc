@@ -1,0 +1,195 @@
+#include "engine/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace asf {
+
+Status ChurnSpec::Validate() const {
+  // NaN/inf sail through the ordinary comparisons below (NaN compares
+  // false to everything) and would spin the expansion loop forever — the
+  // clock never reaches the window end — so insist on finite knobs first.
+  if (!std::isfinite(arrival_rate) || !std::isfinite(mean_lifetime) ||
+      !std::isfinite(window_start) || !std::isfinite(window_end) ||
+      !std::isfinite(value_lo) || !std::isfinite(value_hi) ||
+      !std::isfinite(range_width_min) || !std::isfinite(range_width_max)) {
+    return Status::InvalidArgument("churn spec fields must be finite");
+  }
+  if (arrival_rate <= 0) {
+    return Status::InvalidArgument("churn arrival_rate must be > 0");
+  }
+  if (mean_lifetime <= 0) {
+    return Status::InvalidArgument("churn mean_lifetime must be > 0");
+  }
+  if (window_start < 0) {
+    return Status::InvalidArgument("churn window_start must be >= 0");
+  }
+  if (window_end > 0 && window_end <= window_start) {
+    return Status::InvalidArgument(
+        "churn window_end must be > window_start (or <= 0 for the horizon)");
+  }
+  if (value_hi <= value_lo) {
+    return Status::InvalidArgument("churn value range must be non-empty");
+  }
+  if (range_width_min <= 0 || range_width_max < range_width_min) {
+    return Status::InvalidArgument("churn range widths must satisfy 0 < "
+                                   "min <= max");
+  }
+  double total_weight = 0;
+  for (const ChurnMixEntry& entry : mix) {
+    if (!std::isfinite(entry.weight) || entry.weight < 0) {
+      return Status::InvalidArgument(
+          "churn mix weights must be finite and >= 0");
+    }
+    // Protocol/query-class pairing is checked here, not during expansion:
+    // whether a low-weight entry gets drawn depends on the seed, and an
+    // invalid spec must fail regardless of the draws.
+    const QuerySpec::Type type =
+        entry.fixed_shape ? entry.shape.type : entry.query_type;
+    if (type == QuerySpec::Type::kRank) {
+      switch (entry.protocol) {
+        case ProtocolKind::kNoFilter:
+        case ProtocolKind::kRtp:
+        case ProtocolKind::kZtRp:
+        case ProtocolKind::kFtRp:
+          break;
+        default:
+          return Status::InvalidArgument(
+              "churn mix pairs a rank query with a range protocol");
+      }
+      if (!entry.fixed_shape && entry.k == 0) {
+        return Status::InvalidArgument("churn rank queries need k >= 1");
+      }
+    } else {
+      switch (entry.protocol) {
+        case ProtocolKind::kNoFilter:
+        case ProtocolKind::kZtNrp:
+        case ProtocolKind::kFtNrp:
+          break;
+        default:
+          return Status::InvalidArgument(
+              "churn mix pairs a range query with a rank protocol");
+      }
+    }
+    total_weight += entry.weight;
+  }
+  if (!mix.empty() && total_weight <= 0) {
+    return Status::InvalidArgument("churn mix needs positive total weight");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<QueryDeployment>> ExpandChurn(const ChurnSpec& spec,
+                                                 SimTime duration) {
+  ASF_RETURN_IF_ERROR(spec.Validate());
+  if (duration <= 0) {
+    return Status::InvalidArgument("churn expansion needs duration > 0");
+  }
+  if (spec.window_start >= duration) {
+    return Status::InvalidArgument("churn window starts after the horizon");
+  }
+
+  // Default mix: the paper's workhorse protocol over range queries.
+  std::vector<ChurnMixEntry> mix = spec.mix;
+  if (mix.empty()) mix.push_back(ChurnMixEntry{});
+  std::vector<double> cumulative;
+  cumulative.reserve(mix.size());
+  double total_weight = 0;
+  for (const ChurnMixEntry& entry : mix) {
+    total_weight += entry.weight;
+    cumulative.push_back(total_weight);
+  }
+
+  const SimTime window_end = spec.window_end > 0
+                                 ? std::min(spec.window_end, duration)
+                                 : duration;
+  Rng rng(spec.seed);
+  std::vector<QueryDeployment> deployments;
+  SimTime t = spec.window_start;
+  while (true) {
+    t += rng.Exponential(1.0 / spec.arrival_rate);
+    if (t >= window_end) break;
+    if (spec.max_queries > 0 && deployments.size() >= spec.max_queries) break;
+
+    // Which mix entry arrives (weighted draw).
+    const double pick = rng.Uniform(0, total_weight);
+    std::size_t m = 0;
+    while (m + 1 < mix.size() && pick >= cumulative[m]) ++m;
+    const ChurnMixEntry& entry = mix[m];
+
+    QueryDeployment dep;
+    dep.name = "churn" + std::to_string(deployments.size());
+    dep.protocol = entry.protocol;
+    dep.ft = entry.ft;
+    dep.broadcast = entry.broadcast;
+    if (entry.fixed_shape) {
+      dep.query = entry.shape;
+    } else if (entry.query_type == QuerySpec::Type::kRange) {
+      const double width =
+          rng.Uniform(spec.range_width_min, spec.range_width_max);
+      const double center = rng.Uniform(spec.value_lo, spec.value_hi);
+      dep.query = QuerySpec::Range(center - width / 2, center + width / 2);
+    } else {
+      switch (entry.rank_kind) {
+        case RankKind::kNearest:
+          dep.query = QuerySpec::Knn(
+              entry.k, rng.Uniform(spec.value_lo, spec.value_hi));
+          break;
+        case RankKind::kMax:
+          dep.query = QuerySpec::TopK(entry.k);
+          break;
+        case RankKind::kMin:
+          dep.query = QuerySpec::BottomK(entry.k);
+          break;
+      }
+    }
+    dep.fraction = {entry.eps_plus, entry.eps_minus};
+    dep.rank_r = entry.rank_r;
+    dep.start = t;
+    // Exponential() can return exactly 0; every query gets a non-empty
+    // live window.
+    const SimTime lifetime =
+        std::max(rng.Exponential(spec.mean_lifetime), 1e-9);
+    const SimTime retire = t + lifetime;
+    // A lifetime reaching the horizon means the query never retires; keep
+    // kNeverRetire so results report the honest open-ended window.
+    dep.end = retire < duration ? retire : kNeverRetire;
+    deployments.push_back(std::move(dep));
+  }
+  return deployments;
+}
+
+std::size_t PeakConcurrency(const std::vector<QueryDeployment>& deployments,
+                            SimTime query_start, SimTime duration) {
+  // Sweep the deploy (+1) and retire (-1) times; at equal times deploys
+  // count first, matching the engine's deploys-before-retirements event
+  // order.
+  std::vector<std::pair<SimTime, int>> events;
+  events.reserve(deployments.size() * 2);
+  for (const QueryDeployment& dep : deployments) {
+    const SimTime start = dep.start < 0 ? query_start : dep.start;
+    events.emplace_back(start, +1);
+    if (dep.end != kNeverRetire && dep.end <= duration) {
+      events.emplace_back(dep.end, -1);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const std::pair<SimTime, int>& a,
+               const std::pair<SimTime, int>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second > b.second;  // +1 before -1
+            });
+  std::size_t live = 0, peak = 0;
+  for (const auto& [time, delta] : events) {
+    (void)time;
+    live = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(live) + delta);
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+}  // namespace asf

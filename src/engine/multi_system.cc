@@ -1,5 +1,6 @@
 #include "engine/multi_system.h"
 
+#include <cmath>
 #include <unordered_set>
 
 #include "engine/protocol_factory.h"
@@ -10,6 +11,9 @@ Status MultiQueryConfig::Validate() const {
   ASF_RETURN_IF_ERROR(source.Validate());
   if (queries.empty()) {
     return Status::InvalidArgument("multi-query run needs >= 1 query");
+  }
+  if (std::isnan(duration) || std::isnan(query_start)) {
+    return Status::InvalidArgument("duration/query_start must not be NaN");
   }
   if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
   if (query_start < 0 || query_start >= duration) {
@@ -22,6 +26,24 @@ Status MultiQueryConfig::Validate() const {
     }
     if (!names.insert(dep.name).second) {
       return Status::InvalidArgument("duplicate query name: " + dep.name);
+    }
+    // Lifecycle window: an explicit start must lie inside the run, and a
+    // finite end must leave the query a non-empty live window (end at or
+    // beyond the horizon just means "never retires"). NaN times would
+    // sail through ordinary comparisons and abort later inside the
+    // engine's CHECKs, so reject them here.
+    if (std::isnan(dep.start) || std::isnan(dep.end)) {
+      return Status::InvalidArgument("query '" + dep.name +
+                                     "' has a NaN lifecycle time");
+    }
+    const SimTime resolved_start = dep.start < 0 ? query_start : dep.start;
+    if (dep.start >= duration) {
+      return Status::InvalidArgument("query '" + dep.name +
+                                     "' starts at/after the horizon");
+    }
+    if (dep.end != kNeverRetire && dep.end <= resolved_start) {
+      return Status::InvalidArgument("query '" + dep.name +
+                                     "' must end after it starts");
     }
     ASF_RETURN_IF_ERROR(ValidateDeployment(dep.query, dep.protocol,
                                            dep.fraction,
@@ -82,9 +104,12 @@ Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
     out.max_f_plus = stats.max_f_plus;
     out.max_f_minus = stats.max_f_minus;
     out.max_worst_rank = stats.max_worst_rank;
+    out.deployed_at = stats.deployed_at;
+    out.retired_at = stats.retired_at;
   }
   result.updates_generated = core.updates_generated();
   result.physical_updates = core.physical_updates();
+  result.peak_live_queries = core.peak_live_queries();
   result.wall_seconds = core.wall_seconds();
   return result;
 }

@@ -34,6 +34,13 @@ namespace asf {
 // engine/sim_core.h, shared with the single-query entry point.
 
 /// Configuration of a multi-query run.
+///
+/// Each deployment may carry its own lifecycle window: `start` (< 0 means
+/// "at query_start", the static-batch default) and `end` (kNeverRetire
+/// means the query lives to the horizon). Deployments with explicit
+/// windows arrive and leave mid-run — see SimulationCore::DeployQuery /
+/// RetireQuery — and ChurnSpec (engine/churn.h) generates whole schedules
+/// of them.
 struct MultiQueryConfig {
   SourceSpec source;
   std::vector<QueryDeployment> queries;
@@ -59,10 +66,17 @@ struct MultiQueryResult {
     double max_f_plus = 0.0;
     double max_f_minus = 0.0;
     std::size_t max_worst_rank = 0;
+    /// Live window: Initialization ran at deployed_at; retired_at is the
+    /// retirement time (the horizon for queries that never retired).
+    SimTime deployed_at = 0;
+    SimTime retired_at = 0;
   };
 
   std::vector<PerQuery> queries;
   std::uint64_t updates_generated = 0;
+
+  /// Highest number of simultaneously live queries during the run.
+  std::size_t peak_live_queries = 0;
 
   /// Physical update messages actually transmitted (each value change
   /// costs at most one regardless of how many filters it violated).

@@ -14,16 +14,31 @@ namespace {
 // Golden-ratio constant used to decorrelate the per-query protocol RNG
 // streams from the workload seed (slot i gets seed ^ (kSeedMix + i)).
 constexpr std::uint64_t kSeedMix = 0x9e3779b97f4a7c15ULL;
+
+// A transport closure must never touch a view that survived an arena
+// rebind; the generation tags make that checkable.
+inline void AssertViewFresh(const FilterBank& bank, const FilterArena& arena) {
+  (void)bank;
+  (void)arena;
+  ASF_DCHECK(bank.bound_generation() == arena.generation());
+}
 }  // namespace
 
 /// Server-side runtime of one deployed query.
 struct SimulationCore::Slot {
   QueryDeployment deployment;
+  SimTime deploy_at = 0;
+  SimTime retire_at = kNeverRetire;
+  /// Strided view into the shared arena while live; detached otherwise.
   std::unique_ptr<FilterBank> filters;
   std::unique_ptr<ServerContext> ctx;
   std::unique_ptr<Rng> rng;
   std::unique_ptr<Protocol> protocol;
   QueryRunStats stats;
+
+  bool live = false;
+  /// The slot's arena column while live (moves under compaction).
+  std::size_t column = FilterArena::kNoColumn;
 
   /// Incremental answer-size accounting: the answer only changes when this
   /// query's protocol handles a fired update, so the per-update sample
@@ -34,7 +49,8 @@ struct SimulationCore::Slot {
 };
 
 SimulationCore::SimulationCore(const Options& options)
-    : options_(options), wall_start_(std::chrono::steady_clock::now()) {
+    : options_(options), arena_(options.source.NumStreams()),
+      wall_start_(std::chrono::steady_clock::now()) {
   switch (options_.source.type) {
     case SourceSpec::Type::kRandomWalk:
       owned_streams_ = std::make_unique<RandomWalkStreams>(options_.source.walk);
@@ -49,41 +65,59 @@ SimulationCore::SimulationCore(const Options& options)
       break;
   }
   ASF_CHECK(streams_ != nullptr);
+  ASF_CHECK(streams_->size() == arena_.num_streams());
 }
 
 SimulationCore::~SimulationCore() = default;
 
 std::size_t SimulationCore::AddQuery(const QueryDeployment& deployment) {
-  ASF_CHECK_MSG(!ran_, "AddQuery after Run()");
+  const SimTime start =
+      deployment.start < 0 ? options_.query_start : deployment.start;
+  return DeployQuery(deployment, start);
+}
+
+std::size_t SimulationCore::DeployQuery(const QueryDeployment& deployment,
+                                        SimTime at) {
+  ASF_CHECK_MSG(!ran_, "DeployQuery after Run()");
+  ASF_CHECK_MSG(at >= 0 && at < options_.duration,
+                "deploy time outside [0, duration)");
   const std::size_t n = streams_->size();
   const std::size_t index = slots_.size();
 
   auto slot = std::make_unique<Slot>();
   slot->deployment = deployment;
+  slot->deploy_at = at;
   slot->stats.name = deployment.name;
-  slot->filters = std::make_unique<FilterBank>(n);
+  // Detached until the deploy event binds it into the arena.
+  slot->filters = std::make_unique<FilterBank>();
 
   // The wires between this query's server context and the shared sources.
   // Probes and deploys sync/reset this query's filter references only;
-  // other queries' filters are untouched (per-query isolation).
+  // other queries' filters are untouched (per-query isolation). The bank
+  // pointer is stable; its *view* is rebound as the arena grows and
+  // compacts, which the generation tag asserts.
   FilterBank* bank = slot->filters.get();
   StreamSet* source = streams_;
+  const FilterArena* arena = &arena_;
   Transport transport;
-  transport.probe = [source, bank](StreamId id) {
+  transport.probe = [source, bank, arena](StreamId id) {
+    AssertViewFresh(*bank, *arena);
     const Value v = source->value(id);
     bank->at(id).SyncReference(v);  // the probed value is now "reported"
     return v;
   };
   transport.region_probe =
-      [source, bank](StreamId id,
-                     const Interval& region) -> std::optional<Value> {
+      [source, bank, arena](StreamId id,
+                            const Interval& region) -> std::optional<Value> {
+    AssertViewFresh(*bank, *arena);
     const Value v = source->value(id);
     if (!region.Contains(v)) return std::nullopt;
     bank->at(id).SyncReference(v);
     return v;
   };
-  transport.deploy = [source, bank](StreamId id,
-                                    const FilterConstraint& constraint) {
+  transport.deploy = [source, bank, arena](StreamId id,
+                                           const FilterConstraint& constraint) {
+    AssertViewFresh(*bank, *arena);
     bank->Deploy(id, constraint, source->value(id));
   };
 
@@ -95,7 +129,16 @@ std::size_t SimulationCore::AddQuery(const QueryDeployment& deployment) {
                    deployment.fraction, deployment.ft, slot->ctx.get(),
                    slot->rng.get());
   slots_.push_back(std::move(slot));
+  if (deployment.end != kNeverRetire) RetireQuery(index, deployment.end);
   return index;
+}
+
+void SimulationCore::RetireQuery(std::size_t slot, SimTime at) {
+  ASF_CHECK_MSG(!ran_, "RetireQuery after Run()");
+  ASF_CHECK(slot < slots_.size());
+  ASF_CHECK_MSG(at > slots_[slot]->deploy_at,
+                "retire time must follow the deploy time");
+  slots_[slot]->retire_at = at;
 }
 
 void SimulationCore::RunOracle(Slot& slot) {
@@ -111,13 +154,74 @@ void SimulationCore::RunOracle(Slot& slot) {
   out.max_worst_rank = std::max(out.max_worst_rank, check.worst_rank);
 }
 
-void SimulationCore::BindFilterStorage() {
-  const std::size_t n = streams_->size();
-  const std::size_t q_count = slots_.size();
-  filter_storage_.assign(n * q_count, Filter());
-  for (std::size_t q = 0; q < q_count; ++q) {
-    *slots_[q]->filters = FilterBank(&filter_storage_[q], q_count, n);
+void SimulationCore::RebindLiveViews() {
+  for (std::size_t c = 0; c < arena_.live(); ++c) {
+    *slots_[column_owner_[c]]->filters = arena_.View(c);
   }
+}
+
+void SimulationCore::InstallSlot(std::size_t index) {
+  Slot& slot = *slots_[index];
+  ASF_CHECK(!slot.live);
+
+  // Take a column in the shared arena. Growth invalidates every live view
+  // (the storage reallocates), so rebind them all; otherwise only the new
+  // column needs a view.
+  const std::uint64_t generation_before = arena_.generation();
+  slot.column = arena_.Acquire();
+  column_owner_.push_back(index);
+  ASF_CHECK(column_owner_.size() == arena_.live());
+  slot.live = true;
+  if (arena_.generation() != generation_before) {
+    RebindLiveViews();
+  } else {
+    *slot.filters = arena_.View(slot.column);
+  }
+  peak_live_ = std::max(peak_live_, arena_.live());
+
+  // The query's sample stream opens now: it sees only updates generated
+  // inside its live window.
+  slot.answer_sampled_upto = updates_generated_;
+  slot.stats.deployed_at = scheduler_.now();
+
+  slot.stats.messages.set_phase(MessagePhase::kInit);
+  slot.protocol->Initialize(scheduler_.now());
+  slot.stats.messages.set_phase(MessagePhase::kMaintenance);
+  slot.stats.fp_filters_installed = slot.filters->CountFalsePositiveFilters();
+  slot.stats.fn_filters_installed = slot.filters->CountFalseNegativeFilters();
+  slot.answer_cur_size = static_cast<double>(slot.protocol->answer().size());
+  if (options_.oracle.check_every_update) RunOracle(slot);
+}
+
+void SimulationCore::RetireSlot(std::size_t index) {
+  Slot& slot = *slots_[index];
+  ASF_CHECK(slot.live);
+
+  // Uninstall this query's filters: the server tells every stream to drop
+  // the constraint (a pass-through deploy), the termination counterpart of
+  // the initial installation. Charged as maintenance kFilterDeploy under
+  // the query's broadcast model, like any other redeploy.
+  slot.ctx->DeployAll(FilterConstraint::NoFilter());
+
+  // Close the books inside the live window.
+  FlushAnswerSamples(slot, updates_generated_);
+  slot.stats.retired_at = scheduler_.now();
+  slot.stats.reinits = slot.protocol->reinit_count();
+  slot.live = false;
+
+  // Release the arena column; the last live column compacts into the hole,
+  // so retag its owner and rebind every live view against the bumped
+  // generation.
+  const std::size_t moved = arena_.Release(slot.column);
+  if (moved != slot.column) {
+    const std::size_t moved_owner = column_owner_[moved];
+    column_owner_[slot.column] = moved_owner;
+    slots_[moved_owner]->column = slot.column;
+  }
+  column_owner_.pop_back();
+  slot.column = FilterArena::kNoColumn;
+  *slot.filters = FilterBank();  // detach: any further access trips checks
+  RebindLiveViews();
 }
 
 void SimulationCore::FlushAnswerSamples(Slot& slot, std::uint64_t upto) {
@@ -129,8 +233,8 @@ void SimulationCore::FlushAnswerSamples(Slot& slot, std::uint64_t upto) {
 }
 
 void SimulationCore::OracleSampleTick() {
-  if (queries_active_) {
-    for (auto& slot : slots_) RunOracle(*slot);
+  for (auto& slot : slots_) {
+    if (slot->live) RunOracle(*slot);
   }
   if (scheduler_.now() + options_.oracle.sample_interval <=
       options_.duration) {
@@ -144,24 +248,21 @@ void SimulationCore::Run() {
   ASF_CHECK_MSG(!slots_.empty(), "Run() without any deployed query");
   ran_ = true;
 
-  // Flatten the per-slot banks into the shared stream-major layout now
-  // that the query count is final.
-  BindFilterStorage();
-
   streams_->set_update_handler([this](StreamId id, Value v, SimTime t) {
-    if (!queries_active_) return;  // warm-up: no query, no messages
+    const std::size_t live = arena_.live();
+    if (live == 0) return;  // warm-up / lull: no query, no messages
     ++updates_generated_;
-    const std::size_t q_count = slots_.size();
-    // All queries' filters for this stream sit in one contiguous strip.
-    Filter* strip = &filter_storage_[id * q_count];
+    // All live queries' filters for this stream sit in one contiguous,
+    // compacted strip; retired queries cost nothing here.
+    Filter* strip = arena_.Strip(id);
     // One physical message serves every query whose filter fired; each
     // affected query still accounts a logical update so its costs remain
     // comparable to a single-query run.
     bool any_fired = false;
-    for (std::size_t q = 0; q < q_count; ++q) {
-      if (!strip[q].OnValueChange(v)) continue;
+    for (std::size_t c = 0; c < live; ++c) {
+      if (!strip[c].OnValueChange(v)) continue;
       any_fired = true;
-      Slot& slot = *slots_[q];
+      Slot& slot = *slots_[column_owner_[c]];
       slot.stats.messages.Count(MessageType::kValueUpdate);
       ++slot.stats.updates_reported;
       // The answer can only change while this slot handles the update:
@@ -177,29 +278,30 @@ void SimulationCore::Run() {
     }
     if (any_fired) ++physical_updates_;
     if (options_.oracle.check_every_update) {
-      for (auto& slot : slots_) RunOracle(*slot);
+      for (auto& slot : slots_) {
+        if (slot->live) RunOracle(*slot);
+      }
     }
   });
 
-  // Install the queries. Scheduled before Start() so that at equal
-  // timestamps initialization runs before the first update (FIFO order).
-  scheduler_.ScheduleAt(options_.query_start, [this] {
-    for (auto& slot : slots_) {
-      slot->stats.messages.set_phase(MessagePhase::kInit);
-      slot->protocol->Initialize(scheduler_.now());
-      slot->stats.messages.set_phase(MessagePhase::kMaintenance);
-      slot->stats.fp_filters_installed =
-          slot->filters->CountFalsePositiveFilters();
-      slot->stats.fn_filters_installed =
-          slot->filters->CountFalseNegativeFilters();
-      slot->answer_cur_size =
-          static_cast<double>(slot->protocol->answer().size());
+  // Schedule the lifecycle: every deploy event first (in slot order), then
+  // every retirement (in slot order). Scheduled before Start() so that at
+  // equal timestamps lifecycle events run before updates (FIFO order), and
+  // deployments before retirements.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    scheduler_.ScheduleAt(slots_[i]->deploy_at, [this, i] { InstallSlot(i); });
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const SimTime retire_at = slots_[i]->retire_at;
+    // A retirement at or beyond the horizon is the same observable run as
+    // never retiring — the query serves its whole window either way — so
+    // skip it rather than charge a pointless uninstall broadcast at the
+    // instant the run ends (no cost cliff between end == duration and
+    // end == duration + epsilon).
+    if (retire_at < options_.duration) {
+      scheduler_.ScheduleAt(retire_at, [this, i] { RetireSlot(i); });
     }
-    queries_active_ = true;
-    if (options_.oracle.check_every_update) {
-      for (auto& slot : slots_) RunOracle(*slot);
-    }
-  });
+  }
 
   // Periodic oracle sampling, if requested. OracleSampleTick reschedules
   // itself (a plain member function — no self-referential std::function).
@@ -214,11 +316,13 @@ void SimulationCore::Run() {
   scheduler_.RunUntil(options_.duration);
 
   for (auto& slot : slots_) {
-    // Close every slot's trailing run of unchanged answer-size samples so
-    // each has exactly one sample per generated update, like the old
-    // every-update loop produced.
+    if (!slot->live) continue;  // retired slots closed their books already
+    // Close every live slot's trailing run of unchanged answer-size
+    // samples so each has exactly one sample per update generated in its
+    // live window, like the old every-update loop produced.
     FlushAnswerSamples(*slot, updates_generated_);
     slot->stats.reinits = slot->protocol->reinit_count();
+    slot->stats.retired_at = options_.duration;
   }
   wall_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

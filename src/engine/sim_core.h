@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "engine/config.h"
+#include "filter/filter_arena.h"
 #include "filter/filter_bank.h"
 #include "net/message_stats.h"
 #include "protocol/protocol.h"
@@ -29,11 +31,23 @@
 /// flattens the stats into a RunResult; RunMultiQuerySystem deploys many
 /// and adds the shared-update (physical vs logical) accounting.
 ///
+/// Queries are a *dynamic population*: each one is deployed at a scheduled
+/// simulation time, runs under its tolerance protocol, and may retire
+/// before the horizon (DeployQuery / RetireQuery). The static batch case —
+/// AddQuery for every query, all installed at options.query_start, none
+/// retired — is simply the degenerate schedule, and produces results
+/// identical to an engine without the lifecycle machinery
+/// (tests/sim_core_test.cc locks this in).
+///
 /// Engine features added here — oracle sampling, phase accounting,
 /// warm-up, re-init bookkeeping — are therefore available to both entry
 /// points (and any future one) automatically.
 
 namespace asf {
+
+/// Retire time of a query that lives to the end of the run.
+inline constexpr SimTime kNeverRetire =
+    std::numeric_limits<SimTime>::infinity();
 
 /// One continuous query in a deployment. A single-query run is simply a
 /// deployment of exactly one.
@@ -47,6 +61,15 @@ struct QueryDeployment {
   /// How server→all-streams transmissions of this query are charged
   /// (DESIGN.md §3; `bench/ablation_broadcast`).
   BroadcastCostModel broadcast = BroadcastCostModel::kPerRecipient;
+
+  /// When the query arrives: its Initialization phase runs at this
+  /// simulated time. Negative (the default) means "at the run's
+  /// query_start", the static-batch convention.
+  SimTime start = -1;
+  /// When the query leaves: its filters are uninstalled and it stops
+  /// being served / judged. kNeverRetire (the default) means it lives to
+  /// the horizon.
+  SimTime end = kNeverRetire;
 };
 
 /// Per-query outcome accumulated by the core — a superset of what both
@@ -64,15 +87,24 @@ struct QueryRunStats {
   double max_f_plus = 0.0;
   double max_f_minus = 0.0;
   std::size_t max_worst_rank = 0;
+
+  /// The live window [deployed_at, retired_at]: Initialization ran at
+  /// deployed_at; retired_at is the retire event's time, or the run
+  /// horizon for queries that never retired. Everything above is
+  /// accumulated inside this window only.
+  SimTime deployed_at = 0;
+  SimTime retired_at = 0;
 };
 
 /// The shared engine runtime. Usage:
 ///
 /// \code
-///   SimulationCore core(options);        // builds the streams
-///   core.AddQuery(deployment);           // one or more times
-///   core.Run();                          // drives the scheduler
-///   core.query_stats(0);                 // per-query outcomes
+///   SimulationCore core(options);           // builds the streams
+///   core.AddQuery(deployment);              // static: live whole run
+///   core.DeployQuery(deployment, t1);       // dynamic: arrives at t1...
+///   core.RetireQuery(slot, t2);             // ...and leaves at t2
+///   core.Run();                             // drives the scheduler
+///   core.query_stats(0);                    // per-query outcomes
 /// \endcode
 ///
 /// Inputs must already be validated (SystemConfig::Validate /
@@ -94,14 +126,31 @@ class SimulationCore {
   SimulationCore& operator=(const SimulationCore&) = delete;
   ~SimulationCore();
 
-  /// Deploys one query: its own filter bank at the sources, server
-  /// context, protocol RNG (derived deterministically from the run seed
-  /// and the slot index) and protocol instance. Must be called before
-  /// Run(). Returns the query's slot index.
+  /// Registers one query: its own server context, protocol RNG (derived
+  /// deterministically from the run seed and the slot index) and protocol
+  /// instance. Deployment and retirement run as scheduler events at the
+  /// times carried by `deployment` (start < 0 resolves to
+  /// options.query_start; end == kNeverRetire means no retirement), so the
+  /// default deployment reproduces the classic static batch. Must be
+  /// called before Run(). Returns the query's slot index.
   std::size_t AddQuery(const QueryDeployment& deployment);
 
+  /// As AddQuery, but deploys at the explicit time `at` (must lie in
+  /// [0, options.duration)), overriding deployment.start.
+  std::size_t DeployQuery(const QueryDeployment& deployment, SimTime at);
+
+  /// Schedules (or reschedules) the retirement of `slot` at time `at`,
+  /// which must be later than its deploy time. At that simulated time the
+  /// query's filters are uninstalled — one pass-through kFilterDeploy per
+  /// stream, charged under the protocol's termination semantics — its
+  /// arena column is released (the filter strip compacts), and it stops
+  /// being served and judged. A time at or beyond options.duration means
+  /// the query lives to the horizon (no uninstall is charged; the run is
+  /// over). Must be called before Run().
+  void RetireQuery(std::size_t slot, SimTime at);
+
   /// Drives the simulation to options.duration. Call exactly once, after
-  /// every AddQuery.
+  /// every AddQuery/DeployQuery/RetireQuery.
   void Run();
 
   std::size_t num_queries() const { return slots_.size(); }
@@ -109,13 +158,16 @@ class SimulationCore {
   /// Outcome of query slot `i`; valid after Run().
   const QueryRunStats& query_stats(std::size_t i) const;
 
-  /// Value changes generated while the queries were live.
+  /// Value changes generated while at least one query was live.
   std::uint64_t updates_generated() const { return updates_generated_; }
 
   /// Update messages actually transmitted: a value change that crossed
   /// the filters of several queries at once costs one physical message
   /// (each affected query still accounts a logical update).
   std::uint64_t physical_updates() const { return physical_updates_; }
+
+  /// Highest number of simultaneously live queries observed.
+  std::size_t peak_live_queries() const { return peak_live_; }
 
   /// Host wall-clock seconds from construction to the end of Run().
   double wall_seconds() const { return wall_seconds_; }
@@ -126,14 +178,20 @@ class SimulationCore {
   /// Judges slot `i`'s current answer against the true stream values.
   void RunOracle(Slot& slot);
 
-  /// Rebinds every slot's FilterBank as a strided view into
-  /// `filter_storage_`, laid out stream-major: the filters of all Q
-  /// queries for stream i occupy `filter_storage_[i*Q .. i*Q+Q-1]`, so the
-  /// per-update dispatch scans one contiguous strip instead of Q
-  /// heap-separated banks. Called once at the top of Run(), when Q is
-  /// final; the Transport closures hold FilterBank pointers, so they
-  /// follow the rebind automatically.
-  void BindFilterStorage();
+  /// The deploy event: binds the slot's filters into the arena (growing
+  /// it if needed), runs the protocol's Initialization phase, and opens
+  /// the live window.
+  void InstallSlot(std::size_t index);
+
+  /// The retire event: uninstalls the slot's filters (pass-through
+  /// deploy), closes its accounting, and releases its arena column with
+  /// live-prefix compaction.
+  void RetireSlot(std::size_t index);
+
+  /// Rebinds the strided FilterBank views of every live slot after an
+  /// arena layout change (growth or compaction), tagging them with the
+  /// new generation.
+  void RebindLiveViews();
 
   /// Periodic correctness sampling; reschedules itself every
   /// options_.oracle.sample_interval until the horizon.
@@ -147,12 +205,16 @@ class SimulationCore {
   std::unique_ptr<StreamSet> owned_streams_;
   StreamSet* streams_ = nullptr;  // owned_streams_.get() or borrowed custom
   std::vector<std::unique_ptr<Slot>> slots_;
-  /// Stream-major shared filter storage (see BindFilterStorage); stable
-  /// for the whole run once built.
-  std::vector<Filter> filter_storage_;
+  /// Stream-major shared filter storage for the live queries; grows and
+  /// compacts as queries come and go.
+  FilterArena arena_;
+  /// Slot index of each live arena column (parallel to the arena's dense
+  /// live prefix); the dispatch loop maps fired columns to their queries
+  /// through it.
+  std::vector<std::size_t> column_owner_;
   Scheduler scheduler_;
-  bool queries_active_ = false;
   bool ran_ = false;
+  std::size_t peak_live_ = 0;
   std::uint64_t updates_generated_ = 0;
   std::uint64_t physical_updates_ = 0;
   double wall_seconds_ = 0.0;

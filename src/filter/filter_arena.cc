@@ -1,0 +1,47 @@
+#include "filter/filter_arena.h"
+
+#include <utility>
+
+namespace asf {
+
+std::size_t FilterArena::Acquire() {
+  if (live_ == capacity_) {
+    // Grow by doubling. Live columns keep their indices; only the row
+    // stride changes, so copy row by row into the wider layout.
+    const std::size_t new_capacity = capacity_ == 0 ? 1 : capacity_ * 2;
+    std::vector<Filter> grown(num_streams_ * new_capacity);
+    for (std::size_t s = 0; s < num_streams_; ++s) {
+      for (std::size_t c = 0; c < live_; ++c) {
+        grown[s * new_capacity + c] = storage_[s * capacity_ + c];
+      }
+    }
+    storage_ = std::move(grown);
+    capacity_ = new_capacity;
+    ++generation_;  // every outstanding view now points at freed memory
+  }
+  const std::size_t column = live_++;
+  // Recycled columns must come up pristine: a retiring tenant leaves its
+  // last filter states behind.
+  for (std::size_t s = 0; s < num_streams_; ++s) {
+    storage_[s * capacity_ + column] = Filter();
+  }
+  return column;
+}
+
+std::size_t FilterArena::Release(std::size_t column) {
+  ASF_CHECK(column < live_);
+  const std::size_t last = live_ - 1;
+  if (column != last) {
+    // Keep the live prefix dense: the last tenant moves into the hole.
+    for (std::size_t s = 0; s < num_streams_; ++s) {
+      storage_[s * capacity_ + column] = storage_[s * capacity_ + last];
+    }
+  }
+  --live_;
+  // The released column's views (and, after a move, the last column's) are
+  // stale either way.
+  ++generation_;
+  return last;
+}
+
+}  // namespace asf

@@ -1,0 +1,100 @@
+#ifndef ASF_FILTER_FILTER_ARENA_H_
+#define ASF_FILTER_FILTER_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "filter/filter.h"
+#include "filter/filter_bank.h"
+
+/// \file
+/// Growable stream-major filter storage for a *dynamic* query population.
+///
+/// The engine lays all live queries' filters out stream-major: the filters
+/// of stream i occupy one contiguous strip `storage[i*capacity ..
+/// i*capacity + live - 1]`, so the per-update dispatch scans exactly the
+/// live filters of the updated stream — one cache-line run, no gaps — no
+/// matter how many queries have come and gone (see
+/// SimulationCore's update handler).
+///
+/// Columns are the unit of tenancy. A deploying query Acquires the next
+/// free column (always the current live count, keeping live columns dense
+/// at 0..live-1); a retiring query Releases its column, and the *last*
+/// live column is swap-moved into the hole so the strip stays contiguous.
+/// Filter state (constraint + membership reference) is trivially copyable,
+/// so moves and growth are plain element copies.
+///
+/// Every layout change that can invalidate an outstanding strided view —
+/// growth (storage reallocates, stride changes) and compaction (a column's
+/// contents move) — bumps `generation()`. FilterBank views carry the
+/// generation they were bound at, so the engine can assert view freshness
+/// (and knows to rebind all live views) after any lifecycle event.
+
+namespace asf {
+
+/// Stream-major, column-tenured filter storage shared by all live queries.
+class FilterArena {
+ public:
+  static constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
+
+  explicit FilterArena(std::size_t num_streams) : num_streams_(num_streams) {}
+
+  FilterArena(const FilterArena&) = delete;
+  FilterArena& operator=(const FilterArena&) = delete;
+
+  std::size_t num_streams() const { return num_streams_; }
+
+  /// Live (tenanted) columns; they are always the dense prefix 0..live-1.
+  std::size_t live() const { return live_; }
+
+  /// Allocated columns — the stride of every strip.
+  std::size_t capacity() const { return capacity_; }
+
+  /// Bumped whenever outstanding views may have gone stale (growth or
+  /// compaction). Views bound via View() carry the value at bind time.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Acquires a fresh column for a deploying query, growing (doubling) the
+  /// storage when full. Returns the column index, which is always the
+  /// pre-call live(). All acquired filters start in the default
+  /// no-filter-installed state. Growth bumps generation().
+  std::size_t Acquire();
+
+  /// Releases `column` (must be live): the highest live column is
+  /// swap-moved into it to keep the live prefix dense, and generation() is
+  /// bumped. Returns the index of the column that was moved — i.e. its
+  /// *old* index, so the caller can retag the tenant that now lives in
+  /// `column` — or `column` itself when it was the last live column (no
+  /// move happened).
+  std::size_t Release(std::size_t column);
+
+  /// The contiguous strip of stream `id`'s filters; columns 0..live()-1
+  /// are the live ones. Valid until the next Acquire/Release.
+  Filter* Strip(StreamId id) {
+    ASF_DCHECK(id < num_streams_);
+    return storage_.data() + id * capacity_;
+  }
+
+  /// A strided FilterBank view of `column` (must be live), tagged with the
+  /// current generation.
+  FilterBank View(std::size_t column) {
+    ASF_CHECK(column < live_);
+    return FilterBank(storage_.data() + column, capacity_, num_streams_,
+                      generation_);
+  }
+
+ private:
+  std::size_t num_streams_;
+  std::size_t capacity_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t generation_ = 0;
+  /// storage_[stream * capacity_ + column]; size num_streams_ * capacity_.
+  std::vector<Filter> storage_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_FILTER_FILTER_ARENA_H_

@@ -2,6 +2,7 @@
 #define ASF_FILTER_FILTER_BANK_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/check.h"
@@ -17,17 +18,23 @@
 ///
 /// A bank is either *owning* (its own dense array, stride 1 — the
 /// standalone mode tests and tools use) or a *strided view* into storage
-/// shared by several banks. The engine uses views to lay all queries'
-/// filters out stream-major (every query's filter for stream i is
-/// contiguous), so the per-update dispatch scans one cache line strip
-/// instead of chasing one heap allocation per query (see
-/// SimulationCore::BindFilterStorage).
+/// shared by several banks. The engine uses views into a FilterArena to
+/// lay all live queries' filters out stream-major (every query's filter
+/// for stream i is contiguous), so the per-update dispatch scans one
+/// cache line strip instead of chasing one heap allocation per query;
+/// views are rebound as queries come and go (see filter/filter_arena.h
+/// and SimulationCore::InstallSlot / RebindLiveViews).
 
 namespace asf {
 
 /// Dense (or strided) array of per-stream filters.
 class FilterBank {
  public:
+  /// Detached bank: no storage, size 0. The state of a dynamic query's
+  /// bank before its filters are bound into the shared arena (and after
+  /// they are released); any access trips the size check.
+  FilterBank() : base_(nullptr), stride_(1), size_(0) {}
+
   /// Owning bank: `num_streams` default-constructed filters, stride 1.
   explicit FilterBank(std::size_t num_streams)
       : owned_(num_streams), base_(owned_.data()), stride_(1),
@@ -35,9 +42,13 @@ class FilterBank {
 
   /// Non-owning strided view: the filter of stream `id` lives at
   /// `base[id * stride]`. The caller keeps `base` alive and stable for
-  /// the lifetime of the view.
-  FilterBank(Filter* base, std::size_t stride, std::size_t num_streams)
-      : base_(base), stride_(stride), size_(num_streams) {
+  /// the lifetime of the view, and may tag the view with the storage
+  /// generation it was bound at (see FilterArena) so stale views are
+  /// detectable after the storage is rebuilt or compacted.
+  FilterBank(Filter* base, std::size_t stride, std::size_t num_streams,
+             std::uint64_t generation = 0)
+      : base_(base), stride_(stride), size_(num_streams),
+        generation_(generation) {
     ASF_CHECK(base != nullptr);
     ASF_CHECK(stride >= 1);
   }
@@ -46,6 +57,11 @@ class FilterBank {
   FilterBank& operator=(FilterBank&&) = default;
 
   std::size_t size() const { return size_; }
+
+  /// The storage generation this view was bound at (0 for owning and
+  /// detached banks). Compared against FilterArena::generation() to catch
+  /// use of a view that survived a rebind.
+  std::uint64_t bound_generation() const { return generation_; }
 
   Filter& at(StreamId id) {
     ASF_DCHECK(id < size_);
@@ -76,6 +92,7 @@ class FilterBank {
   Filter* base_;
   std::size_t stride_;
   std::size_t size_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace asf

@@ -1,0 +1,243 @@
+#include "engine/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "engine/multi_system.h"
+
+namespace asf {
+namespace {
+
+ChurnSpec BaseSpec() {
+  ChurnSpec spec;
+  spec.arrival_rate = 0.2;
+  spec.mean_lifetime = 150;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(ChurnSpecTest, ValidationRejectsBadParameters) {
+  ChurnSpec spec = BaseSpec();
+  spec.arrival_rate = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = BaseSpec();
+  spec.mean_lifetime = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = BaseSpec();
+  spec.window_end = -5;  // <= 0 means horizon: fine
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.window_start = 10;
+  spec.window_end = 5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = BaseSpec();
+  spec.range_width_min = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = BaseSpec();
+  spec.mix.push_back({.weight = -1});
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(ChurnSpecTest, RejectsNonFiniteParameters) {
+  // NaN/inf pass the ordinary range checks (NaN compares false to
+  // everything) and would spin the expansion loop forever.
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    ChurnSpec spec = BaseSpec();
+    spec.arrival_rate = bad;
+    EXPECT_FALSE(spec.Validate().ok());
+
+    spec = BaseSpec();
+    spec.mean_lifetime = bad;
+    EXPECT_FALSE(spec.Validate().ok());
+
+    spec = BaseSpec();
+    spec.window_end = bad;
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  ChurnSpec spec = BaseSpec();
+  spec.mix.push_back({.weight = std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(ChurnExpansionTest, DeterministicUnderSeed) {
+  const auto a = ExpandChurn(BaseSpec(), 2000);
+  const auto b = ExpandChurn(BaseSpec(), 2000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(a->empty());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].name, (*b)[i].name);
+    EXPECT_EQ((*a)[i].start, (*b)[i].start);
+    EXPECT_EQ((*a)[i].end, (*b)[i].end);
+    EXPECT_EQ((*a)[i].query.range_lo, (*b)[i].query.range_lo);
+    EXPECT_EQ((*a)[i].query.range_hi, (*b)[i].query.range_hi);
+  }
+
+  ChurnSpec other = BaseSpec();
+  other.seed = 43;
+  const auto c = ExpandChurn(other, 2000);
+  ASSERT_TRUE(c.ok());
+  bool any_difference = c->size() != a->size();
+  for (std::size_t i = 0; !any_difference && i < a->size(); ++i) {
+    any_difference = (*a)[i].start != (*c)[i].start;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ChurnExpansionTest, SchedulesRespectWindowAndLifetimes) {
+  ChurnSpec spec = BaseSpec();
+  spec.window_start = 100;
+  spec.window_end = 900;
+  const SimTime duration = 1000;
+  const auto deployments = ExpandChurn(spec, duration);
+  ASSERT_TRUE(deployments.ok());
+  ASSERT_FALSE(deployments->empty());
+  SimTime previous = 0;
+  for (const QueryDeployment& dep : *deployments) {
+    EXPECT_GE(dep.start, spec.window_start);
+    EXPECT_LT(dep.start, spec.window_end);
+    EXPECT_GE(dep.start, previous);  // arrival order
+    previous = dep.start;
+    if (dep.end != kNeverRetire) {
+      EXPECT_GT(dep.end, dep.start);
+      EXPECT_LT(dep.end, duration);
+    }
+    EXPECT_FALSE(dep.name.empty());
+  }
+}
+
+TEST(ChurnExpansionTest, RankMixPreservesFlavorAndAsymmetricTolerance) {
+  ChurnSpec spec = BaseSpec();
+  ChurnMixEntry entry;
+  entry.protocol = ProtocolKind::kFtRp;
+  entry.query_type = QuerySpec::Type::kRank;
+  entry.rank_kind = RankKind::kMax;  // top-k, not k-NN
+  entry.k = 20;
+  entry.eps_plus = 0.1;
+  entry.eps_minus = 0.4;
+  spec.mix.push_back(entry);
+  const auto deployments = ExpandChurn(spec, 2000);
+  ASSERT_TRUE(deployments.ok());
+  ASSERT_FALSE(deployments->empty());
+  for (const QueryDeployment& dep : *deployments) {
+    EXPECT_EQ(dep.query.type, QuerySpec::Type::kRank);
+    EXPECT_EQ(dep.query.rank_kind, RankKind::kMax);
+    EXPECT_EQ(dep.query.k, 20u);
+    EXPECT_EQ(dep.fraction.eps_plus, 0.1);
+    EXPECT_EQ(dep.fraction.eps_minus, 0.4);
+  }
+}
+
+TEST(ChurnExpansionTest, RejectsRankQueryWithRangeProtocol) {
+  ChurnSpec spec = BaseSpec();
+  ChurnMixEntry entry;
+  entry.protocol = ProtocolKind::kFtNrp;  // range protocol
+  entry.query_type = QuerySpec::Type::kRank;
+  spec.mix.push_back(entry);
+  EXPECT_FALSE(ExpandChurn(spec, 2000).ok());
+
+  // ...and symmetrically, a range query with a rank-only protocol.
+  ChurnSpec spec2 = BaseSpec();
+  ChurnMixEntry entry2;
+  entry2.protocol = ProtocolKind::kRtp;
+  entry2.query_type = QuerySpec::Type::kRange;
+  spec2.mix.push_back(entry2);
+  EXPECT_FALSE(ExpandChurn(spec2, 2000).ok());
+}
+
+TEST(ChurnSpecTest, MixPairingIsValidatedRegardlessOfDraws) {
+  // An invalid entry must fail validation even when its weight makes it
+  // (nearly) never drawn — rejection cannot depend on the seed.
+  ChurnSpec spec = BaseSpec();
+  spec.mix.push_back(ChurnMixEntry{});  // valid range/FT-NRP, weight 1
+  ChurnMixEntry bad;
+  bad.weight = 1e-12;
+  bad.protocol = ProtocolKind::kZtNrp;
+  bad.query_type = QuerySpec::Type::kRank;
+  spec.mix.push_back(bad);
+  EXPECT_FALSE(spec.Validate().ok());
+  EXPECT_FALSE(ExpandChurn(spec, 2000).ok());
+}
+
+TEST(ChurnExpansionTest, FixedShapeEntryPinsEveryArrival) {
+  ChurnSpec spec = BaseSpec();
+  ChurnMixEntry entry;
+  entry.protocol = ProtocolKind::kFtNrp;
+  entry.fixed_shape = true;
+  entry.shape = QuerySpec::Range(123, 456);
+  spec.mix.push_back(entry);
+  const auto deployments = ExpandChurn(spec, 2000);
+  ASSERT_TRUE(deployments.ok());
+  ASSERT_FALSE(deployments->empty());
+  for (const QueryDeployment& dep : *deployments) {
+    EXPECT_EQ(dep.query.type, QuerySpec::Type::kRange);
+    EXPECT_EQ(dep.query.range_lo, 123.0);
+    EXPECT_EQ(dep.query.range_hi, 456.0);
+  }
+}
+
+TEST(ChurnExpansionTest, MaxQueriesCapsArrivals) {
+  ChurnSpec spec = BaseSpec();
+  spec.arrival_rate = 1.0;
+  spec.max_queries = 7;
+  const auto deployments = ExpandChurn(spec, 5000);
+  ASSERT_TRUE(deployments.ok());
+  EXPECT_EQ(deployments->size(), 7u);
+}
+
+TEST(ChurnExpansionTest, ExpandedScheduleValidatesAndRuns) {
+  ChurnSpec spec = BaseSpec();
+  spec.arrival_rate = 0.1;
+  spec.mean_lifetime = 120;
+  MultiQueryConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 120;
+  walk.seed = 3;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = 600;
+  config.seed = 3;
+  auto deployments = ExpandChurn(spec, config.duration);
+  ASSERT_TRUE(deployments.ok());
+  ASSERT_FALSE(deployments->empty());
+  config.queries = std::move(deployments).value();
+  ASSERT_TRUE(config.Validate().ok());
+
+  auto result = RunMultiQuerySystem(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries.size(), config.queries.size());
+  EXPECT_EQ(result->peak_live_queries,
+            PeakConcurrency(config.queries, config.query_start,
+                            config.duration));
+  for (std::size_t i = 0; i < config.queries.size(); ++i) {
+    const MultiQueryResult::PerQuery& q = result->queries[i];
+    EXPECT_EQ(q.deployed_at, config.queries[i].start);
+    if (config.queries[i].end != kNeverRetire) {
+      EXPECT_EQ(q.retired_at, config.queries[i].end);
+    } else {
+      EXPECT_EQ(q.retired_at, config.duration);
+    }
+  }
+}
+
+TEST(ChurnPeakConcurrencyTest, CountsOverlapsWithDeployBeforeRetire) {
+  std::vector<QueryDeployment> deployments(3);
+  deployments[0].start = 0;
+  deployments[0].end = 10;
+  deployments[1].start = 5;
+  deployments[1].end = 20;
+  // Back-to-back at t=10: the new deploy counts before the retirement, so
+  // the instantaneous population peaks at 3 — matching the engine's
+  // deploys-before-retirements event order.
+  deployments[2].start = 10;
+  deployments[2].end = kNeverRetire;
+  EXPECT_EQ(PeakConcurrency(deployments, 0, 100), 3u);
+}
+
+}  // namespace
+}  // namespace asf

@@ -1,0 +1,128 @@
+#include "filter/filter_arena.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/constraint.h"
+
+namespace asf {
+namespace {
+
+FilterConstraint RangeConstraint(double lo, double hi) {
+  return FilterConstraint::Range(Interval(lo, hi));
+}
+
+TEST(FilterArenaTest, StartsEmpty) {
+  FilterArena arena(16);
+  EXPECT_EQ(arena.num_streams(), 16u);
+  EXPECT_EQ(arena.live(), 0u);
+  EXPECT_EQ(arena.capacity(), 0u);
+}
+
+TEST(FilterArenaTest, AcquireGrowsByDoublingAndBumpsGeneration) {
+  FilterArena arena(4);
+  const std::uint64_t g0 = arena.generation();
+  EXPECT_EQ(arena.Acquire(), 0u);
+  EXPECT_EQ(arena.capacity(), 1u);
+  EXPECT_GT(arena.generation(), g0);  // growth 0 -> 1 invalidates views
+
+  const std::uint64_t g1 = arena.generation();
+  EXPECT_EQ(arena.Acquire(), 1u);  // 1 -> 2: growth again
+  EXPECT_EQ(arena.capacity(), 2u);
+  EXPECT_GT(arena.generation(), g1);
+
+  EXPECT_EQ(arena.Acquire(), 2u);  // 2 -> 4
+  const std::uint64_t g3 = arena.generation();
+  EXPECT_EQ(arena.Acquire(), 3u);  // fits: no growth, no invalidation
+  EXPECT_EQ(arena.capacity(), 4u);
+  EXPECT_EQ(arena.generation(), g3);
+  EXPECT_EQ(arena.live(), 4u);
+}
+
+TEST(FilterArenaTest, GrowthPreservesFilterState) {
+  FilterArena arena(3);
+  const std::size_t c0 = arena.Acquire();
+  FilterBank bank0 = arena.View(c0);
+  for (StreamId id = 0; id < 3; ++id) {
+    bank0.Deploy(id, RangeConstraint(10 * id, 10 * id + 5), 2.0);
+  }
+  // Force growth twice; column 0's filters must carry their constraint and
+  // membership reference across both reallocations.
+  arena.Acquire();
+  arena.Acquire();
+  FilterBank rebound = arena.View(c0);
+  for (StreamId id = 0; id < 3; ++id) {
+    EXPECT_EQ(rebound.at(id).constraint(),
+              RangeConstraint(10 * id, 10 * id + 5));
+    // Reference was set against value 2.0: inside only for stream 0.
+    EXPECT_EQ(rebound.at(id).reference_inside(), id == 0);
+  }
+}
+
+TEST(FilterArenaTest, ReleaseLastColumnNeedsNoMove) {
+  FilterArena arena(2);
+  arena.Acquire();
+  const std::size_t last = arena.Acquire();
+  EXPECT_EQ(arena.Release(last), last);  // moved == released: no move
+  EXPECT_EQ(arena.live(), 1u);
+}
+
+TEST(FilterArenaTest, ReleaseCompactsLastColumnIntoHole) {
+  FilterArena arena(2);
+  const std::size_t a = arena.Acquire();
+  const std::size_t b = arena.Acquire();
+  const std::size_t c = arena.Acquire();
+  ASSERT_EQ(arena.live(), 3u);
+
+  // Give each column a distinguishable constraint.
+  arena.View(a).Deploy(0, RangeConstraint(0, 1), 0.5);
+  arena.View(b).Deploy(0, RangeConstraint(2, 3), 0.5);
+  arena.View(c).Deploy(0, RangeConstraint(4, 5), 4.5);
+
+  // Releasing the middle column moves the last column into it.
+  EXPECT_EQ(arena.Release(b), c);
+  EXPECT_EQ(arena.live(), 2u);
+  FilterBank moved = arena.View(b);
+  EXPECT_EQ(moved.at(0).constraint(), RangeConstraint(4, 5));
+  EXPECT_TRUE(moved.at(0).reference_inside());  // state moved, not reset
+  // Column a untouched.
+  EXPECT_EQ(arena.View(a).at(0).constraint(), RangeConstraint(0, 1));
+}
+
+TEST(FilterArenaTest, RecycledColumnComesUpPristine) {
+  FilterArena arena(2);
+  const std::size_t a = arena.Acquire();
+  arena.View(a).Deploy(0, RangeConstraint(0, 1), 0.5);
+  arena.Release(a);
+  const std::size_t again = arena.Acquire();
+  EXPECT_EQ(again, a);
+  // The new tenant must not inherit the old tenant's filters.
+  EXPECT_FALSE(arena.View(again).at(0).constraint().has_filter());
+}
+
+TEST(FilterArenaTest, StripScansLivePrefix) {
+  FilterArena arena(1);
+  for (int i = 0; i < 5; ++i) arena.Acquire();
+  for (std::size_t c = 0; c < 5; ++c) {
+    arena.View(c).Deploy(0, RangeConstraint(100.0 * c, 100.0 * c + 50), 0.0);
+  }
+  arena.Release(1);  // column 4 moves into 1; live = {0, 4, 2, 3}
+  const Filter* strip = arena.Strip(0);
+  EXPECT_EQ(arena.live(), 4u);
+  EXPECT_EQ(strip[0].constraint(), RangeConstraint(0, 50));
+  EXPECT_EQ(strip[1].constraint(), RangeConstraint(400, 450));
+  EXPECT_EQ(strip[2].constraint(), RangeConstraint(200, 250));
+  EXPECT_EQ(strip[3].constraint(), RangeConstraint(300, 350));
+}
+
+TEST(FilterArenaTest, ViewsCarryTheGenerationTag) {
+  FilterArena arena(2);
+  const std::size_t a = arena.Acquire();
+  FilterBank view = arena.View(a);
+  EXPECT_EQ(view.bound_generation(), arena.generation());
+  arena.Acquire();  // growth: the old view's tag goes stale
+  EXPECT_NE(view.bound_generation(), arena.generation());
+  EXPECT_EQ(arena.View(a).bound_generation(), arena.generation());
+}
+
+}  // namespace
+}  // namespace asf

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "engine/system.h"
 #include "trace/tcp_synth.h"
 
@@ -64,6 +66,81 @@ TEST(MultiQueryConfigTest, RejectsMismatchedProtocol) {
   bad.protocol = ProtocolKind::kFtNrp;  // range protocol, rank query
   config.queries.push_back(bad);
   EXPECT_FALSE(RunMultiQuerySystem(config).ok());
+}
+
+TEST(MultiQueryConfigTest, RejectsLifecycleWindowOutsideRun) {
+  MultiQueryConfig config = BaseConfig();
+  QueryDeployment late = RangeDep("late", 400, 600, 0);
+  late.start = config.duration;  // deploy at/after the horizon
+  config.queries.push_back(late);
+  EXPECT_FALSE(RunMultiQuerySystem(config).ok());
+}
+
+TEST(MultiQueryConfigTest, RejectsEmptyLiveWindow) {
+  MultiQueryConfig config = BaseConfig();
+  QueryDeployment backwards = RangeDep("backwards", 400, 600, 0);
+  backwards.start = 100;
+  backwards.end = 100;  // retires the instant it deploys
+  config.queries.push_back(backwards);
+  EXPECT_FALSE(RunMultiQuerySystem(config).ok());
+
+  // A default start resolves to query_start; an end before that is just
+  // as empty.
+  MultiQueryConfig config2 = BaseConfig();
+  config2.query_start = 50;
+  QueryDeployment gone = RangeDep("gone", 400, 600, 0);
+  gone.end = 10;
+  config2.queries.push_back(gone);
+  EXPECT_FALSE(RunMultiQuerySystem(config2).ok());
+}
+
+TEST(MultiQueryConfigTest, AcceptsEndBeyondHorizon) {
+  MultiQueryConfig config = BaseConfig();
+  QueryDeployment open = RangeDep("open", 400, 600, 0);
+  open.start = 100;
+  open.end = config.duration * 10;  // never retires in practice
+  config.queries.push_back(open);
+  auto result = RunMultiQuerySystem(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries[0].deployed_at, 100.0);
+  EXPECT_EQ(result->queries[0].retired_at, config.duration);
+}
+
+TEST(MultiQueryConfigTest, RejectsNanLifecycleTimes) {
+  MultiQueryConfig config = BaseConfig();
+  QueryDeployment bad = RangeDep("nan-end", 400, 600, 0);
+  bad.end = std::numeric_limits<double>::quiet_NaN();
+  config.queries.push_back(bad);
+  EXPECT_FALSE(RunMultiQuerySystem(config).ok());
+
+  MultiQueryConfig config2 = BaseConfig();
+  QueryDeployment bad2 = RangeDep("nan-start", 400, 600, 0);
+  bad2.start = std::numeric_limits<double>::quiet_NaN();
+  config2.queries.push_back(bad2);
+  EXPECT_FALSE(RunMultiQuerySystem(config2).ok());
+}
+
+/// No message-cost cliff at the horizon: a query whose end coincides with
+/// the run's end is the same observable run as one that never retires —
+/// in particular it is NOT charged an uninstall broadcast at the instant
+/// the simulation stops.
+TEST(MultiSystemTest, EndAtHorizonCostsTheSameAsNeverRetiring) {
+  MultiQueryConfig at_horizon = BaseConfig();
+  QueryDeployment dep = RangeDep("q", 400, 600, 0);
+  dep.end = at_horizon.duration;
+  at_horizon.queries.push_back(dep);
+  auto a = RunMultiQuerySystem(at_horizon);
+  ASSERT_TRUE(a.ok());
+
+  MultiQueryConfig never = BaseConfig();
+  never.queries.push_back(RangeDep("q", 400, 600, 0));
+  auto b = RunMultiQuerySystem(never);
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_EQ(a->queries[0].messages.MaintenanceTotal(),
+            b->queries[0].messages.MaintenanceTotal());
+  EXPECT_EQ(a->queries[0].retired_at, b->queries[0].retired_at);
+  EXPECT_EQ(a->updates_generated, b->updates_generated);
 }
 
 // --- Behaviour ---

@@ -150,6 +150,173 @@ TEST(SimCoreTest, RunAccumulatesPerQueryStats) {
   EXPECT_GT(core.wall_seconds(), 0.0);
 }
 
+// --- Query lifecycle (deploy/retire mid-run) ---
+
+/// Helper: compare every per-query outcome two runs produced for one slot.
+void ExpectSameQueryStats(const QueryRunStats& a, const QueryRunStats& b,
+                          const char* label) {
+  for (int phase = 0; phase < kNumMessagePhases; ++phase) {
+    for (int type = 0; type < kNumMessageTypes; ++type) {
+      EXPECT_EQ(a.messages.count(static_cast<MessagePhase>(phase),
+                                 static_cast<MessageType>(type)),
+                b.messages.count(static_cast<MessagePhase>(phase),
+                                 static_cast<MessageType>(type)))
+          << label << " phase=" << phase << " type=" << type;
+    }
+  }
+  EXPECT_EQ(a.updates_reported, b.updates_reported) << label;
+  EXPECT_EQ(a.reinits, b.reinits) << label;
+  EXPECT_EQ(a.answer_size.count(), b.answer_size.count()) << label;
+  EXPECT_DOUBLE_EQ(a.answer_size.mean(), b.answer_size.mean()) << label;
+  EXPECT_EQ(a.oracle_checks, b.oracle_checks) << label;
+  EXPECT_EQ(a.oracle_violations, b.oracle_violations) << label;
+  EXPECT_DOUBLE_EQ(a.max_f_plus, b.max_f_plus) << label;
+  EXPECT_DOUBLE_EQ(a.max_f_minus, b.max_f_minus) << label;
+}
+
+/// The lifecycle refactor's load-bearing guarantee: a deployment carrying
+/// the explicit degenerate window (start = query_start, end = never) is
+/// the same run as the default static batch.
+TEST(SimCoreLifecycleTest, ExplicitDegenerateWindowEqualsStaticBatch) {
+  SimulationCore static_core(WalkOptions());
+  static_core.AddQuery(RangeDeployment(400, 600, 0.2));
+  static_core.Run();
+
+  SimulationCore explicit_core(WalkOptions());
+  QueryDeployment dep = RangeDeployment(400, 600, 0.2);
+  dep.start = 0;  // == WalkOptions().query_start
+  dep.end = kNeverRetire;
+  explicit_core.DeployQuery(dep, dep.start);
+  explicit_core.Run();
+
+  EXPECT_EQ(static_core.updates_generated(),
+            explicit_core.updates_generated());
+  EXPECT_EQ(static_core.physical_updates(), explicit_core.physical_updates());
+  ExpectSameQueryStats(static_core.query_stats(0),
+                       explicit_core.query_stats(0), "degenerate-window");
+  EXPECT_EQ(static_core.query_stats(0).deployed_at,
+            explicit_core.query_stats(0).deployed_at);
+  EXPECT_EQ(static_core.query_stats(0).retired_at,
+            explicit_core.query_stats(0).retired_at);
+}
+
+/// Per-query isolation across the lifecycle: a co-query churning in and
+/// out — including the arena compaction its retirement triggers — must not
+/// perturb a survivor's results at all. The churning query is registered
+/// first so its column is 0 and the survivor's column physically moves.
+TEST(SimCoreLifecycleTest, RetiringCoQueryDoesNotPerturbSurvivor) {
+  // The survivor sits at different slot indices in the two runs, so its
+  // protocol RNG seed differs — harmless here because boundary-nearest
+  // FT-NRP never consumes it.
+  SimulationCore alone(WalkOptions());
+  alone.AddQuery(RangeDeployment(400, 600, 0.2));
+  alone.Run();
+
+  SimulationCore shared(WalkOptions());
+  QueryDeployment churner = RangeDeployment(100, 300, 0.3);
+  churner.name = "churner";
+  churner.start = 40;
+  churner.end = 170;
+  shared.AddQuery(churner);                         // slot 0, column 0
+  shared.AddQuery(RangeDeployment(400, 600, 0.2));  // slot 1, column 1
+  shared.Run();
+
+  // The survivor's column moved 1 -> 0 when the churner retired; its
+  // filter states, messages and answers must be exactly the single-run's.
+  ExpectSameQueryStats(alone.query_stats(0), shared.query_stats(1),
+                       "survivor");
+  EXPECT_EQ(shared.query_stats(0).retired_at, 170.0);
+  EXPECT_EQ(shared.query_stats(0).deployed_at, 40.0);
+}
+
+/// Satellite regression: an oracle tick landing after a query retires must
+/// neither judge the dead query nor crash.
+TEST(SimCoreLifecycleTest, OracleTickAfterRetireSkipsDeadQuery) {
+  SimulationCore::Options options = WalkOptions();
+  options.oracle.sample_interval = 25;  // ticks at 25, 50, ..., 300
+  SimulationCore core(options);
+
+  QueryDeployment doomed = RangeDeployment(400, 600, 0.2);
+  doomed.name = "doomed";
+  const std::size_t doomed_slot = core.AddQuery(doomed);
+  QueryDeployment survivor = RangeDeployment(300, 500, 0);
+  survivor.name = "survivor";
+  const std::size_t survivor_slot = core.AddQuery(survivor);
+  core.RetireQuery(doomed_slot, 150);
+  core.Run();
+
+  const QueryRunStats& dead = core.query_stats(doomed_slot);
+  const QueryRunStats& alive = core.query_stats(survivor_slot);
+  // Retirements run before same-time ticks, so the doomed query is judged
+  // at 25..125 only (5 ticks); the survivor sees all 12.
+  EXPECT_EQ(dead.oracle_checks, 5u);
+  EXPECT_EQ(alive.oracle_checks, 12u);
+  EXPECT_EQ(dead.retired_at, 150.0);
+  EXPECT_EQ(alive.retired_at, options.duration);
+}
+
+/// Retirement uninstalls the query's filters: one pass-through deploy per
+/// stream, charged as maintenance kFilterDeploy — and nothing reaches the
+/// protocol afterwards.
+TEST(SimCoreLifecycleTest, RetireUninstallsFiltersAndFreezesAccounting) {
+  const std::size_t n = 200;
+  SimulationCore core(WalkOptions(n));
+  QueryDeployment dep;  // kNoFilter: never deploys filters on its own
+  dep.query = QuerySpec::Range(400, 600);
+  dep.protocol = ProtocolKind::kNoFilter;
+  const std::size_t slot = core.AddQuery(dep);
+  core.RetireQuery(slot, 150);
+  // A long-lived companion keeps updates flowing after the retirement.
+  core.AddQuery(RangeDeployment(300, 500, 0));
+  core.Run();
+
+  const QueryRunStats& stats = core.query_stats(slot);
+  // The only kFilterDeploy traffic of a no-filter query is the retirement
+  // uninstall: exactly one per stream, in the maintenance phase.
+  EXPECT_EQ(stats.messages.count(MessagePhase::kMaintenance,
+                                 MessageType::kFilterDeploy),
+            n);
+  EXPECT_EQ(stats.messages.count(MessagePhase::kInit,
+                                 MessageType::kFilterDeploy),
+            0u);
+  // Its sample stream covers only its live window.
+  EXPECT_EQ(stats.answer_size.count(), stats.updates_reported);
+  EXPECT_LT(stats.answer_size.count(), core.updates_generated());
+  EXPECT_EQ(stats.retired_at, 150.0);
+}
+
+/// A dynamic schedule is fully deterministic under a fixed seed.
+TEST(SimCoreLifecycleTest, DynamicScheduleIsDeterministic) {
+  auto run_once = [](std::vector<QueryRunStats>* stats_out) {
+    SimulationCore::Options options = WalkOptions(150, 13);
+    options.oracle.sample_interval = 30;
+    SimulationCore core(options);
+    for (int i = 0; i < 8; ++i) {
+      QueryDeployment dep =
+          RangeDeployment(100.0 * i, 100.0 * i + 250, i % 2 ? 0.2 : 0.0);
+      dep.name = "q" + std::to_string(i);
+      dep.start = 10.0 * i;
+      if (i % 3 != 0) dep.end = 60.0 + 35.0 * i;
+      core.AddQuery(dep);
+    }
+    core.Run();
+    for (std::size_t i = 0; i < core.num_queries(); ++i) {
+      stats_out->push_back(core.query_stats(i));
+    }
+    return std::make_pair(core.updates_generated(), core.physical_updates());
+  };
+  std::vector<QueryRunStats> first_stats, second_stats;
+  const auto first = run_once(&first_stats);
+  const auto second = run_once(&second_stats);
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first_stats.size(), second_stats.size());
+  for (std::size_t i = 0; i < first_stats.size(); ++i) {
+    ExpectSameQueryStats(first_stats[i], second_stats[i], "determinism");
+    EXPECT_EQ(first_stats[i].deployed_at, second_stats[i].deployed_at);
+    EXPECT_EQ(first_stats[i].retired_at, second_stats[i].retired_at);
+  }
+}
+
 TEST(SimCoreTest, PerQueryBroadcastModelsCoexist) {
   // The broadcast cost model is per-deployment: the same run can charge
   // one query per-recipient and another per-broadcast.

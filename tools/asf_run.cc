@@ -6,15 +6,24 @@
 ///   asf_run --protocol=rtp --query=knn --k=10 --q=500 --r=5
 ///   asf_run --protocol=ft-rp --query=topk --k=20 --eps-plus=0.3
 ///           --trace=mytrace.csv
+///   asf_run --churn --churn-rate=0.3 --churn-lifetime=250
+///           --streams=2000 --duration=4000
 ///
 /// Prints the run summary (message counts by type, oracle audit) as a
-/// table. `--help` lists every flag.
+/// table; `--churn` switches to an open query population (Poisson
+/// arrivals, exponential lifetimes) and reports per-query live windows.
+/// `--help` lists every flag.
 
 #include <cstdio>
 #include <cstring>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
+#include "engine/churn.h"
+#include "engine/multi_system.h"
 #include "engine/system.h"
+#include "metrics/bench_json.h"
 #include "metrics/table.h"
 #include "trace/trace_io.h"
 
@@ -49,6 +58,20 @@ Protocol & tolerance:
 Auditing:
   --oracle-interval=T     sample the correctness oracle every T time units
   --oracle-every-update   audit after every update (slow)
+
+Churn mode (open query population; the query/protocol flags above form
+the arrival mix — when --range / --q is given explicitly it pins every
+arrival's query shape, otherwise shapes are drawn at random over the
+value space):
+  --churn                 deploy/retire queries mid-run instead of one
+                          static query
+  --churn-rate=R          mean query arrivals per time unit     [0.2]
+  --churn-lifetime=L      mean query lifetime                   [250]
+  --churn-max=N           cap on arrivals (0 = none)            [0]
+  --churn-seed=N          churn schedule seed (default: --seed)
+
+Output:
+  --bench-json=FILE       also write the summary as BENCH json
 )";
 
 Result<ProtocolKind> ParseProtocol(const std::string& name) {
@@ -81,6 +104,113 @@ Result<QuerySpec> ParseQuery(const Flags& flags) {
     return QuerySpec::BottomK(static_cast<std::size_t>(k));
   }
   return Status::InvalidArgument("unknown --query: " + kind);
+}
+
+/// Churn mode: the protocol/query/tolerance flags describe the arrival
+/// mix; queries arrive Poisson and retire after exponential lifetimes.
+Status RunChurn(const Flags& flags, const SystemConfig& base) {
+  ChurnSpec spec;
+  ASF_ASSIGN_OR_RETURN(spec.arrival_rate,
+                       flags.GetDouble("churn-rate", 0.2));
+  ASF_ASSIGN_OR_RETURN(spec.mean_lifetime,
+                       flags.GetDouble("churn-lifetime", 250));
+  ASF_ASSIGN_OR_RETURN(const std::int64_t max_queries,
+                       flags.GetInt("churn-max", 0));
+  if (max_queries < 0) {
+    return Status::InvalidArgument("--churn-max must be >= 0");
+  }
+  spec.max_queries = static_cast<std::size_t>(max_queries);
+  ASF_ASSIGN_OR_RETURN(
+      const std::int64_t churn_seed,
+      flags.GetInt("churn-seed", static_cast<std::int64_t>(base.seed)));
+  spec.seed = static_cast<std::uint64_t>(churn_seed);
+  spec.window_start = base.query_start;
+
+  ChurnMixEntry entry;
+  entry.protocol = base.protocol;
+  entry.query_type = base.query.type;
+  entry.rank_kind = base.query.rank_kind;  // knn vs topk vs bottomk
+  entry.eps_plus = base.fraction.eps_plus;
+  entry.eps_minus = base.fraction.eps_minus;
+  entry.rank_r = base.rank_r;
+  entry.k = base.query.k;
+  entry.ft = base.ft;
+  entry.broadcast = base.broadcast_counts_as_one
+                        ? BroadcastCostModel::kSingleMessage
+                        : BroadcastCostModel::kPerRecipient;
+  // An explicitly given query geometry pins every arrival's shape;
+  // otherwise shapes are drawn at random over the value space.
+  if ((base.query.type == QuerySpec::Type::kRange && flags.Has("range")) ||
+      (base.query.type == QuerySpec::Type::kRank && flags.Has("q"))) {
+    entry.fixed_shape = true;
+    entry.shape = base.query;
+  }
+  spec.mix.push_back(entry);
+
+  MultiQueryConfig config;
+  config.source = base.source;
+  config.duration = base.duration;
+  config.query_start = base.query_start;
+  config.seed = base.seed;
+  config.oracle = base.oracle;
+  ASF_ASSIGN_OR_RETURN(config.queries, ExpandChurn(spec, config.duration));
+  if (config.queries.empty()) {
+    return Status::InvalidArgument(
+        "churn schedule is empty; raise --churn-rate or --duration");
+  }
+  ASF_ASSIGN_OR_RETURN(const MultiQueryResult result,
+                       RunMultiQuerySystem(config));
+
+  std::printf("churn of %s queries over %zu streams, duration %g "
+              "(rate %g, mean lifetime %g)\n\n",
+              std::string(ProtocolKindName(base.protocol)).c_str(),
+              config.source.NumStreams(), config.duration,
+              spec.arrival_rate, spec.mean_lifetime);
+  TextTable per_query({"query", "deployed", "retired", "maint_messages",
+                       "reported", "answer_mean", "oracle"});
+  for (const MultiQueryResult::PerQuery& q : result.queries) {
+    per_query.AddRow(
+        {q.name, Fmt("%g", q.deployed_at), Fmt("%g", q.retired_at),
+         Fmt("%llu", (unsigned long long)q.messages.MaintenanceTotal()),
+         Fmt("%llu", (unsigned long long)q.updates_reported),
+         Fmt("%.2f", q.answer_size.mean()),
+         Fmt("%llu/%llu", (unsigned long long)q.oracle_violations,
+             (unsigned long long)q.oracle_checks)});
+  }
+  std::printf("%s\n", per_query.ToString().c_str());
+
+  TextTable totals({"metric", "value"});
+  totals.AddRow({"queries deployed", Fmt("%zu", result.queries.size())});
+  totals.AddRow({"peak live queries", Fmt("%zu", result.peak_live_queries)});
+  totals.AddRow({"updates generated",
+                 Fmt("%llu", (unsigned long long)result.updates_generated)});
+  totals.AddRow({"physical maintenance",
+                 Fmt("%llu",
+                     (unsigned long long)result.PhysicalMaintenanceTotal())});
+  totals.AddRow({"logical maintenance",
+                 Fmt("%llu",
+                     (unsigned long long)result.LogicalMaintenanceTotal())});
+  totals.AddRow({"sharing saving",
+                 Fmt("%llu", (unsigned long long)(result.LogicalUpdates() -
+                                                  result.physical_updates))});
+  totals.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
+  std::printf("%s", totals.ToString().c_str());
+
+  if (flags.Has("bench-json")) {
+    ASF_RETURN_IF_ERROR(WriteBenchJson(
+        flags.GetString("bench-json"), "asf_run_churn",
+        {{"queries", static_cast<double>(result.queries.size())},
+         {"peak_live", static_cast<double>(result.peak_live_queries)},
+         {"updates_generated",
+          static_cast<double>(result.updates_generated)},
+         {"physical_maint",
+          static_cast<double>(result.PhysicalMaintenanceTotal())},
+         {"logical_maint",
+          static_cast<double>(result.LogicalMaintenanceTotal())},
+         {"wall_seconds", result.wall_seconds}}));
+    std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
+  }
+  return Status::OK();
 }
 
 Status RunFromFlags(const Flags& flags) {
@@ -149,6 +279,8 @@ Status RunFromFlags(const Flags& flags) {
   ASF_ASSIGN_OR_RETURN(config.oracle.check_every_update,
                        flags.GetBool("oracle-every-update", false));
 
+  if (flags.Has("churn")) return RunChurn(flags, config);
+
   ASF_ASSIGN_OR_RETURN(const RunResult result, RunSystem(config));
 
   std::printf("%s over %zu streams, duration %g (warmup %g)\n\n",
@@ -184,6 +316,27 @@ Status RunFromFlags(const Flags& flags) {
   }
   table.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", table.ToString().c_str());
+
+  // Machine-readable counterpart of the table, same schema as the bench
+  // harnesses and `asf_sweep --bench-json`.
+  if (flags.Has("bench-json")) {
+    ASF_RETURN_IF_ERROR(WriteBenchJson(
+        flags.GetString("bench-json"), "asf_run",
+        {{"maint_messages",
+          static_cast<double>(result.MaintenanceMessages())},
+         {"init_messages", static_cast<double>(result.messages.InitTotal())},
+         {"updates_generated",
+          static_cast<double>(result.updates_generated)},
+         {"updates_reported",
+          static_cast<double>(result.updates_reported)},
+         {"reinits", static_cast<double>(result.reinits)},
+         {"answer_size_mean", result.answer_size.mean()},
+         {"oracle_checks", static_cast<double>(result.oracle_checks)},
+         {"oracle_violations",
+          static_cast<double>(result.oracle_violations)},
+         {"wall_seconds", result.wall_seconds}}));
+    std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
+  }
   return Status::OK();
 }
 
