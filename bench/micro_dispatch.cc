@@ -1,10 +1,15 @@
 /// Microbenchmark of the multi-query update dispatch path — the fig11
-/// scalability hot loop. Two measurements:
+/// scalability hot loop. Measurements:
 ///
-///  * strip_scan: the raw per-update filter evaluation over Q queries'
-///    filters for one stream, exactly as the engine's update handler runs
-///    it against the stream-major SoA layout.
-///  * engine: end-to-end RunMultiQuerySystem throughput (generated
+///  * strip_scan Q=64/256/1024: the per-update crossing kernel over Q
+///    queries' filters for one stream, exactly as the engine's update
+///    handler runs it — the FilterArena SoA strips swept by the SIMD
+///    kernel (src/common/simd.h; the q1024 point tracks the scaling curve
+///    past the pre-SoA q256 cliff).
+///  * aos_scan Q=256: the pre-SoA reference — scalar Filter::OnValueChange
+///    over an array-of-structs strip. simd_speedup_q256 is the in-process
+///    ratio kernel/AoS, the machine-stable metric CI guards.
+///  * engine Q=64: end-to-end RunMultiQuerySystem throughput (generated
 ///    updates per wall second) with Q concurrent range queries over a
 ///    shared random-walk population.
 ///
@@ -19,11 +24,14 @@
 
 #include "bench_common.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "engine/multi_system.h"
-#include "filter/filter_bank.h"
+#include "filter/filter_arena.h"
 
 namespace asf {
 namespace {
+
+constexpr std::size_t kStreams = 800;
 
 double Seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -31,38 +39,71 @@ double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// The engine's inner loop in isolation: scan the contiguous strip of Q
-/// filters for the updated stream. Filters get staggered ranges so a
-/// realistic minority fire per update.
-double StripScanUpdatesPerSec(std::size_t num_streams, std::size_t q_count,
-                              std::uint64_t total_updates) {
-  std::vector<Filter> storage(num_streams * q_count);
-  std::vector<FilterBank> banks;
-  banks.reserve(q_count);
-  for (std::size_t q = 0; q < q_count; ++q) {
-    banks.emplace_back(&storage[q], q_count, num_streams);
-    const double lo = 100.0 + 50.0 * static_cast<double>(q % 16);
-    const FilterConstraint c =
-        FilterConstraint::Range(Interval(lo, lo + 100.0));
-    for (StreamId id = 0; id < num_streams; ++id) {
-      banks[q].Deploy(id, c, 500.0);
-    }
-  }
+/// Staggered range constraints so a realistic minority fire per update
+/// (same shapes as the engine measurement below).
+FilterConstraint QueryConstraint(std::size_t q) {
+  const double lo = 100.0 + 50.0 * static_cast<double>(q % 16);
+  return FilterConstraint::Range(Interval(lo, lo + 100.0));
+}
 
-  Rng rng(7);
+struct UpdateMix {
   std::vector<Value> values;
   std::vector<StreamId> ids;
-  for (int i = 0; i < 4096; ++i) {
-    values.push_back(rng.Uniform(0, 1000));
-    ids.push_back(static_cast<StreamId>(
-        rng.Uniform(0, static_cast<double>(num_streams))));
+
+  explicit UpdateMix(std::size_t num_streams) {
+    Rng rng(7);
+    for (int i = 0; i < 4096; ++i) {
+      values.push_back(rng.Uniform(0, 1000));
+      ids.push_back(static_cast<StreamId>(
+          rng.Uniform(0, static_cast<double>(num_streams))));
+    }
   }
+};
+
+/// The engine's inner loop in isolation: the SIMD crossing kernel over the
+/// contiguous SoA strip of Q filters for the updated stream.
+double StripScanUpdatesPerSec(std::size_t q_count,
+                              std::uint64_t total_updates) {
+  FilterArena arena(kStreams);
+  for (std::size_t q = 0; q < q_count; ++q) {
+    const std::size_t c = arena.Acquire();
+    for (StreamId id = 0; id < kStreams; ++id) {
+      arena.Deploy(id, c, QueryConstraint(q), 500.0);
+    }
+  }
+  const UpdateMix mix(kStreams);
 
   std::uint64_t fired = 0;
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t u = 0; u < total_updates; ++u) {
-    const StreamId id = ids[u & 4095];
-    const Value v = values[u & 4095];
+    const StreamId id = mix.ids[u & 4095];
+    const std::uint64_t* words = arena.EvaluateUpdate(id, mix.values[u & 4095]);
+    for (std::size_t w = 0; w < arena.fired_words(); ++w) {
+      fired += static_cast<std::uint64_t>(__builtin_popcountll(words[w]));
+    }
+  }
+  const double elapsed = Seconds(start);
+  if (fired == 0) std::fprintf(stderr, "unreachable\n");
+  return static_cast<double>(total_updates) / elapsed;
+}
+
+/// The pre-SoA reference: scalar OnValueChange over an AoS strip, exactly
+/// the dispatch loop this kernel replaced (PR 2/3 layout).
+double AosScanUpdatesPerSec(std::size_t q_count,
+                            std::uint64_t total_updates) {
+  std::vector<Filter> storage(kStreams * q_count);
+  for (std::size_t q = 0; q < q_count; ++q) {
+    for (StreamId id = 0; id < kStreams; ++id) {
+      storage[id * q_count + q].Deploy(QueryConstraint(q), 500.0);
+    }
+  }
+  const UpdateMix mix(kStreams);
+
+  std::uint64_t fired = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t u = 0; u < total_updates; ++u) {
+    const StreamId id = mix.ids[u & 4095];
+    const Value v = mix.values[u & 4095];
     Filter* strip = &storage[id * q_count];
     for (std::size_t q = 0; q < q_count; ++q) {
       if (strip[q].OnValueChange(v)) ++fired;
@@ -103,17 +144,28 @@ double EngineUpdatesPerSec(std::size_t num_streams, std::size_t q_count,
 int Main(int argc, char** argv) {
   const double scale = bench::Scale();
 
-  std::printf("=== micro_dispatch ===\n");
+  std::printf("=== micro_dispatch (simd backend: %s, %d lanes) ===\n",
+              simd::KernelBackend(), simd::KernelLanes());
   const double scan64 = StripScanUpdatesPerSec(
-      800, 64, static_cast<std::uint64_t>(2'000'000 * scale));
+      64, static_cast<std::uint64_t>(2'000'000 * scale));
   std::printf("strip_scan Q=64    %12.3e updates/sec\n", scan64);
   const double scan256 = StripScanUpdatesPerSec(
-      800, 256, static_cast<std::uint64_t>(500'000 * scale));
+      256, static_cast<std::uint64_t>(2'000'000 * scale));
   std::printf("strip_scan Q=256   %12.3e updates/sec\n", scan256);
+  const double scan1024 = StripScanUpdatesPerSec(
+      1024, static_cast<std::uint64_t>(500'000 * scale));
+  std::printf("strip_scan Q=1024  %12.3e updates/sec\n", scan1024);
+
+  const double aos256 = AosScanUpdatesPerSec(
+      256, static_cast<std::uint64_t>(500'000 * scale));
+  std::printf("aos_scan   Q=256   %12.3e updates/sec  (pre-SoA reference)\n",
+              aos256);
+  const double speedup256 = scan256 / aos256;
+  std::printf("simd_speedup Q=256 %12.2fx\n", speedup256);
 
   std::uint64_t updates = 0;
   const double engine64 =
-      EngineUpdatesPerSec(800, 64, 2000 * scale, &updates);
+      EngineUpdatesPerSec(kStreams, 64, 2000 * scale, &updates);
   std::printf("engine Q=64        %12.3e updates/sec  (%llu updates)\n",
               engine64, static_cast<unsigned long long>(updates));
 
@@ -121,7 +173,11 @@ int Main(int argc, char** argv) {
       argc, argv, "BENCH_micro_dispatch.json", "micro_dispatch",
       {{"strip_scan_q64_updates_per_sec", scan64},
        {"strip_scan_q256_updates_per_sec", scan256},
-       {"engine_q64_updates_per_sec", engine64}});
+       {"strip_scan_q1024_updates_per_sec", scan1024},
+       {"aos_scan_q256_updates_per_sec", aos256},
+       {"simd_speedup_q256", speedup256},
+       {"engine_q64_updates_per_sec", engine64},
+       {"simd_lanes", static_cast<double>(simd::KernelLanes())}});
 }
 
 }  // namespace

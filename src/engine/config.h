@@ -2,6 +2,7 @@
 #define ASF_ENGINE_CONFIG_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
 #include "common/status.h"
@@ -164,8 +165,27 @@ struct SystemConfig {
 
   OracleOptions oracle;
 
+  /// Worker shards the stream population is partitioned across (id % S).
+  /// 1 runs the classic serial engine; >= 2 runs ShardedSimulationCore,
+  /// whose results are byte-identical to the serial engine for any shard
+  /// count (DESIGN.md §8). Requires a partitionable source (walk/trace).
+  std::size_t shards = 1;
+  /// Sharded mode's speculation epoch length; <= 0 picks a default.
+  SimTime shard_epoch = 0;
+
   Status Validate() const;
 };
+
+/// Shared shard-count validation for SystemConfig / MultiQueryConfig.
+Status ValidateSharding(std::size_t shards, const SourceSpec& source);
+
+/// Builds the stream set `source` describes, driving only the streams
+/// `partition` owns (sources guarantee identical per-stream trajectories
+/// under any partition — see StreamPartition). Custom sources cannot be
+/// replicated and yield nullptr; callers requiring partitioning must
+/// validate against them first.
+std::unique_ptr<StreamSet> MakeStreams(const SourceSpec& source,
+                                       StreamPartition partition = {});
 
 }  // namespace asf
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "engine/protocol_factory.h"
+#include "engine/sharded_core.h"
 
 namespace asf {
 
@@ -49,6 +50,7 @@ Status MultiQueryConfig::Validate() const {
                                            dep.fraction,
                                            source.NumStreams()));
   }
+  ASF_RETURN_IF_ERROR(ValidateSharding(shards, source));
   return Status::OK();
 }
 
@@ -76,16 +78,13 @@ std::uint64_t MultiQueryResult::LogicalMaintenanceTotal() const {
   return total;
 }
 
-Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
-  ASF_RETURN_IF_ERROR(config.Validate());
+namespace {
 
-  SimulationCore::Options options;
-  options.source = config.source;
-  options.duration = config.duration;
-  options.query_start = config.query_start;
-  options.seed = config.seed;
-  options.oracle = config.oracle;
-  SimulationCore core(options);
+/// Deploys every query, runs the core, and flattens the outcome — shared
+/// verbatim between the serial and sharded engines so their results can
+/// only differ if the cores themselves do.
+template <typename Core>
+MultiQueryResult RunAndFlatten(Core& core, const MultiQueryConfig& config) {
   for (const QueryDeployment& dep : config.queries) core.AddQuery(dep);
   core.Run();
 
@@ -112,6 +111,29 @@ Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
   result.peak_live_queries = core.peak_live_queries();
   result.wall_seconds = core.wall_seconds();
   return result;
+}
+
+}  // namespace
+
+Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
+  ASF_RETURN_IF_ERROR(config.Validate());
+
+  SimulationCore::Options options;
+  options.source = config.source;
+  options.duration = config.duration;
+  options.query_start = config.query_start;
+  options.seed = config.seed;
+  options.oracle = config.oracle;
+  if (config.shards > 1) {
+    ShardedSimulationCore::Options sharded;
+    sharded.base = options;
+    sharded.shards = config.shards;
+    sharded.epoch = config.shard_epoch;
+    ShardedSimulationCore core(sharded);
+    return RunAndFlatten(core, config);
+  }
+  SimulationCore core(options);
+  return RunAndFlatten(core, config);
 }
 
 }  // namespace asf

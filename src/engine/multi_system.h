@@ -49,6 +49,13 @@ struct MultiQueryConfig {
   std::uint64_t seed = 1;
   OracleOptions oracle;
 
+  /// Worker shards the stream population is partitioned across (id % S).
+  /// 1 runs the classic serial engine; >= 2 runs ShardedSimulationCore,
+  /// byte-identical to serial for any shard count (DESIGN.md §8).
+  std::size_t shards = 1;
+  /// Sharded mode's speculation epoch length; <= 0 picks a default.
+  SimTime shard_epoch = 0;
+
   Status Validate() const;
 };
 

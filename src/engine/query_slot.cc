@@ -1,0 +1,52 @@
+#include "engine/query_slot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/protocol_factory.h"
+
+namespace asf {
+namespace engine_internal {
+
+void WireQuerySlot(QuerySlot* slot, const QueryDeployment& deployment,
+                   SimTime deploy_at, std::size_t num_streams,
+                   std::uint64_t run_seed, std::size_t index,
+                   const std::function<Transport(FilterBank*)>& make_transport) {
+  slot->deployment = deployment;
+  slot->deploy_at = deploy_at;
+  slot->stats.name = deployment.name;
+  // Detached until the deploy event binds it into the shared storage.
+  slot->filters = std::make_unique<FilterBank>();
+  slot->ctx = std::make_unique<ServerContext>(
+      num_streams, make_transport(slot->filters.get()),
+      &slot->stats.messages, deployment.broadcast);
+  slot->rng = std::make_unique<Rng>(QuerySlotSeed(run_seed, index));
+  slot->protocol =
+      MakeProtocol(deployment.query, deployment.protocol, deployment.rank_r,
+                   deployment.fraction, deployment.ft, slot->ctx.get(),
+                   slot->rng.get());
+}
+
+void JudgeSlot(QuerySlot& slot, const std::vector<Value>& values) {
+  const QueryDeployment& dep = slot.deployment;
+  const OracleCheck check =
+      JudgeAnswer(dep.query, dep.protocol, dep.rank_r, dep.fraction, values,
+                  slot.protocol->answer());
+  QueryRunStats& out = slot.stats;
+  ++out.oracle_checks;
+  if (!check.ok) ++out.oracle_violations;
+  out.max_f_plus = std::max(out.max_f_plus, check.f_plus);
+  out.max_f_minus = std::max(out.max_f_minus, check.f_minus);
+  out.max_worst_rank = std::max(out.max_worst_rank, check.worst_rank);
+}
+
+void FlushAnswerSamples(QuerySlot& slot, std::uint64_t upto) {
+  if (upto > slot.answer_sampled_upto) {
+    slot.stats.answer_size.AddRepeated(slot.answer_cur_size,
+                                       upto - slot.answer_sampled_upto);
+    slot.answer_sampled_upto = upto;
+  }
+}
+
+}  // namespace engine_internal
+}  // namespace asf

@@ -1,0 +1,73 @@
+#ifndef ASF_ENGINE_QUERY_SLOT_H_
+#define ASF_ENGINE_QUERY_SLOT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/sim_core.h"
+#include "filter/filter_arena.h"
+
+/// \file
+/// The per-query server runtime shared by the serial and sharded engines.
+///
+/// Both engines deploy queries the same way — a detached filter view, a
+/// ServerContext over engine-built transport wires, a protocol RNG seeded
+/// from the run seed, a protocol instance — and account them the same way
+/// (oracle judgments, run-length answer-size samples). Keeping that in
+/// one place is load-bearing: the sharded engine's byte-identical
+/// contract (DESIGN.md §8) means any accounting drift between the two is
+/// a correctness bug, so the shared parts live here and the engines keep
+/// only what genuinely differs (how values are read and when events run).
+/// Internal to src/engine; not part of the public API.
+
+namespace asf {
+namespace engine_internal {
+
+/// Server-side runtime of one deployed query.
+struct QuerySlot {
+  QueryDeployment deployment;
+  SimTime deploy_at = 0;
+  SimTime retire_at = kNeverRetire;
+  /// View into the shared filter storage while live; detached otherwise.
+  std::unique_ptr<FilterBank> filters;
+  std::unique_ptr<ServerContext> ctx;
+  std::unique_ptr<Rng> rng;
+  std::unique_ptr<Protocol> protocol;
+  QueryRunStats stats;
+
+  bool live = false;
+  /// The slot's arena column while live (moves under compaction).
+  std::size_t column = FilterArena::kNoColumn;
+
+  /// Incremental answer-size accounting: the answer only changes when
+  /// this query's protocol handles a fired update, so the per-update
+  /// sample stream is a run-length sequence — `answer_cur_size` repeated
+  /// since sample number `answer_sampled_upto` (see FlushAnswerSamples).
+  double answer_cur_size = 0.0;
+  std::uint64_t answer_sampled_upto = 0;
+};
+
+/// Wires one deployment into `slot` in place: detached bank, server
+/// context over the transport the engine builds against the slot's bank
+/// pointer, protocol RNG seeded QuerySlotSeed(run_seed, index), protocol
+/// instance. In place because the wiring is self-referential — the
+/// context counts into slot->stats.messages and the transport captures
+/// slot->filters — so the slot must already live at its final address.
+void WireQuerySlot(QuerySlot* slot, const QueryDeployment& deployment,
+                   SimTime deploy_at, std::size_t num_streams,
+                   std::uint64_t run_seed, std::size_t index,
+                   const std::function<Transport(FilterBank*)>& make_transport);
+
+/// Judges the slot's current answer against the true stream values,
+/// accumulating the verdict into its stats.
+void JudgeSlot(QuerySlot& slot, const std::vector<Value>& values);
+
+/// Appends the slot's pending run of unchanged answer-size samples (one
+/// per generated update, up to update number `upto`) in O(1).
+void FlushAnswerSamples(QuerySlot& slot, std::uint64_t upto);
+
+}  // namespace engine_internal
+}  // namespace asf
+
+#endif  // ASF_ENGINE_QUERY_SLOT_H_

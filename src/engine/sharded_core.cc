@@ -1,0 +1,475 @@
+#include "engine/sharded_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/config.h"
+#include "engine/query_slot.h"
+
+namespace asf {
+
+namespace {
+// Routed views are rebound against the shard arenas' shared generation
+// counter after every lifecycle event; a transport closure must never
+// touch one that survived a rebind.
+inline void AssertViewFresh(const FilterBank& bank, const FilterArena& arena) {
+  (void)bank;
+  (void)arena;
+  ASF_DCHECK(bank.bound_generation() == arena.generation());
+}
+}  // namespace
+
+/// Server-side runtime of one deployed query — the same shared runtime
+/// the serial engine uses (engine/query_slot.h), so wiring and
+/// accounting cannot drift between the two.
+struct ShardedSimulationCore::Slot : engine_internal::QuerySlot {};
+
+ShardedSimulationCore::ShardedSimulationCore(const Options& options)
+    : options_(options),
+      wall_start_(std::chrono::steady_clock::now()) {
+  const std::size_t num_shards = std::max<std::size_t>(1, options_.shards);
+  const std::size_t n = options_.base.source.NumStreams();
+  ASF_CHECK_MSG(options_.base.source.type != SourceSpec::Type::kCustom,
+                "custom stream sources cannot be sharded");
+  ASF_CHECK(n > 0);
+
+  // The coordinator's merged value view starts from the sources' initial
+  // values. Per-stream determinism makes one full (unstarted) instance an
+  // exact stand-in for all shards' initial state.
+  const std::unique_ptr<StreamSet> initial =
+      MakeStreams(options_.base.source);
+  ASF_CHECK(initial != nullptr);
+  values_ = initial->values();
+
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const StreamPartition partition{s, num_shards};
+    // Shard s owns streams {s, s + S, s + 2S, ...}: rows = how many ids
+    // below n are congruent to s.
+    const std::size_t rows = n / num_shards + (s < n % num_shards ? 1 : 0);
+    shards_.push_back(std::make_unique<Shard>(
+        MakeStreams(options_.base.source, partition), rows));
+    shards_.back()->arena.EnableCellTracking(true);
+    arena_ptrs_.push_back(&shards_.back()->arena);
+  }
+}
+
+ShardedSimulationCore::~ShardedSimulationCore() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+}
+
+std::size_t ShardedSimulationCore::AddQuery(const QueryDeployment& deployment) {
+  const SimTime start =
+      deployment.start < 0 ? options_.base.query_start : deployment.start;
+  return DeployQuery(deployment, start);
+}
+
+std::size_t ShardedSimulationCore::DeployQuery(
+    const QueryDeployment& deployment, SimTime at) {
+  ASF_CHECK_MSG(!ran_, "DeployQuery after Run()");
+  ASF_CHECK_MSG(at >= 0 && at < options_.base.duration,
+                "deploy time outside [0, duration)");
+  const std::size_t n = values_.size();
+  const std::size_t index = slots_.size();
+
+  // The wires between this query's server context and the shard-resident
+  // filters. Values come from the coordinator's merged view (exact at the
+  // current replay position); filter mutations route through the owning
+  // shard's arena, which records the touched cell for the epoch replay.
+  const std::vector<Value>* values = &values_;
+  const FilterArena* arena0 = arena_ptrs_.front();
+  const auto make_transport = [values, arena0](FilterBank* bank) {
+    Transport transport;
+    transport.probe = [values, bank, arena0](StreamId id) {
+      AssertViewFresh(*bank, *arena0);
+      const Value v = (*values)[id];
+      bank->SyncReference(id, v);  // the probed value is now "reported"
+      return v;
+    };
+    transport.region_probe =
+        [values, bank, arena0](StreamId id,
+                               const Interval& region) -> std::optional<Value> {
+      AssertViewFresh(*bank, *arena0);
+      const Value v = (*values)[id];
+      if (!region.Contains(v)) return std::nullopt;
+      bank->SyncReference(id, v);
+      return v;
+    };
+    transport.deploy = [values, bank, arena0](
+                           StreamId id, const FilterConstraint& constraint) {
+      AssertViewFresh(*bank, *arena0);
+      bank->Deploy(id, constraint, (*values)[id]);
+    };
+    return transport;
+  };
+  auto slot = std::make_unique<Slot>();
+  engine_internal::WireQuerySlot(slot.get(), deployment, at, n,
+                                 options_.base.seed, index, make_transport);
+  slots_.push_back(std::move(slot));
+  if (deployment.end != kNeverRetire) RetireQuery(index, deployment.end);
+  return index;
+}
+
+void ShardedSimulationCore::RetireQuery(std::size_t slot, SimTime at) {
+  ASF_CHECK_MSG(!ran_, "RetireQuery after Run()");
+  ASF_CHECK(slot < slots_.size());
+  ASF_CHECK_MSG(at > slots_[slot]->deploy_at,
+                "retire time must follow the deploy time");
+  slots_[slot]->retire_at = at;
+}
+
+void ShardedSimulationCore::RunOracle(Slot& slot) {
+  engine_internal::JudgeSlot(slot, values_);
+}
+
+void ShardedSimulationCore::OracleTick() {
+  for (auto& slot : slots_) {
+    if (slot->live) RunOracle(*slot);
+  }
+}
+
+void ShardedSimulationCore::RebindLiveViews() {
+  const std::uint64_t generation = arena_ptrs_.front()->generation();
+  for (std::size_t c = 0; c < column_owner_.size(); ++c) {
+    *slots_[column_owner_[c]]->filters =
+        FilterBank(arena_ptrs_, c, values_.size(), generation);
+  }
+}
+
+void ShardedSimulationCore::InstallSlot(std::size_t index, SimTime at) {
+  Slot& slot = *slots_[index];
+  ASF_CHECK(!slot.live);
+
+  // Take the same column in every shard arena; the arenas evolve in
+  // lockstep, so the indices (and generations) always agree.
+  const std::size_t column = arena_ptrs_.front()->Acquire();
+  for (std::size_t s = 1; s < arena_ptrs_.size(); ++s) {
+    ASF_CHECK(arena_ptrs_[s]->Acquire() == column);
+  }
+  slot.column = column;
+  column_owner_.push_back(index);
+  ASF_CHECK(column_owner_.size() == arena_ptrs_.front()->live());
+  slot.live = true;
+  RebindLiveViews();
+  peak_live_ = std::max(peak_live_, column_owner_.size());
+
+  slot.answer_sampled_upto = updates_generated_;
+  slot.stats.deployed_at = at;
+
+  slot.stats.messages.set_phase(MessagePhase::kInit);
+  slot.protocol->Initialize(at);
+  slot.stats.messages.set_phase(MessagePhase::kMaintenance);
+  slot.stats.fp_filters_installed = slot.filters->CountFalsePositiveFilters();
+  slot.stats.fn_filters_installed = slot.filters->CountFalseNegativeFilters();
+  slot.answer_cur_size = static_cast<double>(slot.protocol->answer().size());
+  if (options_.base.oracle.check_every_update) RunOracle(slot);
+}
+
+void ShardedSimulationCore::RetireSlot(std::size_t index, SimTime at) {
+  Slot& slot = *slots_[index];
+  ASF_CHECK(slot.live);
+
+  // Uninstall this query's filters (termination counterpart of the
+  // initial installation), then close the books inside the live window.
+  slot.ctx->DeployAll(FilterConstraint::NoFilter());
+  FlushAnswerSamples(slot, updates_generated_);
+  slot.stats.retired_at = at;
+  slot.stats.reinits = slot.protocol->reinit_count();
+  slot.live = false;
+
+  // Release the column in every arena; the compaction move is the same
+  // everywhere, so one owner retag covers all shards.
+  const std::size_t moved = arena_ptrs_.front()->Release(slot.column);
+  for (std::size_t s = 1; s < arena_ptrs_.size(); ++s) {
+    ASF_CHECK(arena_ptrs_[s]->Release(slot.column) == moved);
+  }
+  if (moved != slot.column) {
+    const std::size_t moved_owner = column_owner_[moved];
+    column_owner_[slot.column] = moved_owner;
+    slots_[moved_owner]->column = slot.column;
+  }
+  column_owner_.pop_back();
+  slot.column = FilterArena::kNoColumn;
+  *slot.filters = FilterBank();  // detach: any further access trips checks
+  RebindLiveViews();
+}
+
+void ShardedSimulationCore::FlushAnswerSamples(Slot& slot,
+                                               std::uint64_t upto) {
+  engine_internal::FlushAnswerSamples(slot, upto);
+}
+
+void ShardedSimulationCore::ReplayUpdate(Shard& shard,
+                                         const Shard::Update& update) {
+  // The merged view advances for every update — exactly the StreamSet
+  // state the serial engine's handler observes — even while no query is
+  // live (the handler then returns before counting).
+  values_[update.id] = update.value;
+  const std::size_t live = column_owner_.size();
+  if (live == 0) return;
+  ++updates_generated_;
+
+  const StreamId row = update.id / shards_.size();
+  const std::uint64_t* spec = shard.masks.data() + shard.cursor * epoch_words_;
+  bool any_fired = false;
+  for (std::size_t w = 0; w < epoch_words_; ++w) {
+    // Columns whose cells were touched by a server reaction earlier in
+    // this epoch lost their speculated bits; re-evaluate them scalar
+    // against the canonical (already-overwritten, hence exact) state.
+    // Untouched speculated bits are exact as computed.
+    const std::uint64_t touched = shard.arena.TouchedWord(row, w);
+    std::uint64_t candidates = spec[w] | touched;
+    while (candidates != 0) {
+      const std::size_t c =
+          w * 64 + static_cast<unsigned>(__builtin_ctzll(candidates));
+      candidates &= candidates - 1;
+      if (c >= live) break;  // touched bits beyond live cannot exist; safety
+      const bool fired = ((touched >> (c - w * 64)) & 1u)
+                             ? shard.arena.EvaluateColumn(row, c, update.value)
+                             : true;
+      if (!fired) continue;
+      any_fired = true;
+      Slot& slot = *slots_[column_owner_[c]];
+      slot.stats.messages.Count(MessageType::kValueUpdate);
+      ++slot.stats.updates_reported;
+      FlushAnswerSamples(slot, updates_generated_ - 1);
+      slot.protocol->HandleUpdate(update.id, update.value, update.time);
+      slot.answer_cur_size =
+          static_cast<double>(slot.protocol->answer().size());
+      slot.stats.answer_size.AddRepeated(slot.answer_cur_size, 1);
+      slot.answer_sampled_upto = updates_generated_;
+    }
+  }
+  if (any_fired) ++physical_updates_;
+  if (options_.base.oracle.check_every_update) {
+    for (auto& slot : slots_) {
+      if (slot->live) RunOracle(*slot);
+    }
+  }
+}
+
+void ShardedSimulationCore::ReplayEpoch(SimTime from, SimTime to) {
+  (void)from;
+  // S-way merge of the shard logs by (time, stream id). Same-time ties
+  // across shards are ordered by stream id — the documented divergence
+  // from the serial scheduler's FIFO seniority, unreachable under
+  // continuous-time workloads.
+  for (;;) {
+    Shard* best = nullptr;
+    for (const auto& shard : shards_) {
+      if (shard->cursor >= shard->log.size()) continue;
+      const Shard::Update& u = shard->log[shard->cursor];
+      if (best == nullptr) {
+        best = shard.get();
+        continue;
+      }
+      const Shard::Update& b = best->log[best->cursor];
+      if (u.time < b.time || (u.time == b.time && u.id < b.id)) {
+        best = shard.get();
+      }
+    }
+    if (best == nullptr) break;
+    const Shard::Update& update = best->log[best->cursor];
+    // Periodic oracle samples interleave in time order (tick before
+    // update at exactly equal timestamps; see header).
+    while (next_tick_ < oracle_ticks_.size() &&
+           oracle_ticks_[next_tick_] <= update.time &&
+           oracle_ticks_[next_tick_] < to) {
+      OracleTick();
+      ++next_tick_;
+    }
+    ReplayUpdate(*best, update);
+    ++best->cursor;
+  }
+  while (next_tick_ < oracle_ticks_.size() &&
+         oracle_ticks_[next_tick_] < to) {
+    OracleTick();
+    ++next_tick_;
+  }
+}
+
+void ShardedSimulationCore::WorkerLoop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    SimTime to;
+    bool final_flush;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_seq_ != seen_seq; });
+      if (shutdown_) return;
+      seen_seq = epoch_seq_;
+      to = speculate_to_;
+      final_flush = final_flush_;
+    }
+    if (final_flush) {
+      shard.scheduler.RunUntil(to);  // events at the horizon itself
+    } else {
+      shard.scheduler.RunBefore(to);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardedSimulationCore::SpeculateEpoch(SimTime from, SimTime to) {
+  (void)from;
+  // Fresh epoch: logs restart, speculation state is the canonical state
+  // (all barrier mutations applied), touched cells reset.
+  epoch_words_ = arena_ptrs_.front()->fired_words();
+  for (const auto& shard : shards_) {
+    shard->log.clear();
+    shard->masks.clear();
+    shard->cursor = 0;
+    shard->arena.ClearTouched();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    speculate_to_ = to;
+    final_flush_ = to >= options_.base.duration;
+    workers_done_ = 0;
+    ++epoch_seq_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_done_ == shards_.size(); });
+  }
+}
+
+void ShardedSimulationCore::Run() {
+  ASF_CHECK_MSG(!ran_, "Run() called twice");
+  ASF_CHECK_MSG(!slots_.empty(), "Run() without any deployed query");
+  ran_ = true;
+  const SimTime duration = options_.base.duration;
+
+  // Each shard speculates into its log: every local update is recorded
+  // and, while queries are live, evaluated against the shard's strips
+  // under the epoch-start filter state.
+  for (const auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    shard->streams->set_update_handler(
+        [this, shard](StreamId id, Value v, SimTime t) {
+          shard->log.push_back({t, id, v});
+          if (epoch_words_ > 0) {
+            const std::uint64_t* fired =
+                shard->arena.EvaluateUpdate(id / shards_.size(), v);
+            shard->masks.insert(shard->masks.end(), fired,
+                                fired + epoch_words_);
+          }
+        });
+    shard->streams->Start(&shard->scheduler, duration);
+  }
+
+  // Precompute the periodic oracle sample times the serial engine's
+  // self-rescheduling tick would produce.
+  if (options_.base.oracle.sample_interval > 0) {
+    const SimTime interval = options_.base.oracle.sample_interval;
+    SimTime t = std::min(options_.base.query_start + interval, duration);
+    oracle_ticks_.push_back(t);
+    while (t + interval <= duration) {
+      t += interval;
+      oracle_ticks_.push_back(t);
+    }
+  }
+
+  // Epoch boundaries: a regular speculation grid plus every lifecycle
+  // event time (lifecycle executes only at barriers, keeping the column
+  // space fixed within an epoch).
+  const SimTime epoch_len =
+      options_.epoch > 0 ? options_.epoch : duration / 128;
+  std::vector<std::pair<SimTime, std::size_t>> deploys;   // (time, slot)
+  std::vector<std::pair<SimTime, std::size_t>> retires;   // (time, slot)
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    deploys.emplace_back(slots_[i]->deploy_at, i);
+    // A retirement at or beyond the horizon is the same observable run as
+    // never retiring (see SimulationCore::Run).
+    if (slots_[i]->retire_at < duration) {
+      retires.emplace_back(slots_[i]->retire_at, i);
+    }
+  }
+  std::stable_sort(deploys.begin(), deploys.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::stable_sort(retires.begin(), retires.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t next_deploy = 0;
+  std::size_t next_retire = 0;
+
+  // Spin up the worker pool.
+  workers_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+
+  SimTime now = 0;
+  while (now < duration) {
+    // Barrier at `now`: lifecycle events in the serial order — every
+    // deployment first, then every retirement, each in slot order.
+    while (next_deploy < deploys.size() && deploys[next_deploy].first == now) {
+      InstallSlot(deploys[next_deploy].second, now);
+      ++next_deploy;
+    }
+    while (next_retire < retires.size() && retires[next_retire].first == now) {
+      RetireSlot(retires[next_retire].second, now);
+      ++next_retire;
+    }
+    // Periodic oracle samples at exactly the barrier time run after
+    // lifecycle events, like the serial scheduler's FIFO order.
+    while (next_tick_ < oracle_ticks_.size() &&
+           oracle_ticks_[next_tick_] == now) {
+      OracleTick();
+      ++next_tick_;
+    }
+
+    // Next boundary: the speculation grid or the next lifecycle event,
+    // whichever comes first.
+    SimTime next = std::min(now + epoch_len, duration);
+    if (next_deploy < deploys.size()) {
+      next = std::min(next, deploys[next_deploy].first);
+    }
+    if (next_retire < retires.size()) {
+      next = std::min(next, retires[next_retire].first);
+    }
+    ASF_CHECK(next > now);
+
+    SpeculateEpoch(now, next);
+    ReplayEpoch(now, next);
+    now = next;
+  }
+  // Horizon: replay events scheduled at exactly t = duration (the final
+  // flush ran them in SpeculateEpoch's last round since to == duration)…
+  // then close every live slot's books, exactly like the serial run loop.
+  while (next_tick_ < oracle_ticks_.size() &&
+         oracle_ticks_[next_tick_] <= duration) {
+    OracleTick();
+    ++next_tick_;
+  }
+
+  for (auto& slot : slots_) {
+    if (!slot->live) continue;
+    FlushAnswerSamples(*slot, updates_generated_);
+    slot->stats.reinits = slot->protocol->reinit_count();
+    slot->stats.retired_at = duration;
+  }
+  wall_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+}
+
+const QueryRunStats& ShardedSimulationCore::query_stats(std::size_t i) const {
+  ASF_CHECK(i < slots_.size());
+  return slots_[i]->stats;
+}
+
+}  // namespace asf

@@ -1,0 +1,173 @@
+#ifndef ASF_ENGINE_SHARDED_CORE_H_
+#define ASF_ENGINE_SHARDED_CORE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/sim_core.h"
+#include "filter/filter_arena.h"
+#include "stream/stream_set.h"
+
+/// \file
+/// Shard-parallel simulation engine: the stream population is dealt
+/// round-robin across S worker shards (stream id lives in shard id % S),
+/// each owning its own Scheduler, stream sources, and FilterArena strips
+/// over its local streams. Queries span shards through per-shard sub-banks
+/// (an arena-routed FilterBank over all S arenas).
+///
+/// Execution alternates speculation and replay (DESIGN.md §8):
+///
+///  1. *Barrier*: query lifecycle events (deploy/retire — all known before
+///     Run) execute at epoch boundaries, with every shard quiescent, in the
+///     serial engine's order (deploys before retirements, slot order).
+///  2. *Speculate* (parallel): each shard advances its own scheduler
+///     through the epoch [T, T'), generating its streams' updates into a
+///     log and evaluating each against its local SoA strips with the SIMD
+///     crossing kernel — under the filter state as of the epoch start.
+///  3. *Replay* (serial): the coordinator merges the shard logs in global
+///     time order and applies protocol handling for fired columns exactly
+///     like the serial engine. Server reactions (probe syncs, constraint
+///     deploys) overwrite the touched cell's state wholesale, so the
+///     speculation is self-healing: the arena records which cells were
+///     touched mid-epoch, and only those columns are re-evaluated scalar
+///     for the remainder of the epoch; untouched columns keep their
+///     speculated crossing bits, which are exact.
+///
+/// Because per-stream sources produce identical trajectories under any
+/// partition, reactions are ordered identically, and touched-cell replay
+/// reproduces the serial crossing decisions, the run's observable results
+/// (all per-query stats, message counts, answer-size moments, oracle
+/// verdicts) are byte-identical to SimulationCore for any shard count —
+/// tests/sharded_core_test.cc locks this across every protocol and a churn
+/// schedule. The one documented divergence: at *exactly* equal timestamps
+/// the merge orders periodic oracle samples before stream updates and
+/// cross-shard ties by stream id, where the serial scheduler uses FIFO
+/// seniority; continuous-time workloads cannot produce such ties.
+
+namespace asf {
+
+/// The sharded counterpart of SimulationCore. Same deployment surface and
+/// result accessors; Run() drives the epoch pipeline instead of a single
+/// scheduler loop.
+class ShardedSimulationCore {
+ public:
+  struct Options {
+    /// The query-independent run configuration (source must be a
+    /// partitionable walk/trace — custom sources cannot be sharded).
+    SimulationCore::Options base;
+    /// Worker shards (>= 1). 1 exercises the full epoch machinery on a
+    /// single shard.
+    std::size_t shards = 1;
+    /// Speculation epoch length; <= 0 picks duration / 128. Lifecycle
+    /// event times always become additional epoch boundaries.
+    SimTime epoch = 0;
+  };
+
+  explicit ShardedSimulationCore(const Options& options);
+  ShardedSimulationCore(const ShardedSimulationCore&) = delete;
+  ShardedSimulationCore& operator=(const ShardedSimulationCore&) = delete;
+  ~ShardedSimulationCore();
+
+  /// Same contracts as the SimulationCore methods of the same names.
+  std::size_t AddQuery(const QueryDeployment& deployment);
+  std::size_t DeployQuery(const QueryDeployment& deployment, SimTime at);
+  void RetireQuery(std::size_t slot, SimTime at);
+  void Run();
+
+  std::size_t num_queries() const { return slots_.size(); }
+  const QueryRunStats& query_stats(std::size_t i) const;
+  std::uint64_t updates_generated() const { return updates_generated_; }
+  std::uint64_t physical_updates() const { return physical_updates_; }
+  std::size_t peak_live_queries() const { return peak_live_; }
+  double wall_seconds() const { return wall_seconds_; }
+  std::size_t shards() const { return shards_.size(); }
+
+ private:
+  struct Slot;
+
+  /// One stream shard: its slice of the sources, its own event loop, and
+  /// the SoA filter strips of its local streams (row = stream id / S).
+  struct Shard {
+    std::unique_ptr<StreamSet> streams;
+    Scheduler scheduler;
+    FilterArena arena;
+    /// Epoch log: this shard's updates, in shard-local dispatch order
+    /// (time-sorted; same-stream updates keep their order).
+    struct Update {
+      SimTime time;
+      StreamId id;  ///< global stream id
+      Value value;
+    };
+    std::vector<Update> log;
+    /// Speculated fired masks, epoch_words_ words per logged update (empty
+    /// while no query is live).
+    std::vector<std::uint64_t> masks;
+    std::size_t cursor = 0;  ///< replay position in log
+
+    Shard(std::unique_ptr<StreamSet> s, std::size_t rows)
+        : streams(std::move(s)), arena(rows) {}
+  };
+
+  void RunOracle(Slot& slot);
+  void OracleTick();
+  void InstallSlot(std::size_t index, SimTime at);
+  void RetireSlot(std::size_t index, SimTime at);
+  void RebindLiveViews();
+  void FlushAnswerSamples(Slot& slot, std::uint64_t upto);
+
+  /// Replays one logged update through filters and protocols, exactly the
+  /// serial engine's update handler under the merge ordering.
+  void ReplayUpdate(Shard& shard, const Shard::Update& update);
+
+  /// Merges and replays every update of the epoch that just speculated,
+  /// interleaving periodic oracle samples in (from, to).
+  void ReplayEpoch(SimTime from, SimTime to);
+
+  /// Runs shard generation for [from, to) on the worker pool (to ==
+  /// horizon runs events at the horizon itself, the final flush).
+  void SpeculateEpoch(SimTime from, SimTime to);
+
+  void WorkerLoop(std::size_t shard_index);
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<FilterArena*> arena_ptrs_;  ///< for routed FilterBank views
+  /// The coordinator's authoritative view of every stream's current value,
+  /// advanced in merge order during replay — exactly the serial engine's
+  /// StreamSet values. Probes and the oracle read this.
+  std::vector<Value> values_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::size_t> column_owner_;
+  /// Pending periodic oracle sample times (precomputed; the serial engine
+  /// derives the same sequence from its self-rescheduling tick).
+  std::vector<SimTime> oracle_ticks_;
+  std::size_t next_tick_ = 0;
+  std::size_t epoch_words_ = 0;  ///< fired-mask words during this epoch
+
+  bool ran_ = false;
+  std::size_t peak_live_ = 0;
+  std::uint64_t updates_generated_ = 0;
+  std::uint64_t physical_updates_ = 0;
+  double wall_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point wall_start_;
+
+  // Worker pool: one persistent thread per shard, released epoch by epoch.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_seq_ = 0;
+  std::size_t workers_done_ = 0;
+  SimTime speculate_to_ = 0;
+  bool final_flush_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace asf
+
+#endif  // ASF_ENGINE_SHARDED_CORE_H_

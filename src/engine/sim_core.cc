@@ -4,17 +4,13 @@
 #include <functional>
 #include <utility>
 
-#include "engine/protocol_factory.h"
+#include "engine/query_slot.h"
 #include "stream/random_walk.h"
 #include "stream/trace_source.h"
 
 namespace asf {
 
 namespace {
-// Golden-ratio constant used to decorrelate the per-query protocol RNG
-// streams from the workload seed (slot i gets seed ^ (kSeedMix + i)).
-constexpr std::uint64_t kSeedMix = 0x9e3779b97f4a7c15ULL;
-
 // A transport closure must never touch a view that survived an arena
 // rebind; the generation tags make that checkable.
 inline void AssertViewFresh(const FilterBank& bank, const FilterArena& arena) {
@@ -24,45 +20,19 @@ inline void AssertViewFresh(const FilterBank& bank, const FilterArena& arena) {
 }
 }  // namespace
 
-/// Server-side runtime of one deployed query.
-struct SimulationCore::Slot {
-  QueryDeployment deployment;
-  SimTime deploy_at = 0;
-  SimTime retire_at = kNeverRetire;
-  /// Strided view into the shared arena while live; detached otherwise.
-  std::unique_ptr<FilterBank> filters;
-  std::unique_ptr<ServerContext> ctx;
-  std::unique_ptr<Rng> rng;
-  std::unique_ptr<Protocol> protocol;
-  QueryRunStats stats;
-
-  bool live = false;
-  /// The slot's arena column while live (moves under compaction).
-  std::size_t column = FilterArena::kNoColumn;
-
-  /// Incremental answer-size accounting: the answer only changes when this
-  /// query's protocol handles a fired update, so the per-update sample
-  /// stream is a run-length sequence — `answer_cur_size` repeated since
-  /// sample number `answer_sampled_upto` (see FlushAnswerSamples).
-  double answer_cur_size = 0.0;
-  std::uint64_t answer_sampled_upto = 0;
-};
+/// Server-side runtime of one deployed query — the shared per-query
+/// runtime (engine/query_slot.h), which the sharded engine uses too so
+/// the two cannot drift apart in wiring or accounting.
+struct SimulationCore::Slot : engine_internal::QuerySlot {};
 
 SimulationCore::SimulationCore(const Options& options)
     : options_(options), arena_(options.source.NumStreams()),
       wall_start_(std::chrono::steady_clock::now()) {
-  switch (options_.source.type) {
-    case SourceSpec::Type::kRandomWalk:
-      owned_streams_ = std::make_unique<RandomWalkStreams>(options_.source.walk);
-      streams_ = owned_streams_.get();
-      break;
-    case SourceSpec::Type::kTrace:
-      owned_streams_ = std::make_unique<TraceStreams>(options_.source.trace);
-      streams_ = owned_streams_.get();
-      break;
-    case SourceSpec::Type::kCustom:
-      streams_ = options_.source.custom;  // borrowed (see SourceSpec::Custom)
-      break;
+  if (options_.source.type == SourceSpec::Type::kCustom) {
+    streams_ = options_.source.custom;  // borrowed (see SourceSpec::Custom)
+  } else {
+    owned_streams_ = MakeStreams(options_.source);
+    streams_ = owned_streams_.get();
   }
   ASF_CHECK(streams_ != nullptr);
   ASF_CHECK(streams_->size() == arena_.num_streams());
@@ -84,50 +54,40 @@ std::size_t SimulationCore::DeployQuery(const QueryDeployment& deployment,
   const std::size_t n = streams_->size();
   const std::size_t index = slots_.size();
 
-  auto slot = std::make_unique<Slot>();
-  slot->deployment = deployment;
-  slot->deploy_at = at;
-  slot->stats.name = deployment.name;
-  // Detached until the deploy event binds it into the arena.
-  slot->filters = std::make_unique<FilterBank>();
-
   // The wires between this query's server context and the shared sources.
   // Probes and deploys sync/reset this query's filter references only;
   // other queries' filters are untouched (per-query isolation). The bank
   // pointer is stable; its *view* is rebound as the arena grows and
   // compacts, which the generation tag asserts.
-  FilterBank* bank = slot->filters.get();
   StreamSet* source = streams_;
   const FilterArena* arena = &arena_;
-  Transport transport;
-  transport.probe = [source, bank, arena](StreamId id) {
-    AssertViewFresh(*bank, *arena);
-    const Value v = source->value(id);
-    bank->at(id).SyncReference(v);  // the probed value is now "reported"
-    return v;
+  const auto make_transport = [source, arena](FilterBank* bank) {
+    Transport transport;
+    transport.probe = [source, bank, arena](StreamId id) {
+      AssertViewFresh(*bank, *arena);
+      const Value v = source->value(id);
+      bank->SyncReference(id, v);  // the probed value is now "reported"
+      return v;
+    };
+    transport.region_probe =
+        [source, bank, arena](StreamId id,
+                              const Interval& region) -> std::optional<Value> {
+      AssertViewFresh(*bank, *arena);
+      const Value v = source->value(id);
+      if (!region.Contains(v)) return std::nullopt;
+      bank->SyncReference(id, v);
+      return v;
+    };
+    transport.deploy = [source, bank, arena](
+                           StreamId id, const FilterConstraint& constraint) {
+      AssertViewFresh(*bank, *arena);
+      bank->Deploy(id, constraint, source->value(id));
+    };
+    return transport;
   };
-  transport.region_probe =
-      [source, bank, arena](StreamId id,
-                            const Interval& region) -> std::optional<Value> {
-    AssertViewFresh(*bank, *arena);
-    const Value v = source->value(id);
-    if (!region.Contains(v)) return std::nullopt;
-    bank->at(id).SyncReference(v);
-    return v;
-  };
-  transport.deploy = [source, bank, arena](StreamId id,
-                                           const FilterConstraint& constraint) {
-    AssertViewFresh(*bank, *arena);
-    bank->Deploy(id, constraint, source->value(id));
-  };
-
-  slot->ctx = std::make_unique<ServerContext>(
-      n, std::move(transport), &slot->stats.messages, deployment.broadcast);
-  slot->rng = std::make_unique<Rng>(options_.seed ^ (kSeedMix + index));
-  slot->protocol =
-      MakeProtocol(deployment.query, deployment.protocol, deployment.rank_r,
-                   deployment.fraction, deployment.ft, slot->ctx.get(),
-                   slot->rng.get());
+  auto slot = std::make_unique<Slot>();
+  engine_internal::WireQuerySlot(slot.get(), deployment, at, n,
+                                 options_.seed, index, make_transport);
   slots_.push_back(std::move(slot));
   if (deployment.end != kNeverRetire) RetireQuery(index, deployment.end);
   return index;
@@ -142,16 +102,7 @@ void SimulationCore::RetireQuery(std::size_t slot, SimTime at) {
 }
 
 void SimulationCore::RunOracle(Slot& slot) {
-  const QueryDeployment& dep = slot.deployment;
-  const OracleCheck check =
-      JudgeAnswer(dep.query, dep.protocol, dep.rank_r, dep.fraction,
-                  streams_->values(), slot.protocol->answer());
-  QueryRunStats& out = slot.stats;
-  ++out.oracle_checks;
-  if (!check.ok) ++out.oracle_violations;
-  out.max_f_plus = std::max(out.max_f_plus, check.f_plus);
-  out.max_f_minus = std::max(out.max_f_minus, check.f_minus);
-  out.max_worst_rank = std::max(out.max_worst_rank, check.worst_rank);
+  engine_internal::JudgeSlot(slot, streams_->values());
 }
 
 void SimulationCore::RebindLiveViews() {
@@ -225,11 +176,7 @@ void SimulationCore::RetireSlot(std::size_t index) {
 }
 
 void SimulationCore::FlushAnswerSamples(Slot& slot, std::uint64_t upto) {
-  if (upto > slot.answer_sampled_upto) {
-    slot.stats.answer_size.AddRepeated(slot.answer_cur_size,
-                                       upto - slot.answer_sampled_upto);
-    slot.answer_sampled_upto = upto;
-  }
+  engine_internal::FlushAnswerSamples(slot, upto);
 }
 
 void SimulationCore::OracleSampleTick() {
@@ -253,28 +200,38 @@ void SimulationCore::Run() {
     if (live == 0) return;  // warm-up / lull: no query, no messages
     ++updates_generated_;
     // All live queries' filters for this stream sit in one contiguous,
-    // compacted strip; retired queries cost nothing here.
-    Filter* strip = arena_.Strip(id);
+    // compacted SoA strip; one SIMD sweep evaluates every live column and
+    // advances the membership references (retired queries cost nothing
+    // here). Per-query isolation makes the batch evaluation exact: a fired
+    // column's protocol reaction can only touch its own filters, never
+    // another column's crossing decision for this update (DESIGN.md §8).
+    const std::uint64_t* fired_words = arena_.EvaluateUpdate(id, v);
+    const std::size_t words = arena_.fired_words();
     // One physical message serves every query whose filter fired; each
     // affected query still accounts a logical update so its costs remain
     // comparable to a single-query run.
     bool any_fired = false;
-    for (std::size_t c = 0; c < live; ++c) {
-      if (!strip[c].OnValueChange(v)) continue;
-      any_fired = true;
-      Slot& slot = *slots_[column_owner_[c]];
-      slot.stats.messages.Count(MessageType::kValueUpdate);
-      ++slot.stats.updates_reported;
-      // The answer can only change while this slot handles the update:
-      // close the run of unchanged samples first, then sample the new
-      // size for the current update. Slots whose filter stays silent are
-      // not touched at all — per-update accounting is O(fired), not O(Q).
-      FlushAnswerSamples(slot, updates_generated_ - 1);
-      slot.protocol->HandleUpdate(id, v, t);
-      slot.answer_cur_size =
-          static_cast<double>(slot.protocol->answer().size());
-      slot.stats.answer_size.AddRepeated(slot.answer_cur_size, 1);
-      slot.answer_sampled_upto = updates_generated_;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t word = fired_words[w];
+      while (word != 0) {
+        const std::size_t c =
+            w * 64 + static_cast<unsigned>(__builtin_ctzll(word));
+        word &= word - 1;
+        any_fired = true;
+        Slot& slot = *slots_[column_owner_[c]];
+        slot.stats.messages.Count(MessageType::kValueUpdate);
+        ++slot.stats.updates_reported;
+        // The answer can only change while this slot handles the update:
+        // close the run of unchanged samples first, then sample the new
+        // size for the current update. Slots whose filter stays silent are
+        // not touched at all — per-update accounting is O(fired), not O(Q).
+        FlushAnswerSamples(slot, updates_generated_ - 1);
+        slot.protocol->HandleUpdate(id, v, t);
+        slot.answer_cur_size =
+            static_cast<double>(slot.protocol->answer().size());
+        slot.stats.answer_size.AddRepeated(slot.answer_cur_size, 1);
+        slot.answer_sampled_upto = updates_generated_;
+      }
     }
     if (any_fired) ++physical_updates_;
     if (options_.oracle.check_every_update) {

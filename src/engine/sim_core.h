@@ -49,6 +49,15 @@ namespace asf {
 inline constexpr SimTime kNeverRetire =
     std::numeric_limits<SimTime>::infinity();
 
+/// Seed of query slot `index`'s protocol RNG, derived from the run seed
+/// (golden-ratio decorrelation). One definition shared by every engine so
+/// a query's protocol randomness is identical no matter which engine —
+/// serial or sharded — executes the deployment.
+inline std::uint64_t QuerySlotSeed(std::uint64_t run_seed,
+                                   std::size_t index) {
+  return run_seed ^ (0x9e3779b97f4a7c15ULL + index);
+}
+
 /// One continuous query in a deployment. A single-query run is simply a
 /// deployment of exactly one.
 struct QueryDeployment {

@@ -1,29 +1,16 @@
 #include "engine/system.h"
 
+#include "engine/sharded_core.h"
 #include "engine/sim_core.h"
 
 namespace asf {
 
-Result<RunResult> RunSystem(const SystemConfig& config) {
-  ASF_RETURN_IF_ERROR(config.Validate());
+namespace {
 
-  SimulationCore::Options options;
-  options.source = config.source;
-  options.duration = config.duration;
-  options.query_start = config.query_start;
-  options.seed = config.seed;
-  options.oracle = config.oracle;
-  SimulationCore core(options);
-
-  QueryDeployment deployment;
-  deployment.query = config.query;
-  deployment.protocol = config.protocol;
-  deployment.rank_r = config.rank_r;
-  deployment.fraction = config.fraction;
-  deployment.ft = config.ft;
-  deployment.broadcast = config.broadcast_counts_as_one
-                             ? BroadcastCostModel::kSingleMessage
-                             : BroadcastCostModel::kPerRecipient;
+/// Deploys the one query, runs the core, and flattens into RunResult —
+/// shared verbatim between the serial and sharded engines.
+template <typename Core>
+RunResult RunAndFlatten(Core& core, const QueryDeployment& deployment) {
   core.AddQuery(deployment);
   core.Run();
 
@@ -43,6 +30,39 @@ Result<RunResult> RunSystem(const SystemConfig& config) {
   result.max_worst_rank = stats.max_worst_rank;
   result.wall_seconds = core.wall_seconds();
   return result;
+}
+
+}  // namespace
+
+Result<RunResult> RunSystem(const SystemConfig& config) {
+  ASF_RETURN_IF_ERROR(config.Validate());
+
+  SimulationCore::Options options;
+  options.source = config.source;
+  options.duration = config.duration;
+  options.query_start = config.query_start;
+  options.seed = config.seed;
+  options.oracle = config.oracle;
+
+  QueryDeployment deployment;
+  deployment.query = config.query;
+  deployment.protocol = config.protocol;
+  deployment.rank_r = config.rank_r;
+  deployment.fraction = config.fraction;
+  deployment.ft = config.ft;
+  deployment.broadcast = config.broadcast_counts_as_one
+                             ? BroadcastCostModel::kSingleMessage
+                             : BroadcastCostModel::kPerRecipient;
+  if (config.shards > 1) {
+    ShardedSimulationCore::Options sharded;
+    sharded.base = options;
+    sharded.shards = config.shards;
+    sharded.epoch = config.shard_epoch;
+    ShardedSimulationCore core(sharded);
+    return RunAndFlatten(core, deployment);
+  }
+  SimulationCore core(options);
+  return RunAndFlatten(core, deployment);
 }
 
 }  // namespace asf

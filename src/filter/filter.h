@@ -60,7 +60,10 @@ class Filter {
   const FilterConstraint& constraint() const { return constraint_; }
 
   /// The membership reference state (last reported side of the
-  /// constraint). Meaningful only when a filter is installed.
+  /// constraint). Meaningful only when a filter is installed. For cells
+  /// stored in a FilterArena, the arena's SoA reference bit is the
+  /// canonical copy once kernel evaluations run — see
+  /// FilterArena::ReferenceInside.
   bool reference_inside() const { return ref_inside_; }
 
  private:

@@ -1,8 +1,75 @@
 #include "filter/filter_arena.h"
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <utility>
 
+#include "common/simd.h"
+
 namespace asf {
+
+namespace {
+constexpr double kSentinelLower = std::numeric_limits<double>::infinity();
+constexpr double kSentinelUpper = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+void FilterArena::RefreshCell(StreamId id, std::size_t column) {
+  const Filter& f = storage_[id * capacity_ + column];
+  const std::size_t lane = id * stride_ + column;
+  if (f.constraint().has_filter()) {
+    // The interval's canonical degenerate forms vectorize for free: the
+    // empty [inf, inf] can contain no finite value, [-inf, inf] contains
+    // every finite value — both exactly Interval::Contains for the finite
+    // stream values the kernel contract requires.
+    lower_[lane] = f.constraint().interval().lo();
+    upper_[lane] = f.constraint().interval().hi();
+    SetBit(always_bits_, id, column, false);
+  } else {
+    // No filter installed: every update reports. The bounds are sentinel
+    // so the inside mask stays 0 and the reference bit is preserved
+    // verbatim by the kernel's blend, mirroring how OnValueChange leaves
+    // the reference untouched on the no-filter path.
+    lower_[lane] = kSentinelLower;
+    upper_[lane] = kSentinelUpper;
+    SetBit(always_bits_, id, column, true);
+  }
+  SetBit(ref_bits_, id, column, f.reference_inside());
+}
+
+void FilterArena::SentinelCell(StreamId id, std::size_t column) {
+  const std::size_t lane = id * stride_ + column;
+  lower_[lane] = kSentinelLower;
+  upper_[lane] = kSentinelUpper;
+  SetBit(always_bits_, id, column, false);
+  SetBit(ref_bits_, id, column, false);
+}
+
+void FilterArena::RebuildMirrors() {
+  const std::size_t old_words = words_;
+  const std::vector<std::uint64_t> old_ref = std::move(ref_bits_);
+  const std::vector<std::uint64_t> old_touched = std::move(touched_bits_);
+  stride_ = PaddedStride(capacity_);
+  words_ = stride_ / 64;
+  lower_.assign(num_streams_ * stride_, kSentinelLower);
+  upper_.assign(num_streams_ * stride_, kSentinelUpper);
+  ref_bits_.assign(num_streams_ * words_, 0);
+  always_bits_.assign(num_streams_ * words_, 0);
+  fired_.assign(words_, 0);
+  if (tracking_) touched_bits_.assign(num_streams_ * words_, 0);
+  for (StreamId id = 0; id < num_streams_; ++id) {
+    // Bounds and always-bits re-derive from the canonical constraints;
+    // the reference bits are themselves canonical (the kernel advances
+    // them without touching the AoS cells) and must be carried over.
+    for (std::size_t c = 0; c < live_; ++c) RefreshCell(id, c);
+    for (std::size_t w = 0; w < old_words; ++w) {
+      ref_bits_[id * words_ + w] = old_ref[id * old_words + w];
+      if (tracking_ && !old_touched.empty()) {
+        touched_bits_[id * words_ + w] = old_touched[id * old_words + w];
+      }
+    }
+  }
+}
 
 std::size_t FilterArena::Acquire() {
   if (live_ == capacity_) {
@@ -17,13 +84,17 @@ std::size_t FilterArena::Acquire() {
     }
     storage_ = std::move(grown);
     capacity_ = new_capacity;
-    ++generation_;  // every outstanding view now points at freed memory
+    ++generation_;  // every outstanding view now points at stale layout
+    if (PaddedStride(capacity_) != stride_) {
+      RebuildMirrors();  // the mirror stride only widens at 64-column steps
+    }
   }
   const std::size_t column = live_++;
   // Recycled columns must come up pristine: a retiring tenant leaves its
   // last filter states behind.
   for (std::size_t s = 0; s < num_streams_; ++s) {
     storage_[s * capacity_ + column] = Filter();
+    RefreshCell(s, column);
   }
   return column;
 }
@@ -32,16 +103,102 @@ std::size_t FilterArena::Release(std::size_t column) {
   ASF_CHECK(column < live_);
   const std::size_t last = live_ - 1;
   if (column != last) {
-    // Keep the live prefix dense: the last tenant moves into the hole.
+    // Keep the live prefix dense: the last tenant moves into the hole,
+    // canonical cells and mirror lanes alike.
     for (std::size_t s = 0; s < num_streams_; ++s) {
       storage_[s * capacity_ + column] = storage_[s * capacity_ + last];
+      lower_[s * stride_ + column] = lower_[s * stride_ + last];
+      upper_[s * stride_ + column] = upper_[s * stride_ + last];
+      SetBit(ref_bits_, s, column,
+             (ref_bits_[s * words_ + last / 64] >> (last % 64)) & 1u);
+      SetBit(always_bits_, s, column,
+             (always_bits_[s * words_ + last / 64] >> (last % 64)) & 1u);
+      if (tracking_) {
+        SetBit(touched_bits_, s, column,
+               (touched_bits_[s * words_ + last / 64] >> (last % 64)) & 1u);
+      }
     }
   }
   --live_;
+  // The vacated last column must never fire again until re-acquired.
+  for (std::size_t s = 0; s < num_streams_; ++s) {
+    SentinelCell(s, last);
+    if (tracking_) SetBit(touched_bits_, s, last, false);
+  }
   // The released column's views (and, after a move, the last column's) are
   // stale either way.
   ++generation_;
   return last;
+}
+
+void FilterArena::Deploy(StreamId id, std::size_t column,
+                         const FilterConstraint& constraint,
+                         Value current_value) {
+  ASF_DCHECK(id < num_streams_ && column < live_);
+  storage_[id * capacity_ + column].Deploy(constraint, current_value);
+  RefreshCell(id, column);
+  if (tracking_) SetBit(touched_bits_, id, column, true);
+}
+
+void FilterArena::SyncReference(StreamId id, std::size_t column,
+                                Value current_value) {
+  ASF_DCHECK(id < num_streams_ && column < live_);
+  Filter& f = storage_[id * capacity_ + column];
+  f.SyncReference(current_value);
+  SetBit(ref_bits_, id, column, f.reference_inside());
+  if (tracking_) SetBit(touched_bits_, id, column, true);
+}
+
+const std::uint64_t* FilterArena::EvaluateUpdate(StreamId id, Value v) {
+  ASF_DCHECK(id < num_streams_ && live_ > 0);
+  ASF_DCHECK(std::isfinite(v));
+  const double* lower = lower_.data() + id * stride_;
+  const double* upper = upper_.data() + id * stride_;
+  std::uint64_t* ref = ref_bits_.data() + id * words_;
+  const std::uint64_t* always = always_bits_.data() + id * words_;
+  const std::size_t words = fired_words();
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t inside = simd::InsideMask64(v, lower + w * 64,
+                                                    upper + w * 64);
+    // A filtered column fires on a membership flip; a no-filter column
+    // fires always (sentinel lanes have inside == ref == always == 0 and
+    // stay silent). The advanced reference is the new membership for
+    // filtered columns and is preserved for no-filter columns, exactly
+    // OnValueChange's contract — three word ops for 64 columns, with no
+    // per-column work regardless of how many fire.
+    fired_[w] = (inside ^ ref[w]) | always[w];
+    ref[w] = (inside & ~always[w]) | (ref[w] & always[w]);
+  }
+  return fired_.data();
+}
+
+bool FilterArena::EvaluateColumn(StreamId id, std::size_t column, Value v) {
+  ASF_DCHECK(id < num_streams_ && column < live_);
+  const Filter& f = storage_[id * capacity_ + column];
+  // Filter::OnValueChange over the canonical state: constraint from the
+  // AoS record, membership reference from the SoA bit.
+  if (!f.constraint().has_filter()) return true;
+  const bool inside = f.constraint().interval().Contains(v);
+  if (inside == ReferenceInside(id, column)) return false;
+  SetBit(ref_bits_, id, column, inside);
+  return true;
+}
+
+void FilterArena::EnableCellTracking(bool enabled) {
+  tracking_ = enabled;
+  if (enabled) {
+    touched_bits_.assign(num_streams_ * words_, 0);
+  } else {
+    touched_bits_.clear();
+    touched_bits_.shrink_to_fit();
+  }
+}
+
+void FilterArena::ClearTouched() {
+  ASF_DCHECK(tracking_);
+  if (touched_bits_.empty()) return;  // nothing tracked yet (no columns)
+  std::memset(touched_bits_.data(), 0,
+              touched_bits_.size() * sizeof(std::uint64_t));
 }
 
 }  // namespace asf

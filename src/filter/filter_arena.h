@@ -6,32 +6,56 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/types.h"
 #include "filter/filter.h"
 #include "filter/filter_bank.h"
 
 /// \file
-/// Growable stream-major filter storage for a *dynamic* query population.
+/// Growable stream-major filter storage for a *dynamic* query population,
+/// with a structure-of-arrays fast path for batch evaluation.
 ///
 /// The engine lays all live queries' filters out stream-major: the filters
-/// of stream i occupy one contiguous strip `storage[i*capacity ..
-/// i*capacity + live - 1]`, so the per-update dispatch scans exactly the
-/// live filters of the updated stream — one cache-line run, no gaps — no
-/// matter how many queries have come and gone (see
-/// SimulationCore's update handler).
+/// of stream i occupy one contiguous strip, so the per-update dispatch
+/// tests exactly the live filters of the updated stream no matter how many
+/// queries have come and gone.
+///
+/// Storage is two-level (DESIGN.md §8):
+///
+///  * The *constraint record*: one `Filter` per (stream, column) cell in
+///    array-of-structs order, the canonical home of each cell's deployed
+///    constraint — what counts, views, and redeploys read.
+///  * Hot SoA state: per stream strip, the interval bounds as dense
+///    `lower[]` / `upper[]` double lanes plus two bitmask words per 64
+///    columns — `ref` (the *canonical* membership reference; the AoS
+///    copy is not maintained by the kernel) and `always`
+///    (no-filter-installed columns, which report every update). The strip
+///    stride is padded to a multiple of 64 columns; lanes at or beyond
+///    live() hold sentinel bounds (+inf / -inf) so they can never fire.
+///
+/// EvaluateUpdate() is the branch-free crossing kernel over that state:
+/// one SIMD sweep computes the inside mask, one word op each derives the
+/// fired mask `(inside XOR ref) OR always` and the advanced reference
+/// `ref' = inside` for filtered columns — no per-column work at all, no
+/// matter how many fire. Every mutation path (Deploy / SyncReference /
+/// growth / compaction) keeps bounds and bits coherent, so kernel results
+/// always equal running Filter::OnValueChange cell by cell
+/// (tests/filter_arena_test.cc).
 ///
 /// Columns are the unit of tenancy. A deploying query Acquires the next
 /// free column (always the current live count, keeping live columns dense
 /// at 0..live-1); a retiring query Releases its column, and the *last*
 /// live column is swap-moved into the hole so the strip stays contiguous.
-/// Filter state (constraint + membership reference) is trivially copyable,
-/// so moves and growth are plain element copies.
 ///
-/// Every layout change that can invalidate an outstanding strided view —
-/// growth (storage reallocates, stride changes) and compaction (a column's
-/// contents move) — bumps `generation()`. FilterBank views carry the
+/// Every layout change that can invalidate an outstanding view — growth
+/// and compaction — bumps `generation()`. FilterBank views carry the
 /// generation they were bound at, so the engine can assert view freshness
 /// (and knows to rebind all live views) after any lifecycle event.
+///
+/// For the sharded engine's speculative epochs the arena can additionally
+/// track which cells a mutation touched (EnableCellTracking): the merge
+/// replay re-evaluates exactly those cells scalar while trusting the
+/// speculated fired bits everywhere else (DESIGN.md §8).
 
 namespace asf {
 
@@ -40,7 +64,9 @@ class FilterArena {
  public:
   static constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
 
-  explicit FilterArena(std::size_t num_streams) : num_streams_(num_streams) {}
+  explicit FilterArena(std::size_t num_streams) : num_streams_(num_streams) {
+    simd::AssertHostSupportsKernel();
+  }
 
   FilterArena(const FilterArena&) = delete;
   FilterArena& operator=(const FilterArena&) = delete;
@@ -50,7 +76,7 @@ class FilterArena {
   /// Live (tenanted) columns; they are always the dense prefix 0..live-1.
   std::size_t live() const { return live_; }
 
-  /// Allocated columns — the stride of every strip.
+  /// Allocated columns — the stride of every canonical strip.
   std::size_t capacity() const { return capacity_; }
 
   /// Bumped whenever outstanding views may have gone stale (growth or
@@ -71,28 +97,131 @@ class FilterArena {
   /// move happened).
   std::size_t Release(std::size_t column);
 
-  /// The contiguous strip of stream `id`'s filters; columns 0..live()-1
-  /// are the live ones. Valid until the next Acquire/Release.
-  Filter* Strip(StreamId id) {
+  /// The contiguous constraint strip of stream `id`'s filters; columns
+  /// 0..live()-1 are the live ones. Read-only outside the arena: direct
+  /// mutation would desync the SoA state — use Deploy/SyncReference. The
+  /// membership reference fields are only authoritative for cells no
+  /// kernel evaluation has touched since their last Deploy/SyncReference;
+  /// ReferenceInside() reads the canonical bit. Valid until the next
+  /// Acquire/Release.
+  const Filter* Strip(StreamId id) const {
     ASF_DCHECK(id < num_streams_);
     return storage_.data() + id * capacity_;
   }
 
-  /// A strided FilterBank view of `column` (must be live), tagged with the
-  /// current generation.
-  FilterBank View(std::size_t column) {
-    ASF_CHECK(column < live_);
-    return FilterBank(storage_.data() + column, capacity_, num_streams_,
-                      generation_);
+  /// One constraint cell (column must be live; see Strip() for the
+  /// reference-field caveat).
+  const Filter& cell(StreamId id, std::size_t column) const {
+    ASF_DCHECK(id < num_streams_ && column < live_);
+    return storage_[id * capacity_ + column];
   }
 
+  /// The canonical membership reference of cell (id, column) — the SoA
+  /// bit the kernel advances. Meaningful only while a filter is
+  /// installed, like Filter::reference_inside().
+  bool ReferenceInside(StreamId id, std::size_t column) const {
+    ASF_DCHECK(id < num_streams_ && column < live_);
+    return (ref_bits_[id * words_ + column / 64] >> (column % 64)) & 1u;
+  }
+
+  /// Installs a constraint at cell (id, column) against the stream's
+  /// current value, refreshing the cell's mirror lanes.
+  void Deploy(StreamId id, std::size_t column,
+              const FilterConstraint& constraint, Value current_value);
+
+  /// Syncs cell (id, column)'s membership reference to the stream's
+  /// current (probed) value, refreshing the mirror reference bit.
+  void SyncReference(StreamId id, std::size_t column, Value current_value);
+
+  /// The crossing kernel: evaluates value `v` of stream `id` against all
+  /// live columns at once, advancing every filtered column's membership
+  /// reference exactly as per-cell Filter::OnValueChange would, and
+  /// returns the fired bitmask — bit c of word w set iff column w*64+c
+  /// must report the update. Exactly fired_words() words are meaningful;
+  /// bits at or beyond live() are never set. The returned pointer stays
+  /// valid until the next EvaluateUpdate call. Requires live() > 0 and
+  /// finite `v`.
+  const std::uint64_t* EvaluateUpdate(StreamId id, Value v);
+
+  /// Words of the fired mask covering the live columns.
+  std::size_t fired_words() const { return (live_ + 63) / 64; }
+
+  /// Scalar single-cell evaluation (the sharded merge replay's dirty-cell
+  /// path): runs Filter::OnValueChange on the canonical cell and keeps the
+  /// mirror reference bit in sync. Returns whether the filter fired.
+  bool EvaluateColumn(StreamId id, std::size_t column, Value v);
+
+  /// A view of `column` (must be live) routed through this arena, tagged
+  /// with the current generation.
+  FilterBank View(std::size_t column) {
+    ASF_CHECK(column < live_);
+    return FilterBank({this}, column, num_streams_, generation_);
+  }
+
+  // --- Cell mutation tracking (sharded speculative epochs) ---
+
+  /// Starts (true) or stops (false) recording which cells Deploy /
+  /// SyncReference touch. Stopping clears the recorded set.
+  void EnableCellTracking(bool enabled);
+
+  /// Word `w` of the touched-cell mask of stream `id`'s strip (tracking
+  /// mode only).
+  std::uint64_t TouchedWord(StreamId id, std::size_t w) const {
+    ASF_DCHECK(tracking_ && id < num_streams_ && w < words_);
+    return touched_bits_[id * words_ + w];
+  }
+
+  /// True if cell (id, column) was touched since tracking started / was
+  /// last cleared.
+  bool CellTouched(StreamId id, std::size_t column) const {
+    return (TouchedWord(id, column / 64) >> (column % 64)) & 1u;
+  }
+
+  /// Clears the touched-cell set (start of a new epoch).
+  void ClearTouched();
+
  private:
+  static std::size_t PaddedStride(std::size_t capacity) {
+    return (capacity + 63) & ~std::size_t{63};
+  }
+
+  /// Recomputes cell (id, column)'s mirror lanes and bits from the
+  /// canonical Filter.
+  void RefreshCell(StreamId id, std::size_t column);
+
+  /// Writes the never-fires sentinel into cell (id, column)'s mirror.
+  void SentinelCell(StreamId id, std::size_t column);
+
+  /// Rebuilds the whole mirror arrays for the (possibly new) stride:
+  /// live cells refreshed from the canonical record, the rest sentinel.
+  void RebuildMirrors();
+
+  void SetBit(std::vector<std::uint64_t>& bits, StreamId id,
+              std::size_t column, bool value) {
+    std::uint64_t& word = bits[id * words_ + column / 64];
+    const std::uint64_t mask = std::uint64_t{1} << (column % 64);
+    word = value ? (word | mask) : (word & ~mask);
+  }
+
   std::size_t num_streams_;
   std::size_t capacity_ = 0;
   std::size_t live_ = 0;
   std::uint64_t generation_ = 0;
-  /// storage_[stream * capacity_ + column]; size num_streams_ * capacity_.
+  /// Canonical cells: storage_[stream * capacity_ + column].
   std::vector<Filter> storage_;
+
+  /// SoA mirrors, stride_ = PaddedStride(capacity_) lanes per stream,
+  /// words_ = stride_ / 64 mask words per stream.
+  std::size_t stride_ = 0;
+  std::size_t words_ = 0;
+  std::vector<double> lower_;   ///< lower_[stream * stride_ + column]
+  std::vector<double> upper_;
+  std::vector<std::uint64_t> ref_bits_;     ///< [stream * words_ + w]
+  std::vector<std::uint64_t> always_bits_;  ///< [stream * words_ + w]
+  std::vector<std::uint64_t> fired_;        ///< scratch, words_ words
+
+  bool tracking_ = false;
+  std::vector<std::uint64_t> touched_bits_;  ///< [stream * words_ + w]
 };
 
 }  // namespace asf

@@ -1,6 +1,36 @@
 #include "filter/filter_bank.h"
 
+#include "filter/filter_arena.h"
+
 namespace asf {
+
+Filter& FilterBank::ArenaCell(StreamId id) {
+  const std::size_t shard = id % arenas_.size();
+  const std::size_t row = id / arenas_.size();
+  // cell() returns const (outside writers must go through the arena's
+  // mutation entry points); the bank itself routes its mutations there,
+  // so handing the caller read access through the same path is safe.
+  return const_cast<Filter&>(arenas_[shard]->cell(row, column_));
+}
+
+void FilterBank::Deploy(StreamId id, const FilterConstraint& constraint,
+                        Value current_value) {
+  if (!arenas_.empty()) {
+    arenas_[id % arenas_.size()]->Deploy(id / arenas_.size(), column_,
+                                         constraint, current_value);
+    return;
+  }
+  at(id).Deploy(constraint, current_value);
+}
+
+void FilterBank::SyncReference(StreamId id, Value current_value) {
+  if (!arenas_.empty()) {
+    arenas_[id % arenas_.size()]->SyncReference(id / arenas_.size(), column_,
+                                                current_value);
+    return;
+  }
+  at(id).SyncReference(current_value);
+}
 
 std::size_t FilterBank::CountFalsePositiveFilters() const {
   std::size_t n = 0;

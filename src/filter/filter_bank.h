@@ -16,18 +16,27 @@
 /// held together for efficiency, but only the engine's transport layer may
 /// touch them, preserving the distributed-system message discipline.
 ///
-/// A bank is either *owning* (its own dense array, stride 1 — the
-/// standalone mode tests and tools use) or a *strided view* into storage
-/// shared by several banks. The engine uses views into a FilterArena to
-/// lay all live queries' filters out stream-major (every query's filter
-/// for stream i is contiguous), so the per-update dispatch scans one
-/// cache line strip instead of chasing one heap allocation per query;
-/// views are rebound as queries come and go (see filter/filter_arena.h
+/// A bank is one of:
+///  * *owning* — its own dense array, stride 1 (standalone tests/tools);
+///  * a *raw strided view* into caller-managed storage (legacy layout
+///    experiments);
+///  * an *arena-routed view*: one query's column across one or more
+///    FilterArenas. With a single arena this is the serial engine's
+///    stream-major layout; with S arenas the filters are sharded
+///    round-robin — stream id lives in arena id % S at row id / S — which
+///    is how a query spans the sharded engine's per-shard strips.
+///    Mutations (Deploy / SyncReference) route through the arena so its
+///    SoA mirrors stay coherent; mutate arena-backed cells only through
+///    those entry points, never through at().
+///
+/// Views are rebound as queries come and go (see filter/filter_arena.h
 /// and SimulationCore::InstallSlot / RebindLiveViews).
 
 namespace asf {
 
-/// Dense (or strided) array of per-stream filters.
+class FilterArena;
+
+/// Dense, strided, or arena-routed array of per-stream filters.
 class FilterBank {
  public:
   /// Detached bank: no storage, size 0. The state of a dynamic query's
@@ -40,11 +49,9 @@ class FilterBank {
       : owned_(num_streams), base_(owned_.data()), stride_(1),
         size_(num_streams) {}
 
-  /// Non-owning strided view: the filter of stream `id` lives at
+  /// Non-owning raw strided view: the filter of stream `id` lives at
   /// `base[id * stride]`. The caller keeps `base` alive and stable for
-  /// the lifetime of the view, and may tag the view with the storage
-  /// generation it was bound at (see FilterArena) so stale views are
-  /// detectable after the storage is rebuilt or compacted.
+  /// the lifetime of the view.
   FilterBank(Filter* base, std::size_t stride, std::size_t num_streams,
              std::uint64_t generation = 0)
       : base_(base), stride_(stride), size_(num_streams),
@@ -53,30 +60,52 @@ class FilterBank {
     ASF_CHECK(stride >= 1);
   }
 
+  /// Arena-routed view of one query's `column` across `arenas` (stream id
+  /// -> arena id % S, row id / S). The arenas outlive the view; the
+  /// caller may tag the view with the storage generation it was bound at
+  /// (see FilterArena) so stale views are detectable after a rebind.
+  FilterBank(std::vector<FilterArena*> arenas, std::size_t column,
+             std::size_t num_streams, std::uint64_t generation = 0)
+      : base_(nullptr), stride_(1), size_(num_streams),
+        generation_(generation), arenas_(std::move(arenas)),
+        column_(column) {
+    ASF_CHECK(!arenas_.empty());
+    for (const FilterArena* arena : arenas_) ASF_CHECK(arena != nullptr);
+  }
+
   FilterBank(FilterBank&&) = default;
   FilterBank& operator=(FilterBank&&) = default;
 
   std::size_t size() const { return size_; }
 
   /// The storage generation this view was bound at (0 for owning and
-  /// detached banks). Compared against FilterArena::generation() to catch
-  /// use of a view that survived a rebind.
+  /// detached banks). Compared against the engine's rebind counter to
+  /// catch use of a view that survived a rebind.
   std::uint64_t bound_generation() const { return generation_; }
 
+  /// Read access to stream `id`'s filter. Mutable access is only valid
+  /// for owning and raw strided banks — arena cells must be mutated via
+  /// Deploy / SyncReference so the arena mirrors stay in sync.
   Filter& at(StreamId id) {
     ASF_DCHECK(id < size_);
+    if (!arenas_.empty()) return ArenaCell(id);
     return base_[id * stride_];
   }
   const Filter& at(StreamId id) const {
     ASF_DCHECK(id < size_);
+    if (!arenas_.empty()) {
+      return const_cast<FilterBank*>(this)->ArenaCell(id);
+    }
     return base_[id * stride_];
   }
 
   /// Installs a constraint on one stream given its current value.
   void Deploy(StreamId id, const FilterConstraint& constraint,
-              Value current_value) {
-    at(id).Deploy(constraint, current_value);
-  }
+              Value current_value);
+
+  /// Syncs one stream's membership reference to its current (probed)
+  /// value: the probed value becomes the last-reported one.
+  void SyncReference(StreamId id, Value current_value);
 
   /// Number of filters currently in the [−∞, ∞] (false positive) state.
   std::size_t CountFalsePositiveFilters() const;
@@ -88,11 +117,16 @@ class FilterBank {
   std::size_t CountInstalled() const;
 
  private:
+  /// The canonical cell of stream `id` in the owning arena (routed mode).
+  Filter& ArenaCell(StreamId id);
+
   std::vector<Filter> owned_;  ///< empty for views
   Filter* base_;
   std::size_t stride_;
   std::size_t size_;
   std::uint64_t generation_ = 0;
+  std::vector<FilterArena*> arenas_;  ///< non-empty for arena-routed views
+  std::size_t column_ = 0;
 };
 
 }  // namespace asf

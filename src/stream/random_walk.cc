@@ -18,11 +18,19 @@ Status RandomWalkConfig::Validate() const {
   return Status::OK();
 }
 
-RandomWalkStreams::RandomWalkStreams(const RandomWalkConfig& config)
-    : StreamSet(config.num_streams), config_(config), rng_(config.seed) {
+RandomWalkStreams::RandomWalkStreams(const RandomWalkConfig& config,
+                                     StreamPartition partition)
+    : StreamSet(config.num_streams), config_(config), partition_(partition) {
   ASF_CHECK_MSG(config.Validate().ok(), "invalid RandomWalkConfig");
-  for (StreamId id = 0; id < config_.num_streams; ++id) {
-    SetInitialValue(id, rng_.Uniform(config_.init_lo, config_.init_hi));
+  ASF_CHECK(partition_.count >= 1 && partition_.index < partition_.count);
+  rngs_.reserve((config_.num_streams + partition_.count - 1) /
+                partition_.count);
+  for (StreamId id = partition_.index; id < config_.num_streams;
+       id += partition_.count) {
+    // The initial value is the substream's first draw, so it too is a
+    // function of (seed, id) alone.
+    rngs_.emplace_back(MixSeed(config_.seed, id));
+    SetInitialValue(id, rngs_.back().Uniform(config_.init_lo, config_.init_hi));
   }
 }
 
@@ -40,11 +48,12 @@ Value RandomWalkStreams::Reflect(Value v) const {
 
 void RandomWalkStreams::StepStream(Scheduler* scheduler, StreamId id,
                                    SimTime horizon) {
-  Value next = value(id) + rng_.Normal(0.0, config_.sigma);
+  Rng& rng = StreamRng(id);
+  Value next = value(id) + rng.Normal(0.0, config_.sigma);
   if (config_.reflect) next = Reflect(next);
   ApplyUpdate(id, next, scheduler->now());
   const SimTime next_time =
-      scheduler->now() + rng_.Exponential(config_.mean_interarrival);
+      scheduler->now() + rng.Exponential(config_.mean_interarrival);
   if (next_time <= horizon) {
     scheduler->ScheduleAt(
         next_time, [this, scheduler, id, horizon] {
@@ -55,9 +64,10 @@ void RandomWalkStreams::StepStream(Scheduler* scheduler, StreamId id,
 
 void RandomWalkStreams::Start(Scheduler* scheduler, SimTime horizon) {
   ASF_CHECK(scheduler != nullptr);
-  for (StreamId id = 0; id < config_.num_streams; ++id) {
+  for (StreamId id = partition_.index; id < config_.num_streams;
+       id += partition_.count) {
     const SimTime first =
-        scheduler->now() + rng_.Exponential(config_.mean_interarrival);
+        scheduler->now() + StreamRng(id).Exponential(config_.mean_interarrival);
     if (first <= horizon) {
       scheduler->ScheduleAt(first, [this, scheduler, id, horizon] {
         StepStream(scheduler, id, horizon);

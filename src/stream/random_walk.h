@@ -2,6 +2,7 @@
 #define ASF_STREAM_RANDOM_WALK_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -20,6 +21,14 @@
 /// (uniform) over long runs, which keeps a fixed range query such as
 /// [400, 600] populated the way the paper's experiments need. Reflection
 /// can be disabled for an unbounded walk.
+///
+/// Randomness is per stream: stream i draws its initial value, steps, and
+/// inter-arrival gaps from its own RNG substream seeded MixSeed(seed, i).
+/// A stream's whole (time, value) trajectory is therefore a function of
+/// (config, i) alone — independent of how many other streams exist or how
+/// their events interleave — so a StreamPartition slice of the population
+/// replays exactly the trajectories the full set would produce. The
+/// sharded engine depends on this for byte-identical results.
 
 namespace asf {
 
@@ -40,13 +49,21 @@ struct RandomWalkConfig {
 /// walks with exponential update inter-arrival times.
 class RandomWalkStreams : public StreamSet {
  public:
-  explicit RandomWalkStreams(const RandomWalkConfig& config);
+  /// Builds the population, driving only the streams `partition` owns.
+  /// Initial values are set for owned streams; foreign streams stay 0 and
+  /// must not be read (the sharded engine reads foreign values from its
+  /// own merged view, never from a shard's set).
+  explicit RandomWalkStreams(const RandomWalkConfig& config,
+                             StreamPartition partition = {});
 
   void Start(Scheduler* scheduler, SimTime horizon) override;
 
   const RandomWalkConfig& config() const { return config_; }
 
  private:
+  /// The RNG substream of owned stream `id`.
+  Rng& StreamRng(StreamId id) { return rngs_[id / partition_.count]; }
+
   /// Applies one step to stream `id` and schedules its next update.
   void StepStream(Scheduler* scheduler, StreamId id, SimTime horizon);
 
@@ -54,7 +71,9 @@ class RandomWalkStreams : public StreamSet {
   Value Reflect(Value v) const;
 
   RandomWalkConfig config_;
-  Rng rng_;
+  StreamPartition partition_;
+  /// One RNG per owned stream, indexed by id / partition.count.
+  std::vector<Rng> rngs_;
 };
 
 }  // namespace asf

@@ -26,14 +26,22 @@ Status TraceData::Validate() const {
   return Status::OK();
 }
 
-TraceStreams::TraceStreams(const TraceData* trace)
-    : StreamSet(trace->num_streams), trace_(trace) {
+TraceStreams::TraceStreams(const TraceData* trace, StreamPartition partition)
+    : StreamSet(trace->num_streams), trace_(trace), partition_(partition) {
   ASF_CHECK(trace != nullptr);
   ASF_CHECK_MSG(trace->Validate().ok(), "invalid TraceData");
+  ASF_CHECK(partition_.count >= 1 && partition_.index < partition_.count);
   if (!trace_->initial_values.empty()) {
     for (StreamId id = 0; id < trace_->num_streams; ++id) {
-      SetInitialValue(id, trace_->initial_values[id]);
+      if (partition_.Owns(id)) SetInitialValue(id, trace_->initial_values[id]);
     }
+  }
+}
+
+void TraceStreams::SkipForeign() {
+  while (next_ < trace_->records.size() &&
+         !partition_.Owns(trace_->records[next_].stream)) {
+    ++next_;
   }
 }
 
@@ -42,6 +50,7 @@ void TraceStreams::ReplayNext(Scheduler* scheduler, SimTime horizon) {
   const TraceRecord& rec = trace_->records[next_];
   ++next_;
   ApplyUpdate(rec.stream, rec.value, rec.time);
+  SkipForeign();
   if (next_ < trace_->records.size()) {
     const SimTime t = trace_->records[next_].time;
     if (t <= horizon) {
@@ -54,8 +63,9 @@ void TraceStreams::ReplayNext(Scheduler* scheduler, SimTime horizon) {
 void TraceStreams::Start(Scheduler* scheduler, SimTime horizon) {
   ASF_CHECK(scheduler != nullptr);
   next_ = 0;
-  if (trace_->records.empty()) return;
-  const SimTime t = trace_->records.front().time;
+  SkipForeign();
+  if (next_ >= trace_->records.size()) return;
+  const SimTime t = trace_->records[next_].time;
   if (t > horizon) return;
   scheduler->ScheduleAt(
       t, [this, scheduler, horizon] { ReplayNext(scheduler, horizon); });

@@ -44,10 +44,12 @@ struct TraceData {
 };
 
 /// Streams that replay a TraceData. The trace is borrowed and must outlive
-/// the stream set.
+/// the stream set. A StreamPartition slice applies only the records of the
+/// streams it owns (in trace order), so a shard replays exactly the
+/// sub-trace of its streams.
 class TraceStreams : public StreamSet {
  public:
-  explicit TraceStreams(const TraceData* trace);
+  explicit TraceStreams(const TraceData* trace, StreamPartition partition = {});
 
   void Start(Scheduler* scheduler, SimTime horizon) override;
 
@@ -55,7 +57,11 @@ class TraceStreams : public StreamSet {
   /// Replays records[next_] and any further records at the same timestamp.
   void ReplayNext(Scheduler* scheduler, SimTime horizon);
 
+  /// Advances next_ past records of streams this partition does not own.
+  void SkipForeign();
+
   const TraceData* trace_;
+  StreamPartition partition_;
   std::size_t next_ = 0;
 };
 

@@ -1,7 +1,12 @@
 #include "filter/filter_arena.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "common/simd.h"
 #include "filter/constraint.h"
 
 namespace asf {
@@ -9,6 +14,22 @@ namespace {
 
 FilterConstraint RangeConstraint(double lo, double hi) {
   return FilterConstraint::Range(Interval(lo, hi));
+}
+
+/// Collects the fired columns of one kernel evaluation.
+std::vector<std::size_t> FiredColumns(FilterArena& arena, StreamId id,
+                                      Value v) {
+  std::vector<std::size_t> fired;
+  const std::uint64_t* words = arena.EvaluateUpdate(id, v);
+  for (std::size_t w = 0; w < arena.fired_words(); ++w) {
+    std::uint64_t word = words[w];
+    while (word != 0) {
+      fired.push_back(w * 64 +
+                      static_cast<unsigned>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
+  return fired;
 }
 
 TEST(FilterArenaTest, StartsEmpty) {
@@ -122,6 +143,204 @@ TEST(FilterArenaTest, ViewsCarryTheGenerationTag) {
   arena.Acquire();  // growth: the old view's tag goes stale
   EXPECT_NE(view.bound_generation(), arena.generation());
   EXPECT_EQ(arena.View(a).bound_generation(), arena.generation());
+}
+
+// --- SoA / SIMD kernel parity ---
+//
+// The reference semantics are per-cell Filter::OnValueChange on an
+// independent AoS bank (the executable specification of paper §3.1); the
+// kernel must agree on every fired decision and every membership
+// reference, through deploys, syncs, growth, and swap-move compaction.
+
+TEST(FilterArenaKernelTest, KernelMatchesScalarOnValueChange) {
+  constexpr std::size_t kStreams = 5;
+  constexpr std::size_t kColumns = 70;  // crosses the one-word boundary
+  FilterArena arena(kStreams);
+  std::vector<std::vector<Filter>> reference(
+      kStreams, std::vector<Filter>(kColumns));
+
+  Rng rng(77);
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    arena.Acquire();
+    for (StreamId id = 0; id < kStreams; ++id) {
+      const Value current = rng.Uniform(0, 1000);
+      // A mix of real intervals, silent degenerate forms, and no-filter
+      // columns, like FT-NRP populations produce.
+      FilterConstraint constraint;
+      switch ((c + id) % 5) {
+        case 0: {
+          const double lo = rng.Uniform(0, 900);
+          constraint = RangeConstraint(lo, lo + rng.Uniform(1, 100));
+          break;
+        }
+        case 1:
+          constraint = FilterConstraint::FalsePositive();
+          break;
+        case 2:
+          constraint = FilterConstraint::FalseNegative();
+          break;
+        case 3:
+          constraint = FilterConstraint::NoFilter();
+          break;
+        case 4:
+          constraint = RangeConstraint(400, 600);
+          break;
+      }
+      arena.Deploy(id, c, constraint, current);
+      reference[id][c].Deploy(constraint, current);
+    }
+  }
+
+  for (int step = 0; step < 2000; ++step) {
+    const StreamId id = static_cast<StreamId>(
+        rng.UniformInt(0, static_cast<std::int64_t>(kStreams) - 1));
+    const Value v = rng.Uniform(-50, 1050);
+    std::vector<std::size_t> expect;
+    for (std::size_t c = 0; c < kColumns; ++c) {
+      if (reference[id][c].OnValueChange(v)) expect.push_back(c);
+    }
+    EXPECT_EQ(FiredColumns(arena, id, v), expect) << "step " << step;
+    for (std::size_t c = 0; c < kColumns; ++c) {
+      ASSERT_EQ(arena.ReferenceInside(id, c),
+                reference[id][c].reference_inside())
+          << "step " << step << " column " << c;
+    }
+  }
+}
+
+TEST(FilterArenaKernelTest, MutationsInterleavedWithKernelStayExact) {
+  constexpr std::size_t kStreams = 3;
+  constexpr std::size_t kColumns = 9;
+  FilterArena arena(kStreams);
+  std::vector<std::vector<Filter>> reference(
+      kStreams, std::vector<Filter>(kColumns));
+  for (std::size_t c = 0; c < kColumns; ++c) arena.Acquire();
+
+  Rng rng(123);
+  for (int step = 0; step < 3000; ++step) {
+    const StreamId id = static_cast<StreamId>(
+        rng.UniformInt(0, static_cast<std::int64_t>(kStreams) - 1));
+    const std::size_t c = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(kColumns) - 1));
+    const Value v = rng.Uniform(0, 1000);
+    switch (rng.UniformInt(0, 3)) {
+      case 0: {  // deploy a fresh constraint
+        const double lo = rng.Uniform(0, 900);
+        const FilterConstraint constraint =
+            RangeConstraint(lo, lo + rng.Uniform(1, 150));
+        arena.Deploy(id, c, constraint, v);
+        reference[id][c].Deploy(constraint, v);
+        break;
+      }
+      case 1:  // probe sync
+        arena.SyncReference(id, c, v);
+        reference[id][c].SyncReference(v);
+        break;
+      case 2: {  // scalar single-cell evaluation (the dirty-replay path)
+        EXPECT_EQ(arena.EvaluateColumn(id, c, v),
+                  reference[id][c].OnValueChange(v));
+        break;
+      }
+      default: {  // full-strip kernel evaluation
+        std::vector<std::size_t> expect;
+        for (std::size_t col = 0; col < kColumns; ++col) {
+          if (reference[id][col].OnValueChange(v)) expect.push_back(col);
+        }
+        EXPECT_EQ(FiredColumns(arena, id, v), expect) << "step " << step;
+        break;
+      }
+    }
+  }
+}
+
+TEST(FilterArenaKernelTest, GrowthAndCompactionRegenerateTheMirrors) {
+  constexpr std::size_t kStreams = 4;
+  FilterArena arena(kStreams);
+  Rng rng(9);
+
+  // The reference model: per-column banks of scalar Filters, mirroring
+  // the arena's swap-move compaction (reference[column][stream]).
+  std::vector<std::vector<Filter>> reference;
+
+  auto evaluate_all = [&](int tag) {
+    for (int step = 0; step < 40; ++step) {
+      const StreamId id = static_cast<StreamId>(
+          rng.UniformInt(0, static_cast<std::int64_t>(kStreams) - 1));
+      const Value v = rng.Uniform(0, 1500);
+      std::vector<std::size_t> expect;
+      for (std::size_t c = 0; c < reference.size(); ++c) {
+        if (reference[c][id].OnValueChange(v)) expect.push_back(c);
+      }
+      ASSERT_EQ(FiredColumns(arena, id, v), expect)
+          << "tag " << tag << " step " << step;
+    }
+  };
+
+  // Grow far past the 64-column SoA stride so the bit-stride widens with
+  // advanced references in flight; evaluate between growth steps so the
+  // kernel's reference bits diverge from the stale AoS record.
+  for (int i = 0; i < 130; ++i) {
+    const std::size_t c = arena.Acquire();
+    ASSERT_EQ(c, reference.size());
+    reference.emplace_back(kStreams);
+    for (StreamId id = 0; id < kStreams; ++id) {
+      const double lo = rng.Uniform(0, 1400);
+      const Value current = rng.Uniform(0, 1500);
+      const FilterConstraint constraint = RangeConstraint(lo, lo + 40);
+      arena.Deploy(id, c, constraint, current);
+      reference.back()[id].Deploy(constraint, current);
+    }
+    if (i % 13 == 0) evaluate_all(i);
+  }
+  evaluate_all(1000);
+
+  // Release half the columns from the middle: swap-move compaction must
+  // move constraint cells and SoA lanes (including advanced reference
+  // bits) together.
+  for (int i = 0; i < 60; ++i) {
+    arena.Release(17);
+    reference[17] = std::move(reference.back());
+    reference.pop_back();
+    if (i % 11 == 0) evaluate_all(2000 + i);
+  }
+  evaluate_all(3000);
+}
+
+TEST(FilterArenaKernelTest, TouchedCellTrackingFollowsMutations) {
+  FilterArena arena(3);
+  arena.EnableCellTracking(true);
+  const std::size_t a = arena.Acquire();
+  const std::size_t b = arena.Acquire();
+  EXPECT_FALSE(arena.CellTouched(0, a));
+
+  arena.Deploy(0, a, RangeConstraint(10, 20), 5.0);
+  EXPECT_TRUE(arena.CellTouched(0, a));
+  EXPECT_FALSE(arena.CellTouched(1, a));
+  EXPECT_FALSE(arena.CellTouched(0, b));
+
+  arena.SyncReference(1, b, 15.0);
+  EXPECT_TRUE(arena.CellTouched(1, b));
+
+  // Kernel evaluation is speculation, not mutation: it must not mark.
+  arena.EvaluateUpdate(0, 12.0);
+  EXPECT_FALSE(arena.CellTouched(0, b));
+
+  arena.ClearTouched();
+  EXPECT_FALSE(arena.CellTouched(0, a));
+  EXPECT_FALSE(arena.CellTouched(1, b));
+
+  // Compaction moves the touched bit with the moved column.
+  arena.Deploy(2, b, RangeConstraint(0, 1), 0.5);
+  ASSERT_TRUE(arena.CellTouched(2, b));
+  arena.Release(a);  // b moves into a's slot
+  EXPECT_TRUE(arena.CellTouched(2, a));
+}
+
+TEST(FilterArenaKernelTest, SimdBackendIsReported) {
+  // The compiled backend is surfaced to benches and bench JSON; whatever
+  // it is, its lane count must be consistent.
+  EXPECT_GE(simd::kLanes, 1);
+  EXPECT_STRNE(simd::kBackend, "");
 }
 
 }  // namespace

@@ -1,0 +1,276 @@
+#include "engine/sharded_core.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/churn.h"
+#include "engine/multi_system.h"
+#include "net/message.h"
+
+// Sharded-vs-serial equivalence: ShardedSimulationCore must produce
+// byte-identical results to the serial SimulationCore for any shard count,
+// across every protocol, with mid-run lifecycle (deploy/retire), periodic
+// oracle sampling, and churn schedules. These tests are the contract named
+// in DESIGN.md §8.
+
+namespace asf {
+namespace {
+
+void ExpectSameStats(const MultiQueryResult::PerQuery& a,
+                     const MultiQueryResult::PerQuery& b,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.name, b.name);
+  for (int p = 0; p < kNumMessagePhases; ++p) {
+    for (int t = 0; t < kNumMessageTypes; ++t) {
+      EXPECT_EQ(a.messages.count(static_cast<MessagePhase>(p),
+                                 static_cast<MessageType>(t)),
+                b.messages.count(static_cast<MessagePhase>(p),
+                                 static_cast<MessageType>(t)))
+          << "phase " << p << " type " << t;
+    }
+  }
+  EXPECT_EQ(a.updates_reported, b.updates_reported);
+  EXPECT_EQ(a.reinits, b.reinits);
+  EXPECT_EQ(a.answer_size.count(), b.answer_size.count());
+  EXPECT_EQ(a.answer_size.mean(), b.answer_size.mean());
+  EXPECT_EQ(a.answer_size.variance(), b.answer_size.variance());
+  EXPECT_EQ(a.answer_size.min(), b.answer_size.min());
+  EXPECT_EQ(a.answer_size.max(), b.answer_size.max());
+  EXPECT_EQ(a.oracle_checks, b.oracle_checks);
+  EXPECT_EQ(a.oracle_violations, b.oracle_violations);
+  EXPECT_EQ(a.max_f_plus, b.max_f_plus);
+  EXPECT_EQ(a.max_f_minus, b.max_f_minus);
+  EXPECT_EQ(a.max_worst_rank, b.max_worst_rank);
+  EXPECT_EQ(a.deployed_at, b.deployed_at);
+  EXPECT_EQ(a.retired_at, b.retired_at);
+}
+
+void ExpectSameResult(const MultiQueryResult& serial,
+                      const MultiQueryResult& sharded,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(serial.queries.size(), sharded.queries.size());
+  for (std::size_t i = 0; i < serial.queries.size(); ++i) {
+    ExpectSameStats(serial.queries[i], sharded.queries[i],
+                    label + " query " + std::to_string(i));
+  }
+  EXPECT_EQ(serial.updates_generated, sharded.updates_generated);
+  EXPECT_EQ(serial.physical_updates, sharded.physical_updates);
+  EXPECT_EQ(serial.peak_live_queries, sharded.peak_live_queries);
+}
+
+/// A mixed three-query deployment of one protocol: one static query, one
+/// late arrival, one that retires mid-run — so the equivalence covers
+/// lifecycle barriers, not just the static batch.
+MultiQueryConfig ProtocolConfig(ProtocolKind protocol) {
+  MultiQueryConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 90;
+  walk.seed = 11;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = 600;
+  config.seed = 23;
+  config.oracle.sample_interval = 85;
+
+  const bool rank = protocol == ProtocolKind::kRtp ||
+                    protocol == ProtocolKind::kZtRp ||
+                    protocol == ProtocolKind::kFtRp;
+  for (int i = 0; i < 3; ++i) {
+    QueryDeployment dep;
+    dep.name = "q" + std::to_string(i);
+    if (rank) {
+      dep.query = QuerySpec::Knn(4 + i, 300.0 + 150.0 * i);
+    } else {
+      dep.query = QuerySpec::Range(250.0 + 100.0 * i, 470.0 + 100.0 * i);
+    }
+    dep.protocol = protocol;
+    dep.rank_r = 2;
+    dep.fraction.eps_plus = 0.25;
+    dep.fraction.eps_minus = 0.25;
+    if (i == 1) dep.start = 123.5;               // late arrival
+    if (i == 2) dep.end = 431.25;                // mid-run retirement
+    config.queries.push_back(dep);
+  }
+  return config;
+}
+
+/// Drives ShardedSimulationCore directly (the public entry point routes
+/// shards == 1 to the serial engine, and the epoch machinery must hold for
+/// one shard too).
+MultiQueryResult RunShardedDirect(const MultiQueryConfig& config,
+                                  std::size_t shards) {
+  ShardedSimulationCore::Options options;
+  options.base.source = config.source;
+  options.base.duration = config.duration;
+  options.base.query_start = config.query_start;
+  options.base.seed = config.seed;
+  options.base.oracle = config.oracle;
+  options.shards = shards;
+  options.epoch = config.shard_epoch;
+  ShardedSimulationCore core(options);
+  for (const QueryDeployment& dep : config.queries) core.AddQuery(dep);
+  core.Run();
+
+  MultiQueryResult r;
+  r.queries.resize(config.queries.size());
+  for (std::size_t i = 0; i < config.queries.size(); ++i) {
+    const QueryRunStats& s = core.query_stats(i);
+    auto& q = r.queries[i];
+    q.name = s.name;
+    q.messages = s.messages;
+    q.updates_reported = s.updates_reported;
+    q.reinits = s.reinits;
+    q.answer_size = s.answer_size;
+    q.oracle_checks = s.oracle_checks;
+    q.oracle_violations = s.oracle_violations;
+    q.max_f_plus = s.max_f_plus;
+    q.max_f_minus = s.max_f_minus;
+    q.max_worst_rank = s.max_worst_rank;
+    q.deployed_at = s.deployed_at;
+    q.retired_at = s.retired_at;
+  }
+  r.updates_generated = core.updates_generated();
+  r.physical_updates = core.physical_updates();
+  r.peak_live_queries = core.peak_live_queries();
+  return r;
+}
+
+TEST(ShardedCoreTest, ByteIdenticalToSerialAcrossProtocolsAndShardCounts) {
+  const ProtocolKind protocols[] = {
+      ProtocolKind::kNoFilter, ProtocolKind::kZtNrp, ProtocolKind::kFtNrp,
+      ProtocolKind::kRtp,      ProtocolKind::kZtRp,  ProtocolKind::kFtRp};
+  for (ProtocolKind protocol : protocols) {
+    MultiQueryConfig config = ProtocolConfig(protocol);
+    auto serial = RunMultiQuerySystem(config);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (std::size_t shards : {1u, 2u, 4u}) {
+      const MultiQueryResult sharded = RunShardedDirect(config, shards);
+      ExpectSameResult(*serial, sharded,
+                       std::string(ProtocolKindName(protocol)) + " shards=" +
+                           std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedCoreTest, ByteIdenticalOnChurnSchedule) {
+  MultiQueryConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 70;
+  walk.seed = 5;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = 900;
+  config.seed = 7;
+  config.oracle.sample_interval = 120;
+
+  ChurnSpec spec;
+  spec.arrival_rate = 0.05;
+  spec.mean_lifetime = 220;
+  spec.seed = 31;
+  auto deployments = ExpandChurn(spec, config.duration);
+  ASSERT_TRUE(deployments.ok());
+  config.queries = std::move(deployments).value();
+  ASSERT_GE(config.queries.size(), 10u);
+
+  auto serial = RunMultiQuerySystem(config);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (std::size_t shards : {2u, 4u}) {
+    MultiQueryConfig sharded_config = config;
+    sharded_config.shards = shards;
+    auto sharded = RunMultiQuerySystem(sharded_config);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ExpectSameResult(*serial, *sharded,
+                     "churn shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedCoreTest, ByteIdenticalWithPerUpdateOracle) {
+  MultiQueryConfig config = ProtocolConfig(ProtocolKind::kFtNrp);
+  config.duration = 200;
+  config.oracle.check_every_update = true;
+  config.oracle.sample_interval = 0;
+
+  auto serial = RunMultiQuerySystem(config);
+  ASSERT_TRUE(serial.ok());
+  MultiQueryConfig sharded_config = config;
+  sharded_config.shards = 3;
+  auto sharded = RunMultiQuerySystem(sharded_config);
+  ASSERT_TRUE(sharded.ok());
+  ExpectSameResult(*serial, *sharded, "per-update oracle shards=3");
+}
+
+TEST(ShardedCoreTest, ByteIdenticalOnTraceSource) {
+  // Integer-timed trace records exercise the trace partition path (each
+  // shard replays its sub-trace) — stream ids all distinct per timestamp
+  // so the merge order is unambiguous.
+  TraceData trace;
+  trace.num_streams = 12;
+  for (int t = 1; t <= 400; ++t) {
+    TraceRecord rec;
+    rec.time = t;
+    rec.stream = static_cast<StreamId>((t * 7) % 12);
+    rec.value = 100.0 + ((t * 37) % 900);
+    trace.records.push_back(rec);
+  }
+  MultiQueryConfig config;
+  config.source = SourceSpec::Trace(&trace);
+  config.duration = 420;
+  config.seed = 3;
+  QueryDeployment dep;
+  dep.name = "q0";
+  dep.query = QuerySpec::Range(300, 650);
+  dep.protocol = ProtocolKind::kZtNrp;
+  config.queries.push_back(dep);
+
+  auto serial = RunMultiQuerySystem(config);
+  ASSERT_TRUE(serial.ok());
+  MultiQueryConfig sharded_config = config;
+  sharded_config.shards = 4;
+  auto sharded = RunMultiQuerySystem(sharded_config);
+  ASSERT_TRUE(sharded.ok());
+  ExpectSameResult(*serial, *sharded, "trace shards=4");
+}
+
+TEST(ShardedCoreTest, RejectsCrossShardTraceTimestampTies) {
+  // Two records at the same instant on streams of different shards: the
+  // sharded merge would order them by stream id while the serial engine
+  // replays trace order, so validation must refuse rather than silently
+  // break the byte-identical contract.
+  TraceData trace;
+  trace.num_streams = 4;
+  trace.records = {{1.0, 0, 10.0}, {2.0, 1, 20.0}, {2.0, 2, 30.0}};
+  MultiQueryConfig config;
+  config.source = SourceSpec::Trace(&trace);
+  config.duration = 10;
+  QueryDeployment dep;
+  dep.name = "q0";
+  dep.query = QuerySpec::Range(0, 100);
+  dep.protocol = ProtocolKind::kZtNrp;
+  config.queries.push_back(dep);
+
+  config.shards = 1;
+  EXPECT_TRUE(config.Validate().ok());  // serial replay order is exact
+  config.shards = 2;
+  EXPECT_FALSE(config.Validate().ok());  // streams 1 and 2 tie across shards
+
+  // Same-shard ties keep their trace order in the shard log: fine.
+  trace.records = {{1.0, 0, 10.0}, {2.0, 1, 20.0}, {2.0, 3, 30.0}};
+  EXPECT_TRUE(config.Validate().ok());  // 1 and 3 are both shard 1 of 2
+}
+
+TEST(ShardedCoreTest, RejectsCustomSourceAndZeroShards) {
+  MultiQueryConfig config = ProtocolConfig(ProtocolKind::kZtNrp);
+  config.shards = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  RandomWalkStreams custom(RandomWalkConfig{.num_streams = 8});
+  MultiQueryConfig custom_config = ProtocolConfig(ProtocolKind::kZtNrp);
+  custom_config.source = SourceSpec::Custom(&custom);
+  custom_config.shards = 2;
+  EXPECT_FALSE(custom_config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace asf

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/simd.h"
 #include "engine/churn.h"
 #include "engine/multi_system.h"
 #include "engine/system.h"
@@ -58,6 +59,10 @@ Protocol & tolerance:
 Auditing:
   --oracle-interval=T     sample the correctness oracle every T time units
   --oracle-every-update   audit after every update (slow)
+
+Sharding (byte-identical to the serial engine for any shard count):
+  --shards=S              partition streams across S worker shards  [1]
+  --epoch=T               speculation epoch length (0 = auto)       [0]
 
 Churn mode (open query population; the query/protocol flags above form
 the arrival mix — when --range / --q is given explicitly it pins every
@@ -153,6 +158,8 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   config.query_start = base.query_start;
   config.seed = base.seed;
   config.oracle = base.oracle;
+  config.shards = base.shards;
+  config.shard_epoch = base.shard_epoch;
   ASF_ASSIGN_OR_RETURN(config.queries, ExpandChurn(spec, config.duration));
   if (config.queries.empty()) {
     return Status::InvalidArgument(
@@ -162,10 +169,11 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
                        RunMultiQuerySystem(config));
 
   std::printf("churn of %s queries over %zu streams, duration %g "
-              "(rate %g, mean lifetime %g)\n\n",
+              "(rate %g, mean lifetime %g, %zu shard%s)\n\n",
               std::string(ProtocolKindName(base.protocol)).c_str(),
               config.source.NumStreams(), config.duration,
-              spec.arrival_rate, spec.mean_lifetime);
+              spec.arrival_rate, spec.mean_lifetime, config.shards,
+              config.shards == 1 ? "" : "s");
   TextTable per_query({"query", "deployed", "retired", "maint_messages",
                        "reported", "answer_mean", "oracle"});
   for (const MultiQueryResult::PerQuery& q : result.queries) {
@@ -200,6 +208,8 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
     ASF_RETURN_IF_ERROR(WriteBenchJson(
         flags.GetString("bench-json"), "asf_run_churn",
         {{"queries", static_cast<double>(result.queries.size())},
+         {"shards", static_cast<double>(config.shards)},
+         {"simd", static_cast<double>(simd::KernelLanes())},
          {"peak_live", static_cast<double>(result.peak_live_queries)},
          {"updates_generated",
           static_cast<double>(result.updates_generated)},
@@ -238,6 +248,10 @@ Status RunFromFlags(const Flags& flags) {
   ASF_ASSIGN_OR_RETURN(config.query_start, flags.GetDouble("warmup", 0));
   ASF_ASSIGN_OR_RETURN(const std::int64_t seed, flags.GetInt("seed", 1));
   config.seed = static_cast<std::uint64_t>(seed);
+  ASF_ASSIGN_OR_RETURN(const std::int64_t shards, flags.GetInt("shards", 1));
+  if (shards < 1) return Status::InvalidArgument("--shards must be >= 1");
+  config.shards = static_cast<std::size_t>(shards);
+  ASF_ASSIGN_OR_RETURN(config.shard_epoch, flags.GetDouble("epoch", 0));
 
   // Query + protocol + tolerance.
   ASF_ASSIGN_OR_RETURN(config.query, ParseQuery(flags));
@@ -283,10 +297,12 @@ Status RunFromFlags(const Flags& flags) {
 
   ASF_ASSIGN_OR_RETURN(const RunResult result, RunSystem(config));
 
-  std::printf("%s over %zu streams, duration %g (warmup %g)\n\n",
+  std::printf("%s over %zu streams, duration %g (warmup %g, %zu "
+              "shard%s)\n\n",
               std::string(ProtocolKindName(config.protocol)).c_str(),
               config.source.NumStreams(), config.duration,
-              config.query_start);
+              config.query_start, config.shards,
+              config.shards == 1 ? "" : "s");
   TextTable table({"metric", "value"});
   table.AddRow({"maintenance messages",
                 Fmt("%llu", (unsigned long long)result.MaintenanceMessages())});
@@ -324,6 +340,8 @@ Status RunFromFlags(const Flags& flags) {
         flags.GetString("bench-json"), "asf_run",
         {{"maint_messages",
           static_cast<double>(result.MaintenanceMessages())},
+         {"shards", static_cast<double>(config.shards)},
+         {"simd", static_cast<double>(simd::KernelLanes())},
          {"init_messages", static_cast<double>(result.messages.InitTotal())},
          {"updates_generated",
           static_cast<double>(result.updates_generated)},

@@ -1,0 +1,182 @@
+/// bench_check — tolerance-aware comparison of two BENCH_*.json files.
+///
+///   bench_check --baseline=BENCH_micro_dispatch.json \
+///               --current=build/BENCH_micro_dispatch.json \
+///               [--tolerance=0.25] [--keys=simd_speedup_q256,...]
+///
+/// Compares every metric key present in both files (or only --keys, when
+/// given). Throughput-like metrics (higher is better) regress when
+/// current < baseline * (1 - tolerance); keys ending in "_seconds"
+/// (lower is better) regress when current > baseline * (1 + tolerance).
+/// Exit code 1 if any checked metric regressed, 2 on usage/parse errors.
+///
+/// CI guards the *machine-stable ratio* metrics (SIMD speedup, shard
+/// speedup) this way: absolute updates/sec depend on the runner hardware,
+/// but in-process ratios transfer — see EXPERIMENTS.md.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+
+namespace asf {
+namespace {
+
+/// Parses the flat {"bench": "...", "metrics": {"k": v, ...}} documents
+/// WriteBenchJson emits. Not a general JSON parser; the format is ours.
+bool ParseBenchJson(const std::string& path,
+                    std::map<std::string, double>* metrics) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::size_t metrics_at = text.find("\"metrics\"");
+  if (metrics_at == std::string::npos) {
+    std::fprintf(stderr, "bench_check: %s has no \"metrics\" object\n",
+                 path.c_str());
+    return false;
+  }
+  std::size_t pos = text.find('{', metrics_at);
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < text.size()) {
+    const std::size_t key_open = text.find('"', pos);
+    if (key_open == std::string::npos) break;
+    const std::size_t key_close = text.find('"', key_open + 1);
+    if (key_close == std::string::npos) break;
+    const std::string key = text.substr(key_open + 1, key_close - key_open - 1);
+    const std::size_t colon = text.find(':', key_close);
+    if (colon == std::string::npos) break;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + colon + 1, &end);
+    if (end == text.c_str() + colon + 1) {
+      std::fprintf(stderr, "bench_check: bad value for %s in %s\n",
+                   key.c_str(), path.c_str());
+      return false;
+    }
+    (*metrics)[key] = value;
+    pos = static_cast<std::size_t>(end - text.c_str());
+    const std::size_t brace = text.find_first_of(",}", pos);
+    if (brace == std::string::npos || text[brace] == '}') break;
+    pos = brace + 1;
+  }
+  return true;
+}
+
+bool LowerIsBetter(const std::string& key) {
+  const std::string suffix = "_seconds";
+  return key.size() >= suffix.size() &&
+         key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> SplitKeys(const std::string& csv) {
+  std::vector<std::string> keys;
+  std::string key;
+  std::stringstream stream(csv);
+  while (std::getline(stream, key, ',')) {
+    if (!key.empty()) keys.push_back(key);
+  }
+  return keys;
+}
+
+int Run(const Flags& flags) {
+  const std::string baseline_path = flags.GetString("baseline");
+  const std::string current_path = flags.GetString("current");
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_check --baseline=FILE --current=FILE "
+                 "[--tolerance=0.25] [--keys=a,b,c]\n");
+    return 2;
+  }
+  auto tolerance_or = flags.GetDouble("tolerance", 0.25);
+  if (!tolerance_or.ok() || *tolerance_or < 0) {
+    std::fprintf(stderr, "bench_check: bad --tolerance\n");
+    return 2;
+  }
+  const double tolerance = *tolerance_or;
+
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> current;
+  if (!ParseBenchJson(baseline_path, &baseline) ||
+      !ParseBenchJson(current_path, &current)) {
+    return 2;
+  }
+
+  std::vector<std::string> keys;
+  if (flags.Has("keys")) {
+    keys = SplitKeys(flags.GetString("keys"));
+    for (const std::string& key : keys) {
+      if (baseline.find(key) == baseline.end()) {
+        std::fprintf(stderr, "bench_check: key %s missing from baseline %s\n",
+                     key.c_str(), baseline_path.c_str());
+        return 2;
+      }
+      if (current.find(key) == current.end()) {
+        std::fprintf(stderr, "bench_check: key %s missing from current %s\n",
+                     key.c_str(), current_path.c_str());
+        return 2;
+      }
+    }
+  } else {
+    for (const auto& [key, value] : baseline) {
+      (void)value;
+      if (current.find(key) != current.end()) keys.push_back(key);
+    }
+  }
+  if (keys.empty()) {
+    std::fprintf(stderr, "bench_check: no common metrics to compare\n");
+    return 2;
+  }
+
+  int regressions = 0;
+  std::printf("%-40s %14s %14s %9s\n", "metric", "baseline", "current",
+              "ratio");
+  for (const std::string& key : keys) {
+    const double base = baseline[key];
+    const double cur = current[key];
+    const bool lower_better = LowerIsBetter(key);
+    const double ratio = base != 0 ? cur / base : 0.0;
+    bool regressed;
+    if (lower_better) {
+      regressed = cur > base * (1 + tolerance);
+    } else {
+      regressed = cur < base * (1 - tolerance);
+    }
+    std::printf("%-40s %14.6g %14.6g %8.2fx%s\n", key.c_str(), base, cur,
+                ratio, regressed ? "  << REGRESSED" : "");
+    if (regressed) ++regressions;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_check: %d metric(s) regressed beyond %.0f%% "
+                 "tolerance\n",
+                 regressions, tolerance * 100);
+    return 1;
+  }
+  std::printf("bench_check: OK (%zu metrics within %.0f%% tolerance)\n",
+              keys.size(), tolerance * 100);
+  return 0;
+}
+
+}  // namespace
+}  // namespace asf
+
+int main(int argc, char** argv) {
+  auto flags = asf::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  return asf::Run(*flags);
+}
