@@ -119,6 +119,7 @@ Status SystemConfig::Validate() const {
     ASF_RETURN_IF_ERROR(fraction.Validate());
   }
   ASF_RETURN_IF_ERROR(ValidateSharding(shards, source));
+  ASF_RETURN_IF_ERROR(net.Validate());
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "net/network_model.h"
 #include "protocol/options.h"
 #include "query/query.h"
 #include "stream/random_walk.h"
@@ -172,6 +173,12 @@ struct SystemConfig {
   std::size_t shards = 1;
   /// Sharded mode's speculation epoch length; <= 0 picks a default.
   SimTime shard_epoch = 0;
+
+  /// How messages travel between server and sources (DESIGN.md §9). The
+  /// default instant model reproduces the paper's zero-delay semantics
+  /// byte-identically; delayed models turn message savings into
+  /// observable staleness (`asf_run --net=...`, `bench/net_delay`).
+  NetConfig net;
 
   Status Validate() const;
 };

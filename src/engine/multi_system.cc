@@ -51,6 +51,7 @@ Status MultiQueryConfig::Validate() const {
                                            source.NumStreams()));
   }
   ASF_RETURN_IF_ERROR(ValidateSharding(shards, source));
+  ASF_RETURN_IF_ERROR(net.Validate());
   return Status::OK();
 }
 
@@ -103,12 +104,15 @@ MultiQueryResult RunAndFlatten(Core& core, const MultiQueryConfig& config) {
     out.max_f_plus = stats.max_f_plus;
     out.max_f_minus = stats.max_f_minus;
     out.max_worst_rank = stats.max_worst_rank;
+    out.oracle_violations_in_flight = stats.oracle_violations_in_flight;
+    out.update_delay = stats.update_delay;
     out.deployed_at = stats.deployed_at;
     out.retired_at = stats.retired_at;
   }
   result.updates_generated = core.updates_generated();
   result.physical_updates = core.physical_updates();
   result.peak_live_queries = core.peak_live_queries();
+  result.net = core.net_stats();
   result.wall_seconds = core.wall_seconds();
   return result;
 }
@@ -124,6 +128,7 @@ Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
   options.query_start = config.query_start;
   options.seed = config.seed;
   options.oracle = config.oracle;
+  options.net = config.net;
   if (config.shards > 1) {
     ShardedSimulationCore::Options sharded;
     sharded.base = options;

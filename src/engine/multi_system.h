@@ -56,6 +56,9 @@ struct MultiQueryConfig {
   /// Sharded mode's speculation epoch length; <= 0 picks a default.
   SimTime shard_epoch = 0;
 
+  /// Message delivery model (DESIGN.md §9); instant by default.
+  NetConfig net;
+
   Status Validate() const;
 };
 
@@ -73,6 +76,11 @@ struct MultiQueryResult {
     double max_f_plus = 0.0;
     double max_f_minus = 0.0;
     std::size_t max_worst_rank = 0;
+    /// Violations observed while this query's updates were in transit,
+    /// and the staleness of its delivered updates (DESIGN.md §9; both
+    /// trivial under instant delivery).
+    std::uint64_t oracle_violations_in_flight = 0;
+    OnlineStats update_delay;
     /// Live window: Initialization ran at deployed_at; retired_at is the
     /// retirement time (the horizon for queries that never retired).
     SimTime deployed_at = 0;
@@ -92,6 +100,9 @@ struct MultiQueryResult {
   /// Sum over queries of logical update messages; the difference to
   /// physical_updates is the sharing saving.
   std::uint64_t LogicalUpdates() const;
+
+  /// Run-level network delivery accounting (DESIGN.md §9).
+  NetStats net;
 
   /// Physical maintenance messages: shared updates + every query's probes
   /// and deployments.

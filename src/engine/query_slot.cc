@@ -13,6 +13,7 @@ void WireQuerySlot(QuerySlot* slot, const QueryDeployment& deployment,
                    std::uint64_t run_seed, std::size_t index,
                    const std::function<Transport(FilterBank*)>& make_transport) {
   slot->deployment = deployment;
+  slot->index = index;
   slot->deploy_at = deploy_at;
   slot->stats.name = deployment.name;
   // Detached until the deploy event binds it into the shared storage.
@@ -38,6 +39,25 @@ void JudgeSlot(QuerySlot& slot, const std::vector<Value>& values) {
   out.max_f_plus = std::max(out.max_f_plus, check.f_plus);
   out.max_f_minus = std::max(out.max_f_minus, check.f_minus);
   out.max_worst_rank = std::max(out.max_worst_rank, check.worst_rank);
+}
+
+void DeliverUpdateToSlot(QuerySlot& slot, StreamId id, Value v, SimTime t,
+                         std::uint64_t updates_generated) {
+  slot.stats.messages.Count(MessageType::kValueUpdate);
+  ++slot.stats.updates_reported;
+  // The answer can only change while this slot handles the payload: close
+  // the run of unchanged samples first (at the pre-delivery size), then
+  // sample the new size once. Under instant delivery this reproduces the
+  // classic per-fired-update sequence exactly; under delayed delivery a
+  // second payload arriving before the next generated update leaves the
+  // sample clock alone (one sample per generated update, never more).
+  FlushAnswerSamples(slot, updates_generated > 0 ? updates_generated - 1 : 0);
+  slot.protocol->HandleUpdate(id, v, t);
+  slot.answer_cur_size = static_cast<double>(slot.protocol->answer().size());
+  if (slot.answer_sampled_upto < updates_generated) {
+    slot.stats.answer_size.AddRepeated(slot.answer_cur_size, 1);
+    ++slot.answer_sampled_upto;
+  }
 }
 
 void FlushAnswerSamples(QuerySlot& slot, std::uint64_t upto) {

@@ -7,6 +7,7 @@
 
 #include "engine/sim_core.h"
 #include "filter/filter_arena.h"
+#include "net/network_model.h"
 
 /// \file
 /// The per-query server runtime shared by the serial and sharded engines.
@@ -27,6 +28,10 @@ namespace engine_internal {
 /// Server-side runtime of one deployed query.
 struct QuerySlot {
   QueryDeployment deployment;
+  /// This slot's index in the engine's deployment order — the stable
+  /// query address network messages carry (arena columns move under
+  /// compaction, slot indices never do).
+  std::size_t index = 0;
   SimTime deploy_at = 0;
   SimTime retire_at = kNeverRetire;
   /// View into the shared filter storage while live; detached otherwise.
@@ -62,6 +67,60 @@ void WireQuerySlot(QuerySlot* slot, const QueryDeployment& deployment,
 /// Judges the slot's current answer against the true stream values,
 /// accumulating the verdict into its stats.
 void JudgeSlot(QuerySlot& slot, const std::vector<Value>& values);
+
+/// Delivers one update payload that arrived at the server for this slot:
+/// counts the logical kValueUpdate, closes the run of unchanged
+/// answer-size samples, runs the protocol's Maintenance reaction, and
+/// samples the new answer size. This is the single accounting sink every
+/// engine and every NetworkModel delivery path funnels through — update
+/// accounting cannot drift between the serial engine, the sharded replay
+/// stage, and delayed delivery, because there is only one copy of it.
+/// `updates_generated` is the engine's global update counter at delivery
+/// time (the answer-size sample clock).
+void DeliverUpdateToSlot(QuerySlot& slot, StreamId id, Value v, SimTime t,
+                         std::uint64_t updates_generated);
+
+/// The wire-message arrival sink both engines bind as
+/// NetworkModel::UpdateSink (their OnNetUpdate): one physical message,
+/// per-payload delivery through DeliverUpdateToSlot, retired-query drop
+/// accounting, staleness samples, and — under delayed delivery with
+/// every-update auditing — the arrival-time re-audit via
+/// `judge_live_slots` (the engine's oracle loop; engines differ only in
+/// where true values are read). One copy, like DeliverUpdateToSlot: the
+/// byte-identical contract cannot survive the two engines drifting here.
+template <typename SlotPtrVec, typename JudgeLiveSlots>
+void DeliverWireMessage(SlotPtrVec& slots, NetworkModel& net,
+                        bool net_delayed, bool audit_every_update,
+                        std::uint64_t updates_generated,
+                        std::uint64_t& physical_updates, StreamId id,
+                        const NetworkModel::Payload* payloads,
+                        std::size_t count, SimTime at,
+                        JudgeLiveSlots&& judge_live_slots) {
+  // One invocation = one physical wire message: it serves every query
+  // whose filter fired (each still accounts a logical update so
+  // per-query costs remain comparable to a single-query run), and under
+  // batching a payload may stand for several coalesced crossings.
+  ++physical_updates;
+  bool delivered = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NetworkModel::Payload& p = payloads[i];
+    QuerySlot& slot = *slots[p.slot];
+    if (!slot.live) {
+      // The query retired while the message was in flight; its books are
+      // closed and its arena column is gone (DESIGN.md §9).
+      ++net.stats().dropped_retired;
+      continue;
+    }
+    DeliverUpdateToSlot(slot, id, p.value, at, updates_generated);
+    if (net_delayed) slot.stats.update_delay.Add(at - p.crossed_at);
+    delivered = true;
+  }
+  // Under delayed delivery the per-update audit must also judge at
+  // arrival instants — the answer just changed between generated
+  // updates. (Inline deliveries are already covered by the audit in the
+  // engine's update handler.)
+  if (net_delayed && delivered && audit_every_update) judge_live_slots();
+}
 
 /// Appends the slot's pending run of unchanged answer-size samples (one
 /// per generated update, up to update number `upto`) in O(1).

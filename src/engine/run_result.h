@@ -6,6 +6,7 @@
 
 #include "common/stats.h"
 #include "net/message_stats.h"
+#include "net/network_model.h"
 
 /// \file
 /// Everything one simulated run reports back.
@@ -40,6 +41,17 @@ struct RunResult {
   double max_f_plus = 0.0;        ///< worst observed F+(t)
   double max_f_minus = 0.0;       ///< worst observed F−(t)
   std::size_t max_worst_rank = 0; ///< worst observed max-rank over A(t)
+
+  // --- Delivery observations (DESIGN.md §9; all trivial under the
+  // default instant model) ---
+  /// Violations observed while update payloads were still in transit —
+  /// the staleness share of oracle_violations.
+  std::uint64_t oracle_violations_in_flight = 0;
+  /// Staleness of delivered updates (delivery − crossing time); empty
+  /// under instant delivery.
+  OnlineStats update_delay;
+  /// Run-level network accounting (wire messages, coalescing, drops).
+  NetStats net;
 
   /// Host wall-clock seconds consumed by the run.
   double wall_seconds = 0.0;

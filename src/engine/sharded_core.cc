@@ -52,6 +52,21 @@ ShardedSimulationCore::ShardedSimulationCore(const Options& options)
     shards_.back()->arena.EnableCellTracking(true);
     arena_ptrs_.push_back(&shards_.back()->arena);
   }
+
+  // The delivery model runs on the coordinator: sends happen during the
+  // serial replay stage, and delayed deliveries queue in net_scheduler_,
+  // drained in merged time order (so they cross epoch barriers exactly
+  // where the serial engine would run them).
+  net_ = MakeNetworkModel(options_.base.net, options_.base.seed);
+  net_delayed_ = options_.base.net.DelaysDelivery();
+  net_->Bind(
+      &net_scheduler_,
+      [this](StreamId id, const NetworkModel::Payload* payloads,
+             std::size_t count, SimTime at) {
+        OnNetUpdate(id, payloads, count, at);
+      },
+      [this](std::size_t slot, StreamId id, const FilterConstraint& constraint,
+             SimTime at) { OnNetDeploy(slot, id, constraint, at); });
 }
 
 ShardedSimulationCore::~ShardedSimulationCore() {
@@ -83,35 +98,39 @@ std::size_t ShardedSimulationCore::DeployQuery(
   // filters. Values come from the coordinator's merged view (exact at the
   // current replay position); filter mutations route through the owning
   // shard's arena, which records the touched cell for the epoch replay.
-  const std::vector<Value>* values = &values_;
-  const FilterArena* arena0 = arena_ptrs_.front();
-  const auto make_transport = [values, arena0](FilterBank* bank) {
+  // Probes are blocking zero-time RPCs the network model only observes;
+  // deploys route through it and install at the source on delivery.
+  const auto make_transport = [this, index](FilterBank* bank) {
     Transport transport;
-    transport.probe = [values, bank, arena0](StreamId id) {
-      AssertViewFresh(*bank, *arena0);
-      const Value v = (*values)[id];
+    transport.probe = [this, bank](StreamId id) {
+      AssertViewFresh(*bank, *arena_ptrs_.front());
+      net_->OnControlRpc(id, coord_now_);
+      const Value v = values_[id];
       bank->SyncReference(id, v);  // the probed value is now "reported"
       return v;
     };
     transport.region_probe =
-        [values, bank, arena0](StreamId id,
-                               const Interval& region) -> std::optional<Value> {
-      AssertViewFresh(*bank, *arena0);
-      const Value v = (*values)[id];
+        [this, bank](StreamId id,
+                     const Interval& region) -> std::optional<Value> {
+      AssertViewFresh(*bank, *arena_ptrs_.front());
+      net_->OnControlRpc(id, coord_now_);
+      const Value v = values_[id];
       if (!region.Contains(v)) return std::nullopt;
       bank->SyncReference(id, v);
       return v;
     };
-    transport.deploy = [values, bank, arena0](
-                           StreamId id, const FilterConstraint& constraint) {
-      AssertViewFresh(*bank, *arena0);
-      bank->Deploy(id, constraint, (*values)[id]);
+    transport.deploy = [this, index](StreamId id,
+                                     const FilterConstraint& constraint) {
+      net_->SendDeploy(index, id, constraint, coord_now_);
     };
     return transport;
   };
   auto slot = std::make_unique<Slot>();
   engine_internal::WireQuerySlot(slot.get(), deployment, at, n,
                                  options_.base.seed, index, make_transport);
+  // Lets protocols relax their zero-delay belief assertions while
+  // messages may be in transit (DESIGN.md §9).
+  slot->ctx->set_delayed_delivery(net_delayed_);
   slots_.push_back(std::move(slot));
   if (deployment.end != kNeverRetire) RetireQuery(index, deployment.end);
   return index;
@@ -126,7 +145,14 @@ void ShardedSimulationCore::RetireQuery(std::size_t slot, SimTime at) {
 }
 
 void ShardedSimulationCore::RunOracle(Slot& slot) {
+  // Same transit attribution as the serial engine (see
+  // SimulationCore::RunOracle).
+  const std::uint64_t before = slot.stats.oracle_violations;
   engine_internal::JudgeSlot(slot, values_);
+  if (slot.stats.oracle_violations != before &&
+      net_->InFlight(slot.index) > 0) {
+    ++slot.stats.oracle_violations_in_flight;
+  }
 }
 
 void ShardedSimulationCore::OracleTick() {
@@ -214,11 +240,12 @@ void ShardedSimulationCore::ReplayUpdate(Shard& shard,
   values_[update.id] = update.value;
   const std::size_t live = column_owner_.size();
   if (live == 0) return;
+  coord_now_ = update.time;
   ++updates_generated_;
 
   const StreamId row = update.id / shards_.size();
   const std::uint64_t* spec = shard.masks.data() + shard.cursor * epoch_words_;
-  bool any_fired = false;
+  fired_slots_.clear();
   for (std::size_t w = 0; w < epoch_words_; ++w) {
     // Columns whose cells were touched by a server reaction earlier in
     // this epoch lost their speculated bits; re-evaluate them scalar
@@ -235,23 +262,70 @@ void ShardedSimulationCore::ReplayUpdate(Shard& shard,
                              ? shard.arena.EvaluateColumn(row, c, update.value)
                              : true;
       if (!fired) continue;
-      any_fired = true;
-      Slot& slot = *slots_[column_owner_[c]];
-      slot.stats.messages.Count(MessageType::kValueUpdate);
-      ++slot.stats.updates_reported;
-      FlushAnswerSamples(slot, updates_generated_ - 1);
-      slot.protocol->HandleUpdate(update.id, update.value, update.time);
-      slot.answer_cur_size =
-          static_cast<double>(slot.protocol->answer().size());
-      slot.stats.answer_size.AddRepeated(slot.answer_cur_size, 1);
-      slot.answer_sampled_upto = updates_generated_;
+      fired_slots_.push_back(column_owner_[c]);
     }
   }
-  if (any_fired) ++physical_updates_;
+  // The crossings travel through the network model and come back via
+  // OnNetUpdate — inside this replay step for instant delivery, drained
+  // later in merged time order otherwise (DESIGN.md §9).
+  if (!fired_slots_.empty()) {
+    net_->SendUpdate(update.id, update.value, fired_slots_, update.time);
+  }
   if (options_.base.oracle.check_every_update) {
     for (auto& slot : slots_) {
       if (slot->live) RunOracle(*slot);
     }
+  }
+}
+
+void ShardedSimulationCore::OnNetUpdate(StreamId id,
+                                        const NetworkModel::Payload* payloads,
+                                        std::size_t count, SimTime at) {
+  engine_internal::DeliverWireMessage(
+      slots_, *net_, net_delayed_, options_.base.oracle.check_every_update,
+      updates_generated_, physical_updates_, id, payloads, count, at,
+      [this] {
+        for (auto& slot : slots_) {
+          if (slot->live) RunOracle(*slot);
+        }
+      });
+}
+
+void ShardedSimulationCore::OnNetDeploy(std::size_t slot_index, StreamId id,
+                                        const FilterConstraint& constraint,
+                                        SimTime at) {
+  (void)at;
+  Slot& slot = *slots_[slot_index];
+  if (!slot.live) {
+    ++net_->stats().dropped_retired;
+    return;
+  }
+  AssertViewFresh(*slot.filters, *arena_ptrs_.front());
+  // Routed through the bank so the owning shard's arena records the
+  // touched cell for this epoch's self-healing replay (DESIGN.md §8).
+  slot.filters->Deploy(id, constraint, values_[id]);
+}
+
+void ShardedSimulationCore::OracleSampleTick() {
+  OracleTick();
+  if (net_scheduler_.now() + options_.base.oracle.sample_interval <=
+      options_.base.duration) {
+    net_scheduler_.ScheduleAfter(options_.base.oracle.sample_interval,
+                                 [this] { OracleSampleTick(); });
+  }
+}
+
+void ShardedSimulationCore::DrainDeliveries(SimTime limit, SimTime to) {
+  // Event callbacks (periodic oracle samples, OnNetUpdate / OnNetDeploy /
+  // batch flushes) run here, between replayed updates, exactly where the
+  // serial scheduler would interleave them. Ticks and deliveries share
+  // one queue so exact-tie order (a batch flush landing on a sample grid
+  // point) follows FIFO scheduling seniority, like the serial engine.
+  for (;;) {
+    const SimTime next = net_scheduler_.NextEventTime();
+    if (next > limit || next >= to) break;
+    coord_now_ = next;
+    net_scheduler_.Step();
   }
 }
 
@@ -277,22 +351,14 @@ void ShardedSimulationCore::ReplayEpoch(SimTime from, SimTime to) {
     }
     if (best == nullptr) break;
     const Shard::Update& update = best->log[best->cursor];
-    // Periodic oracle samples interleave in time order (tick before
-    // update at exactly equal timestamps; see header).
-    while (next_tick_ < oracle_ticks_.size() &&
-           oracle_ticks_[next_tick_] <= update.time &&
-           oracle_ticks_[next_tick_] < to) {
-      OracleTick();
-      ++next_tick_;
-    }
+    // Periodic oracle samples and pending network deliveries interleave
+    // in time order (both before the update at exactly equal timestamps;
+    // see header).
+    DrainDeliveries(update.time, to);
     ReplayUpdate(*best, update);
     ++best->cursor;
   }
-  while (next_tick_ < oracle_ticks_.size() &&
-         oracle_ticks_[next_tick_] < to) {
-    OracleTick();
-    ++next_tick_;
-  }
+  DrainDeliveries(to, to);
 }
 
 void ShardedSimulationCore::WorkerLoop(std::size_t shard_index) {
@@ -371,16 +437,17 @@ void ShardedSimulationCore::Run() {
     shard->streams->Start(&shard->scheduler, duration);
   }
 
-  // Precompute the periodic oracle sample times the serial engine's
-  // self-rescheduling tick would produce.
+  // Periodic oracle sampling: the same self-rescheduling event the
+  // serial engine schedules, living in the coordinator's queue. Scheduled
+  // before any delivery can be (no send precedes Run), so its FIFO
+  // seniority against flushes and deliveries matches the serial
+  // scheduler's.
   if (options_.base.oracle.sample_interval > 0) {
-    const SimTime interval = options_.base.oracle.sample_interval;
-    SimTime t = std::min(options_.base.query_start + interval, duration);
-    oracle_ticks_.push_back(t);
-    while (t + interval <= duration) {
-      t += interval;
-      oracle_ticks_.push_back(t);
-    }
+    net_scheduler_.ScheduleAt(
+        std::min(
+            options_.base.query_start + options_.base.oracle.sample_interval,
+            duration),
+        [this] { OracleSampleTick(); });
   }
 
   // Epoch boundaries: a regular speculation grid plus every lifecycle
@@ -415,6 +482,7 @@ void ShardedSimulationCore::Run() {
   while (now < duration) {
     // Barrier at `now`: lifecycle events in the serial order — every
     // deployment first, then every retirement, each in slot order.
+    coord_now_ = now;
     while (next_deploy < deploys.size() && deploys[next_deploy].first == now) {
       InstallSlot(deploys[next_deploy].second, now);
       ++next_deploy;
@@ -423,13 +491,10 @@ void ShardedSimulationCore::Run() {
       RetireSlot(retires[next_retire].second, now);
       ++next_retire;
     }
-    // Periodic oracle samples at exactly the barrier time run after
-    // lifecycle events, like the serial scheduler's FIFO order.
-    while (next_tick_ < oracle_ticks_.size() &&
-           oracle_ticks_[next_tick_] == now) {
-      OracleTick();
-      ++next_tick_;
-    }
+    // Coordinator events at exactly the barrier time (periodic samples,
+    // deliveries) run in the next epoch's replay drain — after lifecycle,
+    // like the serial scheduler's FIFO order (lifecycle events hold the
+    // lowest sequence numbers).
 
     // Next boundary: the speculation grid or the next lifecycle event,
     // whichever comes first.
@@ -447,13 +512,12 @@ void ShardedSimulationCore::Run() {
     now = next;
   }
   // Horizon: replay events scheduled at exactly t = duration (the final
-  // flush ran them in SpeculateEpoch's last round since to == duration)…
-  // then close every live slot's books, exactly like the serial run loop.
-  while (next_tick_ < oracle_ticks_.size() &&
-         oracle_ticks_[next_tick_] <= duration) {
-    OracleTick();
-    ++next_tick_;
-  }
+  // flush ran them in SpeculateEpoch's last round since to == duration),
+  // drain samples and deliveries landing at the horizon itself, count the
+  // messages still in flight, then close every live slot's books, exactly
+  // like the serial run loop.
+  DrainDeliveries(duration, kInf);
+  net_->Finalize(duration);
 
   for (auto& slot : slots_) {
     if (!slot->live) continue;

@@ -84,6 +84,7 @@ class ShardedSimulationCore {
   std::uint64_t updates_generated() const { return updates_generated_; }
   std::uint64_t physical_updates() const { return physical_updates_; }
   std::size_t peak_live_queries() const { return peak_live_; }
+  const NetStats& net_stats() const { return net_->stats(); }
   double wall_seconds() const { return wall_seconds_; }
   std::size_t shards() const { return shards_.size(); }
 
@@ -124,6 +125,26 @@ class ShardedSimulationCore {
   /// serial engine's update handler under the merge ordering.
   void ReplayUpdate(Shard& shard, const Shard::Update& update);
 
+  /// Network arrival sinks — the coordinator-side counterparts of
+  /// SimulationCore::OnNetUpdate/OnNetDeploy. Deliveries queue in
+  /// net_scheduler_ and drain during replay, so in-flight messages cross
+  /// epoch barriers deterministically (DESIGN.md §9).
+  void OnNetUpdate(StreamId id, const NetworkModel::Payload* payloads,
+                   std::size_t count, SimTime at);
+  void OnNetDeploy(std::size_t slot, StreamId id,
+                   const FilterConstraint& constraint, SimTime at);
+
+  /// The periodic oracle sample, a self-rescheduling net_scheduler_
+  /// event exactly like the serial engine's — FIFO seniority then breaks
+  /// sample-vs-delivery ties (a batch flush landing on a sample's grid
+  /// point) identically to the serial scheduler.
+  void OracleSampleTick();
+
+  /// Runs pending coordinator events (periodic oracle samples, network
+  /// deliveries) in time order — FIFO at exact ties — up to and
+  /// including `limit` but strictly before `to`.
+  void DrainDeliveries(SimTime limit, SimTime to);
+
   /// Merges and replays every update of the epoch that just speculated,
   /// interleaving periodic oracle samples in (from, to).
   void ReplayEpoch(SimTime from, SimTime to);
@@ -143,11 +164,20 @@ class ShardedSimulationCore {
   std::vector<Value> values_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<std::size_t> column_owner_;
-  /// Pending periodic oracle sample times (precomputed; the serial engine
-  /// derives the same sequence from its self-rescheduling tick).
-  std::vector<SimTime> oracle_ticks_;
-  std::size_t next_tick_ = 0;
   std::size_t epoch_words_ = 0;  ///< fired-mask words during this epoch
+
+  /// The delivery model (DESIGN.md §9). Delayed deliveries and the
+  /// periodic oracle sample live in the coordinator's dedicated event
+  /// queue (`net_scheduler_`), which survives epoch barriers — the
+  /// replay loop drains it in merged time order, FIFO at exact ties.
+  std::unique_ptr<NetworkModel> net_;
+  bool net_delayed_ = false;
+  Scheduler net_scheduler_;
+  /// Coordinator's current replay time: what server→source sends are
+  /// stamped with (barrier, replayed update, or delivery instant).
+  SimTime coord_now_ = 0;
+  /// Scratch: slot indices fired by the update being replayed.
+  std::vector<std::size_t> fired_slots_;
 
   bool ran_ = false;
   std::size_t peak_live_ = 0;

@@ -36,6 +36,20 @@ SimulationCore::SimulationCore(const Options& options)
   }
   ASF_CHECK(streams_ != nullptr);
   ASF_CHECK(streams_->size() == arena_.num_streams());
+
+  // Every source→server update and server→source deploy travels through
+  // the delivery model (DESIGN.md §9): inline for instant-equivalent
+  // configs, as scheduler events otherwise.
+  net_ = MakeNetworkModel(options_.net, options_.seed);
+  net_delayed_ = options_.net.DelaysDelivery();
+  net_->Bind(
+      &scheduler_,
+      [this](StreamId id, const NetworkModel::Payload* payloads,
+             std::size_t count, SimTime at) {
+        OnNetUpdate(id, payloads, count, at);
+      },
+      [this](std::size_t slot, StreamId id, const FilterConstraint& constraint,
+             SimTime at) { OnNetDeploy(slot, id, constraint, at); });
 }
 
 SimulationCore::~SimulationCore() = default;
@@ -58,36 +72,40 @@ std::size_t SimulationCore::DeployQuery(const QueryDeployment& deployment,
   // Probes and deploys sync/reset this query's filter references only;
   // other queries' filters are untouched (per-query isolation). The bank
   // pointer is stable; its *view* is rebound as the arena grows and
-  // compacts, which the generation tag asserts.
-  StreamSet* source = streams_;
-  const FilterArena* arena = &arena_;
-  const auto make_transport = [source, arena](FilterBank* bank) {
+  // compacts, which the generation tag asserts. Probes are blocking
+  // zero-time RPCs the network model only observes; deploys route through
+  // it and take effect at the source on *delivery* (OnNetDeploy).
+  const auto make_transport = [this, index](FilterBank* bank) {
     Transport transport;
-    transport.probe = [source, bank, arena](StreamId id) {
-      AssertViewFresh(*bank, *arena);
-      const Value v = source->value(id);
+    transport.probe = [this, bank](StreamId id) {
+      AssertViewFresh(*bank, arena_);
+      net_->OnControlRpc(id, scheduler_.now());
+      const Value v = streams_->value(id);
       bank->SyncReference(id, v);  // the probed value is now "reported"
       return v;
     };
     transport.region_probe =
-        [source, bank, arena](StreamId id,
-                              const Interval& region) -> std::optional<Value> {
-      AssertViewFresh(*bank, *arena);
-      const Value v = source->value(id);
+        [this, bank](StreamId id,
+                     const Interval& region) -> std::optional<Value> {
+      AssertViewFresh(*bank, arena_);
+      net_->OnControlRpc(id, scheduler_.now());
+      const Value v = streams_->value(id);
       if (!region.Contains(v)) return std::nullopt;
       bank->SyncReference(id, v);
       return v;
     };
-    transport.deploy = [source, bank, arena](
-                           StreamId id, const FilterConstraint& constraint) {
-      AssertViewFresh(*bank, *arena);
-      bank->Deploy(id, constraint, source->value(id));
+    transport.deploy = [this, index](StreamId id,
+                                     const FilterConstraint& constraint) {
+      net_->SendDeploy(index, id, constraint, scheduler_.now());
     };
     return transport;
   };
   auto slot = std::make_unique<Slot>();
   engine_internal::WireQuerySlot(slot.get(), deployment, at, n,
                                  options_.seed, index, make_transport);
+  // Lets protocols relax their zero-delay belief assertions while
+  // messages may be in transit (DESIGN.md §9).
+  slot->ctx->set_delayed_delivery(net_delayed_);
   slots_.push_back(std::move(slot));
   if (deployment.end != kNeverRetire) RetireQuery(index, deployment.end);
   return index;
@@ -102,7 +120,15 @@ void SimulationCore::RetireQuery(std::size_t slot, SimTime at) {
 }
 
 void SimulationCore::RunOracle(Slot& slot) {
+  // Attribute fresh violations to transit when update payloads for this
+  // query are still in flight — the staleness share of the error budget
+  // (always zero under instant delivery).
+  const std::uint64_t before = slot.stats.oracle_violations;
   engine_internal::JudgeSlot(slot, streams_->values());
+  if (slot.stats.oracle_violations != before &&
+      net_->InFlight(slot.index) > 0) {
+    ++slot.stats.oracle_violations_in_flight;
+  }
 }
 
 void SimulationCore::RebindLiveViews() {
@@ -179,6 +205,36 @@ void SimulationCore::FlushAnswerSamples(Slot& slot, std::uint64_t upto) {
   engine_internal::FlushAnswerSamples(slot, upto);
 }
 
+void SimulationCore::OnNetUpdate(StreamId id,
+                                 const NetworkModel::Payload* payloads,
+                                 std::size_t count, SimTime at) {
+  engine_internal::DeliverWireMessage(
+      slots_, *net_, net_delayed_, options_.oracle.check_every_update,
+      updates_generated_, physical_updates_, id, payloads, count, at,
+      [this] {
+        for (auto& slot : slots_) {
+          if (slot->live) RunOracle(*slot);
+        }
+      });
+}
+
+void SimulationCore::OnNetDeploy(std::size_t slot_index, StreamId id,
+                                 const FilterConstraint& constraint,
+                                 SimTime at) {
+  (void)at;
+  Slot& slot = *slots_[slot_index];
+  if (!slot.live) {
+    // Retirement already uninstalled the column; drop the stale install.
+    ++net_->stats().dropped_retired;
+    return;
+  }
+  AssertViewFresh(*slot.filters, arena_);
+  // The agent resets the membership reference against its *current* local
+  // value (DESIGN.md §4, first bullet) — under delayed delivery that is
+  // the value at arrival, not at send.
+  slot.filters->Deploy(id, constraint, streams_->value(id));
+}
+
 void SimulationCore::OracleSampleTick() {
   for (auto& slot : slots_) {
     if (slot->live) RunOracle(*slot);
@@ -207,33 +263,21 @@ void SimulationCore::Run() {
     // another column's crossing decision for this update (DESIGN.md §8).
     const std::uint64_t* fired_words = arena_.EvaluateUpdate(id, v);
     const std::size_t words = arena_.fired_words();
-    // One physical message serves every query whose filter fired; each
-    // affected query still accounts a logical update so its costs remain
-    // comparable to a single-query run.
-    bool any_fired = false;
+    // Fired columns map to slot indices *now* (columns move under
+    // compaction, slots never do) and the crossings travel through the
+    // network model, which delivers them back via OnNetUpdate — inside
+    // this event for instant delivery, later otherwise (DESIGN.md §9).
+    fired_slots_.clear();
     for (std::size_t w = 0; w < words; ++w) {
       std::uint64_t word = fired_words[w];
       while (word != 0) {
         const std::size_t c =
             w * 64 + static_cast<unsigned>(__builtin_ctzll(word));
         word &= word - 1;
-        any_fired = true;
-        Slot& slot = *slots_[column_owner_[c]];
-        slot.stats.messages.Count(MessageType::kValueUpdate);
-        ++slot.stats.updates_reported;
-        // The answer can only change while this slot handles the update:
-        // close the run of unchanged samples first, then sample the new
-        // size for the current update. Slots whose filter stays silent are
-        // not touched at all — per-update accounting is O(fired), not O(Q).
-        FlushAnswerSamples(slot, updates_generated_ - 1);
-        slot.protocol->HandleUpdate(id, v, t);
-        slot.answer_cur_size =
-            static_cast<double>(slot.protocol->answer().size());
-        slot.stats.answer_size.AddRepeated(slot.answer_cur_size, 1);
-        slot.answer_sampled_upto = updates_generated_;
+        fired_slots_.push_back(column_owner_[c]);
       }
     }
-    if (any_fired) ++physical_updates_;
+    if (!fired_slots_.empty()) net_->SendUpdate(id, v, fired_slots_, t);
     if (options_.oracle.check_every_update) {
       for (auto& slot : slots_) {
         if (slot->live) RunOracle(*slot);
@@ -271,6 +315,7 @@ void SimulationCore::Run() {
 
   streams_->Start(&scheduler_, options_.duration);
   scheduler_.RunUntil(options_.duration);
+  net_->Finalize(options_.duration);
 
   for (auto& slot : slots_) {
     if (!slot->live) continue;  // retired slots closed their books already

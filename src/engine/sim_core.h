@@ -14,6 +14,7 @@
 #include "filter/filter_arena.h"
 #include "filter/filter_bank.h"
 #include "net/message_stats.h"
+#include "net/network_model.h"
 #include "protocol/protocol.h"
 #include "protocol/server_context.h"
 #include "sim/scheduler.h"
@@ -97,6 +98,15 @@ struct QueryRunStats {
   double max_f_minus = 0.0;
   std::size_t max_worst_rank = 0;
 
+  /// Violations the oracle observed while at least one update payload for
+  /// this query was still in transit — the share of errors attributable
+  /// to delivery delay rather than filter slack (DESIGN.md §9). Always a
+  /// subset of oracle_violations; zero under instant delivery.
+  std::uint64_t oracle_violations_in_flight = 0;
+  /// Staleness of this query's delivered updates (delivery time minus
+  /// crossing time, one sample each). Empty under instant delivery.
+  OnlineStats update_delay;
+
   /// The live window [deployed_at, retired_at]: Initialization ran at
   /// deployed_at; retired_at is the retire event's time, or the run
   /// horizon for queries that never retired. Everything above is
@@ -128,6 +138,9 @@ class SimulationCore {
     SimTime query_start = 0;
     std::uint64_t seed = 1;
     OracleOptions oracle;
+    /// Message delivery model (DESIGN.md §9). The default instant model
+    /// is byte-identical to an engine without the network layer.
+    NetConfig net;
   };
 
   explicit SimulationCore(const Options& options);
@@ -178,6 +191,9 @@ class SimulationCore {
   /// Highest number of simultaneously live queries observed.
   std::size_t peak_live_queries() const { return peak_live_; }
 
+  /// Delivery accounting of the run's network model; valid after Run().
+  const NetStats& net_stats() const { return net_->stats(); }
+
   /// Host wall-clock seconds from construction to the end of Run().
   double wall_seconds() const { return wall_seconds_; }
 
@@ -206,6 +222,14 @@ class SimulationCore {
   /// options_.oracle.sample_interval until the horizon.
   void OracleSampleTick();
 
+  /// Network arrival sinks (NetworkModel::Bind): a wire message of update
+  /// payloads reaching the server / a constraint install reaching its
+  /// source. Run inline for instant models, as scheduler events otherwise.
+  void OnNetUpdate(StreamId id, const NetworkModel::Payload* payloads,
+                   std::size_t count, SimTime at);
+  void OnNetDeploy(std::size_t slot, StreamId id,
+                   const FilterConstraint& constraint, SimTime at);
+
   /// Appends the pending run of unchanged answer-size samples (one per
   /// generated update, up to update number `upto`) in O(1).
   void FlushAnswerSamples(Slot& slot, std::uint64_t upto);
@@ -222,6 +246,15 @@ class SimulationCore {
   /// through it.
   std::vector<std::size_t> column_owner_;
   Scheduler scheduler_;
+  /// The delivery model every source→server update and server→source
+  /// deploy routes through (DESIGN.md §9).
+  std::unique_ptr<NetworkModel> net_;
+  /// False for instant-equivalent configs: delivery runs inside the
+  /// producing event and staleness accounting is skipped (it is
+  /// identically zero).
+  bool net_delayed_ = false;
+  /// Scratch: slot indices whose filters fired for the current update.
+  std::vector<std::size_t> fired_slots_;
   bool ran_ = false;
   std::size_t peak_live_ = 0;
   std::uint64_t updates_generated_ = 0;

@@ -28,6 +28,9 @@ RunResult RunAndFlatten(Core& core, const QueryDeployment& deployment) {
   result.max_f_plus = stats.max_f_plus;
   result.max_f_minus = stats.max_f_minus;
   result.max_worst_rank = stats.max_worst_rank;
+  result.oracle_violations_in_flight = stats.oracle_violations_in_flight;
+  result.update_delay = stats.update_delay;
+  result.net = core.net_stats();
   result.wall_seconds = core.wall_seconds();
   return result;
 }
@@ -43,6 +46,7 @@ Result<RunResult> RunSystem(const SystemConfig& config) {
   options.query_start = config.query_start;
   options.seed = config.seed;
   options.oracle = config.oracle;
+  options.net = config.net;
 
   QueryDeployment deployment;
   deployment.query = config.query;

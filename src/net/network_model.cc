@@ -1,0 +1,441 @@
+#include "net/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace asf {
+
+std::string_view NetKindName(NetConfig::Kind kind) {
+  switch (kind) {
+    case NetConfig::Kind::kInstant:
+      return "instant";
+    case NetConfig::Kind::kFixedLatency:
+      return "latency";
+    case NetConfig::Kind::kBatched:
+      return "batch";
+    case NetConfig::Kind::kBoundedBandwidth:
+      return "bw";
+  }
+  return "unknown";
+}
+
+Status NetConfig::Validate() const {
+  const auto bad = [](double x) { return std::isnan(x) || x < 0; };
+  if (bad(latency) || std::isinf(latency)) {
+    return Status::InvalidArgument("net latency must be finite and >= 0");
+  }
+  if (bad(jitter) || std::isinf(jitter)) {
+    return Status::InvalidArgument("net jitter must be finite and >= 0");
+  }
+  if (bad(delta) || std::isinf(delta)) {
+    return Status::InvalidArgument("net batch delta must be finite and >= 0");
+  }
+  if (kind == Kind::kBoundedBandwidth && !(rate > 0)) {
+    return Status::InvalidArgument("net bandwidth rate must be > 0");
+  }
+  return Status::OK();
+}
+
+bool NetConfig::DelaysDelivery() const {
+  switch (kind) {
+    case Kind::kInstant:
+      return false;
+    case Kind::kFixedLatency:
+      return latency > 0 || jitter > 0;
+    case Kind::kBatched:
+      return delta > 0;
+    case Kind::kBoundedBandwidth:
+      // Infinite rate means zero service time: instant semantics.
+      return std::isfinite(rate);
+  }
+  return false;
+}
+
+std::string NetConfig::ToString() const {
+  char buf[64];
+  switch (kind) {
+    case Kind::kInstant:
+      return "instant";
+    case Kind::kFixedLatency:
+      if (jitter > 0) {
+        std::snprintf(buf, sizeof(buf), "latency:%g:%g", latency, jitter);
+      } else {
+        std::snprintf(buf, sizeof(buf), "latency:%g", latency);
+      }
+      return buf;
+    case Kind::kBatched:
+      std::snprintf(buf, sizeof(buf), "batch:%g", delta);
+      return buf;
+    case Kind::kBoundedBandwidth:
+      std::snprintf(buf, sizeof(buf), "bw:%g", rate);
+      return buf;
+  }
+  return "unknown";
+}
+
+Result<NetConfig> ParseNetSpec(const std::string& spec) {
+  // Split on ':' into a head keyword and up to two numeric parameters.
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t colon = spec.find(':', pos);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(pos));
+      break;
+    }
+    parts.push_back(spec.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+  const auto number = [&](std::size_t i) -> Result<double> {
+    char* end = nullptr;
+    const double v = std::strtod(parts[i].c_str(), &end);
+    if (end == parts[i].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad number in --net spec: " + spec);
+    }
+    return v;
+  };
+
+  NetConfig config;
+  if (parts[0] == "instant") {
+    if (parts.size() != 1) {
+      return Status::InvalidArgument("--net=instant takes no parameters");
+    }
+    config.kind = NetConfig::Kind::kInstant;
+  } else if (parts[0] == "latency") {
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument(
+          "--net=latency expects latency:<delay>[:<jitter>]");
+    }
+    config.kind = NetConfig::Kind::kFixedLatency;
+    ASF_ASSIGN_OR_RETURN(config.latency, number(1));
+    if (parts.size() == 3) {
+      ASF_ASSIGN_OR_RETURN(config.jitter, number(2));
+    }
+  } else if (parts[0] == "batch") {
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("--net=batch expects batch:<delta>");
+    }
+    config.kind = NetConfig::Kind::kBatched;
+    ASF_ASSIGN_OR_RETURN(config.delta, number(1));
+  } else if (parts[0] == "bw") {
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("--net=bw expects bw:<rate>");
+    }
+    config.kind = NetConfig::Kind::kBoundedBandwidth;
+    ASF_ASSIGN_OR_RETURN(config.rate, number(1));
+  } else {
+    return Status::InvalidArgument("unknown --net model: " + parts[0]);
+  }
+  ASF_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+std::string NetStats::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "crossings=%llu wire=%llu payloads=%llu per_flush=%.2f "
+      "deploys=%llu rpcs=%llu dropped=%llu in_flight_end=%llu "
+      "delay_mean=%.3g delay_max=%.3g",
+      static_cast<unsigned long long>(crossings),
+      static_cast<unsigned long long>(update_messages),
+      static_cast<unsigned long long>(update_payloads), MessagesPerFlush(),
+      static_cast<unsigned long long>(deploy_messages),
+      static_cast<unsigned long long>(control_rpcs),
+      static_cast<unsigned long long>(dropped_retired),
+      static_cast<unsigned long long>(in_flight_at_end), delay.mean(),
+      delay.max());
+  return buf;
+}
+
+void NetworkModel::Bind(Scheduler* scheduler, UpdateSink on_update,
+                        DeploySink on_deploy) {
+  ASF_CHECK_MSG(scheduler_ == nullptr, "NetworkModel bound twice");
+  ASF_CHECK(scheduler != nullptr);
+  ASF_CHECK(on_update != nullptr);
+  ASF_CHECK(on_deploy != nullptr);
+  scheduler_ = scheduler;
+  update_sink_ = std::move(on_update);
+  deploy_sink_ = std::move(on_deploy);
+  OnBind();
+}
+
+namespace {
+
+/// Shared zero-delay paths. Models whose parameters degenerate to instant
+/// semantics (zero latency, zero Δ, infinite rate) must take exactly these
+/// paths so their runs stay byte-identical to InstantNet.
+class InlineDeliveryBase : public NetworkModel {
+ protected:
+  /// Delivers one wire message inside the producing event: no scheduler,
+  /// no heap traffic in steady state (the payload scratch is reused), no
+  /// delay samples (staleness is identically zero).
+  void DeliverUpdateInline(StreamId id, Value v,
+                           const std::vector<std::size_t>& slots,
+                           SimTime now) {
+    scratch_.clear();
+    for (const std::size_t slot : slots) {
+      scratch_.push_back(Payload{slot, v, now, 1});
+    }
+    ++stats_.update_messages;
+    stats_.update_payloads += scratch_.size();
+    update_sink_(id, scratch_.data(), scratch_.size(), now);
+  }
+
+  void DeliverDeployInline(std::size_t slot, StreamId id,
+                           const FilterConstraint& constraint, SimTime now) {
+    ++stats_.deploy_messages;
+    deploy_sink_(slot, id, constraint, now);
+  }
+
+  /// Enqueues one wire message of `payloads` from stream `id` for
+  /// delivery at `at` — the single copy of the delayed-delivery
+  /// accounting (in-flight tracking, wire/payload/delay stats, sink
+  /// call) shared by every delaying model.
+  void ScheduleWireMessage(StreamId id, std::vector<Payload> payloads,
+                           SimTime at) {
+    for (const Payload& p : payloads) AddInFlight(p.slot);
+    ++pending_wire_;
+    scheduler_->ScheduleAt(
+        at, [this, id, at, payloads = std::move(payloads)]() mutable {
+          --pending_wire_;
+          OnWireDelivered(id);
+          ++stats_.update_messages;
+          stats_.update_payloads += payloads.size();
+          for (const Payload& p : payloads) {
+            SubInFlight(p.slot);
+            stats_.delay.Add(at - p.crossed_at);
+          }
+          update_sink_(id, payloads.data(), payloads.size(), at);
+        });
+  }
+
+  /// Model hook run when a scheduled wire message leaves the network
+  /// (before the sink), e.g. to release link-queue occupancy.
+  virtual void OnWireDelivered(StreamId id) { (void)id; }
+
+ private:
+  std::vector<Payload> scratch_;
+};
+
+/// The paper's semantics: every message arrives inside the event that
+/// produced it.
+class InstantNet final : public InlineDeliveryBase {
+ public:
+  void SendUpdate(StreamId id, Value v, const std::vector<std::size_t>& slots,
+                  SimTime now) override {
+    stats_.crossings += slots.size();
+    DeliverUpdateInline(id, v, slots, now);
+  }
+
+  void SendDeploy(std::size_t slot, StreamId id,
+                  const FilterConstraint& constraint, SimTime now) override {
+    DeliverDeployInline(slot, id, constraint, now);
+  }
+};
+
+/// Constant per-link one-way delay plus uniform jitter, both directions.
+/// Delivery order is FIFO per (link, direction): a jittered later message
+/// never overtakes an earlier one (its delivery clamps to the link's last
+/// scheduled arrival).
+class FixedLatencyNet final : public InlineDeliveryBase {
+ public:
+  FixedLatencyNet(double latency, double jitter, std::uint64_t seed)
+      : latency_(latency), jitter_(jitter),
+        delayed_(latency > 0 || jitter > 0), rng_(seed) {}
+
+  void SendUpdate(StreamId id, Value v, const std::vector<std::size_t>& slots,
+                  SimTime now) override {
+    stats_.crossings += slots.size();
+    if (!delayed_) {
+      DeliverUpdateInline(id, v, slots, now);
+      return;
+    }
+    std::vector<Payload> payloads;
+    payloads.reserve(slots.size());
+    for (const std::size_t slot : slots) {
+      payloads.push_back(Payload{slot, v, now, 1});
+    }
+    ScheduleWireMessage(id, std::move(payloads),
+                        NextDelivery(&uplink_last_, id, now));
+  }
+
+  void SendDeploy(std::size_t slot, StreamId id,
+                  const FilterConstraint& constraint, SimTime now) override {
+    if (!delayed_) {
+      DeliverDeployInline(slot, id, constraint, now);
+      return;
+    }
+    const SimTime at = NextDelivery(&downlink_last_, id, now);
+    ++pending_wire_;
+    scheduler_->ScheduleAt(at, [this, slot, id, constraint, at] {
+      --pending_wire_;
+      ++stats_.deploy_messages;
+      deploy_sink_(slot, id, constraint, at);
+    });
+  }
+
+ private:
+  SimTime NextDelivery(std::vector<SimTime>* last, StreamId id, SimTime now) {
+    SimTime at = now + latency_;
+    if (jitter_ > 0) at += rng_.Uniform(0, jitter_);
+    if (id >= last->size()) last->resize(id + 1, 0);
+    if (at < (*last)[id]) at = (*last)[id];  // FIFO per link & direction
+    (*last)[id] = at;
+    return at;
+  }
+
+  const double latency_;
+  const double jitter_;
+  const bool delayed_;
+  Rng rng_;
+  std::vector<SimTime> uplink_last_;
+  std::vector<SimTime> downlink_last_;
+};
+
+/// Δ-batched delivery: each source coalesces its filter crossings and
+/// flushes one wire message at the next point of the global Δ grid. A
+/// coalesced payload carries the query's *latest* crossing value; the
+/// crossings counter records how many it stands for (NetStats::
+/// MessagesPerFlush is the batching win). Server→source deploys are
+/// control plane and deliver instantly.
+class BatchedNet final : public InlineDeliveryBase {
+ public:
+  explicit BatchedNet(double delta) : delta_(delta), delayed_(delta > 0) {}
+
+  void SendUpdate(StreamId id, Value v, const std::vector<std::size_t>& slots,
+                  SimTime now) override {
+    stats_.crossings += slots.size();
+    if (!delayed_) {
+      DeliverUpdateInline(id, v, slots, now);
+      return;
+    }
+    if (id >= links_.size()) links_.resize(id + 1);
+    Link& link = links_[id];
+    for (const std::size_t slot : slots) {
+      // Pending lists stay sorted by slot and are tiny (the queries this
+      // one source crossed since the last flush), so a linear merge is
+      // cheaper than any indexed structure.
+      auto it = std::lower_bound(
+          link.pending.begin(), link.pending.end(), slot,
+          [](const Payload& p, std::size_t s) { return p.slot < s; });
+      if (it != link.pending.end() && it->slot == slot) {
+        it->value = v;
+        it->crossed_at = now;
+        ++it->crossings;
+      } else {
+        link.pending.insert(it, Payload{slot, v, now, 1});
+        AddInFlight(slot);
+      }
+    }
+    if (!link.scheduled) {
+      link.scheduled = true;
+      ++pending_wire_;
+      SimTime at = (std::floor(now / delta_) + 1) * delta_;
+      if (at <= now) at = now + delta_;  // guard fp rounding at grid points
+      scheduler_->ScheduleAt(at, [this, id, at] { Flush(id, at); });
+    }
+  }
+
+  void SendDeploy(std::size_t slot, StreamId id,
+                  const FilterConstraint& constraint, SimTime now) override {
+    DeliverDeployInline(slot, id, constraint, now);
+  }
+
+ private:
+  struct Link {
+    std::vector<Payload> pending;  ///< sorted by slot
+    bool scheduled = false;
+  };
+
+  void Flush(StreamId id, SimTime at) {
+    Link& link = links_[id];
+    --pending_wire_;
+    link.scheduled = false;
+    flush_scratch_.clear();
+    flush_scratch_.swap(link.pending);
+    ++stats_.update_messages;
+    stats_.update_payloads += flush_scratch_.size();
+    for (const Payload& p : flush_scratch_) {
+      SubInFlight(p.slot);
+      stats_.delay.Add(at - p.crossed_at);
+    }
+    update_sink_(id, flush_scratch_.data(), flush_scratch_.size(), at);
+  }
+
+  const double delta_;
+  const bool delayed_;
+  std::vector<Link> links_;
+  std::vector<Payload> flush_scratch_;
+};
+
+/// Per-source uplink FIFO with a fixed service rate: each wire message
+/// occupies the link for 1/rate, so bursts queue behind each other and
+/// delivery delay grows with backlog. The downlink (server→source) is
+/// uncongested and delivers instantly — the model targets the congested
+/// sensor-uplink scenario.
+class BoundedBandwidthNet final : public InlineDeliveryBase {
+ public:
+  explicit BoundedBandwidthNet(double rate)
+      : service_time_(1.0 / rate), delayed_(std::isfinite(rate)) {}
+
+  void SendUpdate(StreamId id, Value v, const std::vector<std::size_t>& slots,
+                  SimTime now) override {
+    stats_.crossings += slots.size();
+    if (!delayed_) {
+      DeliverUpdateInline(id, v, slots, now);
+      return;
+    }
+    if (id >= next_free_.size()) {
+      next_free_.resize(id + 1, 0);
+      queued_.resize(id + 1, 0);
+    }
+    stats_.queue_depth.Add(static_cast<double>(queued_[id]));
+    ++queued_[id];
+    std::vector<Payload> payloads;
+    payloads.reserve(slots.size());
+    for (const std::size_t slot : slots) {
+      payloads.push_back(Payload{slot, v, now, 1});
+    }
+    const SimTime at = std::max(now, next_free_[id]) + service_time_;
+    next_free_[id] = at;
+    ScheduleWireMessage(id, std::move(payloads), at);
+  }
+
+  void SendDeploy(std::size_t slot, StreamId id,
+                  const FilterConstraint& constraint, SimTime now) override {
+    DeliverDeployInline(slot, id, constraint, now);
+  }
+
+ private:
+  void OnWireDelivered(StreamId id) override { --queued_[id]; }
+
+  const double service_time_;
+  const bool delayed_;
+  std::vector<SimTime> next_free_;
+  std::vector<std::uint32_t> queued_;
+};
+
+}  // namespace
+
+std::unique_ptr<NetworkModel> MakeNetworkModel(const NetConfig& config,
+                                               std::uint64_t seed) {
+  switch (config.kind) {
+    case NetConfig::Kind::kInstant:
+      return std::make_unique<InstantNet>();
+    case NetConfig::Kind::kFixedLatency:
+      // Decorrelated substream: the model's jitter draws never perturb
+      // protocol RNG consumption (slots derive their own seeds).
+      return std::make_unique<FixedLatencyNet>(
+          config.latency, config.jitter, MixSeed(seed, 0x6e657421ULL));
+    case NetConfig::Kind::kBatched:
+      return std::make_unique<BatchedNet>(config.delta);
+    case NetConfig::Kind::kBoundedBandwidth:
+      return std::make_unique<BoundedBandwidthNet>(config.rate);
+  }
+  return std::make_unique<InstantNet>();
+}
+
+}  // namespace asf

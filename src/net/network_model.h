@@ -1,0 +1,237 @@
+#ifndef ASF_NET_NETWORK_MODEL_H_
+#define ASF_NET_NETWORK_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "filter/constraint.h"
+#include "sim/scheduler.h"
+
+/// \file
+/// Simulated message delivery between stream sources and the server.
+///
+/// The paper assumes messages arrive instantaneously inside the event that
+/// produced them (DESIGN.md §1); this subsystem makes delivery a
+/// first-class, pluggable model so message savings become observable
+/// latency/staleness trade-offs. The engines route every source→server
+/// update message and every server→source constraint deployment through a
+/// NetworkModel, which decides *when* (and, for batching, *how coalesced*)
+/// the message reaches the other end — inline for zero-delay models,
+/// as scheduler events otherwise. Control-plane request/response exchanges
+/// (probes, region probes) are modeled as blocking zero-time RPCs and are
+/// only observed for accounting (DESIGN.md §9 records the full contract).
+///
+/// Four models ship (`MakeNetworkModel`):
+///  * InstantNet          — the paper's semantics, byte-identical to the
+///                          pre-subsystem engines;
+///  * FixedLatencyNet     — per-link constant delay plus optional uniform
+///                          jitter, FIFO per link and direction;
+///  * BatchedNet          — sources coalesce filter crossings and flush on
+///                          a global Δ grid (the paper's natural batching
+///                          relaxation: one wire message per dirty source
+///                          per window, latest value per query);
+///  * BoundedBandwidthNet — per-source uplink FIFO served at a fixed rate,
+///                          so bursts induce queueing delay.
+
+namespace asf {
+
+/// Which delivery model a run uses, plus its parameters. Parsed from the
+/// `--net=` spec (`ParseNetSpec`) or filled directly.
+struct NetConfig {
+  enum class Kind : int {
+    kInstant = 0,           ///< deliver inside the producing event
+    kFixedLatency = 1,      ///< constant per-link delay + uniform jitter
+    kBatched = 2,           ///< coalesce crossings, flush every Δ
+    kBoundedBandwidth = 3,  ///< per-source FIFO uplink with service rate
+  };
+
+  Kind kind = Kind::kInstant;
+  /// kFixedLatency: constant one-way delay per message (time units).
+  double latency = 0;
+  /// kFixedLatency: extra per-message delay drawn uniformly from
+  /// [0, jitter) (deterministic under the run seed).
+  double jitter = 0;
+  /// kBatched: flush period. Sources flush pending crossings at the next
+  /// multiple of delta strictly after the first pending crossing.
+  double delta = 0;
+  /// kBoundedBandwidth: uplink service rate in messages per time unit
+  /// (each message occupies the link for 1/rate).
+  double rate = 0;
+
+  Status Validate() const;
+
+  /// False when the configured parameters make the model observably
+  /// identical to InstantNet (zero latency+jitter, zero Δ, infinite rate);
+  /// such models must deliver inline so runs stay byte-identical.
+  bool DelaysDelivery() const;
+
+  /// Canonical `--net=` spec form ("instant", "latency:5:2", "batch:10",
+  /// "bw:0.5").
+  std::string ToString() const;
+};
+
+std::string_view NetKindName(NetConfig::Kind kind);
+
+/// Parses a `--net=` spec: `instant`, `latency:<d>[:<jitter>]`,
+/// `batch:<delta>`, or `bw:<rate>`.
+Result<NetConfig> ParseNetSpec(const std::string& spec);
+
+/// Run-level delivery accounting, owned by the model. Message *costs*
+/// stay in MessageStats (counted once, at server arrival / source
+/// install — see DESIGN.md §9); NetStats measures what delivery *did* to
+/// them: coalescing, delay, drops.
+struct NetStats {
+  /// Source-side filter crossings offered to the network (one per fired
+  /// query per update). Under batching several crossings may coalesce
+  /// into one delivered payload.
+  std::uint64_t crossings = 0;
+  /// Physical source→server wire messages delivered (batch: one per
+  /// flush per dirty source).
+  std::uint64_t update_messages = 0;
+  /// Per-query payloads delivered to the server (== crossings for
+  /// non-coalescing models).
+  std::uint64_t update_payloads = 0;
+  /// Server→source constraint installs delivered to sources.
+  std::uint64_t deploy_messages = 0;
+  /// Blocking control-plane RPC exchanges observed (probes/region probes).
+  std::uint64_t control_rpcs = 0;
+  /// Payloads/deploys that arrived after their query retired and were
+  /// dropped (the engine's books for that query are closed).
+  std::uint64_t dropped_retired = 0;
+  /// Messages still undelivered when the run hit its horizon.
+  std::uint64_t in_flight_at_end = 0;
+  /// Server-side staleness: delivery time minus the (latest coalesced)
+  /// crossing time, one sample per delivered payload. Empty for
+  /// zero-delay models (staleness is identically zero).
+  OnlineStats delay;
+  /// BoundedBandwidth only: uplink queue length seen by each enqueued
+  /// message (0 = idle link).
+  OnlineStats queue_depth;
+
+  /// Crossings coalesced per wire message — 1.0 without batching; the
+  /// batching win the Δ sweep measures.
+  double MessagesPerFlush() const {
+    return update_messages == 0
+               ? 0.0
+               : static_cast<double>(crossings) /
+                     static_cast<double>(update_messages);
+  }
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Delivery model interface. One instance serves one run (models keep
+/// per-link state); the engine binds its scheduler and arrival sinks
+/// before the first send.
+class NetworkModel {
+ public:
+  /// Per-query payload of an update message arriving at the server.
+  struct Payload {
+    std::size_t slot = 0;       ///< destination query slot index
+    Value value = 0;            ///< value that crossed (latest if coalesced)
+    SimTime crossed_at = 0;     ///< when that crossing happened
+    std::uint64_t crossings = 1;  ///< crossings coalesced into this payload
+  };
+
+  /// One call = one physical wire message arriving at the server, carrying
+  /// `count` per-query payloads. The pointer is valid for the call only.
+  using UpdateSink = std::function<void(StreamId id, const Payload* payloads,
+                                        std::size_t count, SimTime at)>;
+  /// One server→source constraint install arriving at stream `id`.
+  using DeploySink = std::function<void(std::size_t slot, StreamId id,
+                                        const FilterConstraint& constraint,
+                                        SimTime at)>;
+
+  virtual ~NetworkModel() = default;
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  /// Wires the model into an engine. `scheduler` is where delayed
+  /// deliveries are scheduled (the serial engine's event loop, or the
+  /// sharded coordinator's delivery queue). Must be called exactly once,
+  /// before any Send*.
+  void Bind(Scheduler* scheduler, UpdateSink on_update, DeploySink on_deploy);
+
+  /// Data plane: stream `id` changed to `v` at `now`, crossing the filter
+  /// of each query slot in `slots` (ascending, no duplicates). The model
+  /// delivers through the update sink — inline before returning for
+  /// zero-delay models.
+  virtual void SendUpdate(StreamId id, Value v,
+                          const std::vector<std::size_t>& slots,
+                          SimTime now) = 0;
+
+  /// Control plane, server→source: deliver `constraint` to stream `id` on
+  /// behalf of query `slot`.
+  virtual void SendDeploy(std::size_t slot, StreamId id,
+                          const FilterConstraint& constraint, SimTime now) = 0;
+
+  /// Observation hook for blocking control-plane RPCs (probe/region
+  /// probe). Zero simulated time passes (DESIGN.md §9); models only
+  /// account the exchange.
+  void OnControlRpc(StreamId id, SimTime now) {
+    (void)id;
+    (void)now;
+    ++stats_.control_rpcs;
+  }
+
+  /// Update payloads currently in flight toward query `slot` — what the
+  /// oracle consults to attribute a tolerance violation to transit delay.
+  std::uint64_t InFlight(std::size_t slot) const {
+    return slot < in_flight_.size() ? in_flight_[slot] : 0;
+  }
+
+  /// Closes the books at the run horizon: records messages that never
+  /// arrived. Call once, after the last event has run.
+  void Finalize(SimTime horizon) {
+    (void)horizon;
+    stats_.in_flight_at_end = pending_wire_;
+  }
+
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+
+ protected:
+  NetworkModel() = default;
+
+  /// Subclass hook run at Bind time (after the sinks are set).
+  virtual void OnBind() {}
+
+  void AddInFlight(std::size_t slot, std::uint64_t n = 1) {
+    if (slot >= in_flight_.size()) in_flight_.resize(slot + 1, 0);
+    in_flight_[slot] += n;
+  }
+  void SubInFlight(std::size_t slot) {
+    ASF_DCHECK(slot < in_flight_.size() && in_flight_[slot] > 0);
+    --in_flight_[slot];
+  }
+
+  Scheduler* scheduler_ = nullptr;
+  UpdateSink update_sink_;
+  DeploySink deploy_sink_;
+  NetStats stats_;
+  /// Wire messages enqueued but not yet delivered (any direction).
+  std::uint64_t pending_wire_ = 0;
+
+ private:
+  std::vector<std::uint64_t> in_flight_;
+};
+
+/// Builds the model `config` describes. `seed` feeds the model's
+/// deterministic randomness (latency jitter); models derive a
+/// decorrelated substream so protocol RNG consumption is unaffected.
+std::unique_ptr<NetworkModel> MakeNetworkModel(const NetConfig& config,
+                                               std::uint64_t seed);
+
+}  // namespace asf
+
+#endif  // ASF_NET_NETWORK_MODEL_H_

@@ -55,14 +55,17 @@ void FractionFilterCore::OnRangeUpdate(StreamId id, Value v, SimTime t) {
   if (range_.Contains(v)) {
     // Figure 7 Maintenance case 1: a new stream satisfies the query.
     const bool inserted = answer_.Insert(id);
-    ASF_DCHECK(inserted);  // silent filters never report; members never
-                           // report an in-range value
+    // Under instant delivery silent filters never report and members
+    // never report an in-range value; a late (in-transit) report may
+    // re-state the current side, in which case nothing changes
+    // (DESIGN.md §9).
+    ASF_DCHECK(inserted || ctx_->delayed_delivery());
     if (inserted) ++count_;
     return;
   }
   // Case 2: an answer stream left the range.
   const bool erased = answer_.Erase(id);
-  ASF_DCHECK(erased);
+  ASF_DCHECK(erased || ctx_->delayed_delivery());
   if (!erased) return;
   if (count_ > 0) {
     --count_;

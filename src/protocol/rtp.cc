@@ -60,9 +60,14 @@ StreamId Rtp::BestSpare() const {
 
 void Rtp::OnUpdate(StreamId id, Value v, SimTime t) {
   if (bound_.Contains(v)) {
-    // Case 3: the stream entered R. A stream the server believes is inside
-    // can only report a departure, so `id` must be outside X.
-    ASF_DCHECK(!x_.contains(id));
+    // Case 3: the stream entered R. Under instant delivery a stream the
+    // server believes is inside can only report a departure, so `id`
+    // must be outside X; a delayed report can re-state membership the
+    // server already tracks — the cache refresh (HandleUpdate) is then
+    // the whole effect, and X must not double-count the entrant
+    // (DESIGN.md §9).
+    ASF_DCHECK(!x_.contains(id) || ctx_->delayed_delivery());
+    if (x_.contains(id)) return;
     if (x_.size() < max_rank()) {
       x_.insert(id);  // Figure 5 step 6: |X| stays ≤ ε
     } else {

@@ -182,6 +182,14 @@ class ServerContext {
 
   BroadcastCostModel broadcast_model() const { return broadcast_; }
 
+  /// True when the run's delivery model may delay messages (DESIGN.md
+  /// §9). Protocols consult this only to *relax* zero-delay belief
+  /// assertions — e.g. "a member never reports an in-range value" holds
+  /// under instant delivery but not while deploys or updates are in
+  /// transit; their recovery paths handle the late messages either way.
+  bool delayed_delivery() const { return delayed_delivery_; }
+  void set_delayed_delivery(bool delayed) { delayed_delivery_ = delayed; }
+
   /// The constraint the server last deployed to `id`.
   const FilterConstraint& deployed(StreamId id) const {
     ASF_DCHECK(id < deployed_.size());
@@ -194,6 +202,7 @@ class ServerContext {
   Transport transport_;
   MessageStats* stats_;
   BroadcastCostModel broadcast_;
+  bool delayed_delivery_ = false;
   std::vector<Value> cache_;
   std::vector<SimTime> cache_time_;
   std::vector<FilterConstraint> deployed_;

@@ -16,13 +16,18 @@ void ZtNrp::Initialize(SimTime t) {
 
 void ZtNrp::OnUpdate(StreamId id, Value v, SimTime /*t*/) {
   // A report means the value crossed [l, u]; membership simply flips.
+  // Under instant delivery a member can never report an in-range value
+  // (nor a non-member an out-of-range one); while messages are in
+  // transit the server's belief lags the source, so a late report may
+  // re-state the current side — Insert/Erase are then no-ops
+  // (DESIGN.md §9).
   if (query_.Matches(v)) {
     const bool inserted = answer_.Insert(id);
-    ASF_DCHECK(inserted);
+    ASF_DCHECK(inserted || ctx_->delayed_delivery());
     (void)inserted;
   } else {
     const bool erased = answer_.Erase(id);
-    ASF_DCHECK(erased);
+    ASF_DCHECK(erased || ctx_->delayed_delivery());
     (void)erased;
   }
 }

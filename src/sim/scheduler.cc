@@ -1,5 +1,6 @@
 #include "sim/scheduler.h"
 
+#include <limits>
 #include <utility>
 
 namespace asf {
@@ -123,6 +124,12 @@ const Scheduler::HeapNode* Scheduler::PeekLive() {
     --tombstones_;
   }
   return nullptr;
+}
+
+SimTime Scheduler::NextEventTime() {
+  const HeapNode* next = PeekLive();
+  return next != nullptr ? next->time()
+                         : std::numeric_limits<SimTime>::infinity();
 }
 
 bool Scheduler::Step() {

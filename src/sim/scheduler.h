@@ -177,6 +177,10 @@ class Scheduler {
   /// Runs the single next event. Returns false if the queue is empty.
   bool Step();
 
+  /// Time of the next pending event, or +inf when the queue is empty.
+  /// Non-const: surfacing the answer may discard cancelled tombstones.
+  SimTime NextEventTime();
+
   /// Runs all events with time <= `t`, then advances the clock to exactly
   /// `t`. Returns the number of events dispatched.
   std::size_t RunUntil(SimTime t);

@@ -64,6 +64,14 @@ Sharding (byte-identical to the serial engine for any shard count):
   --shards=S              partition streams across S worker shards  [1]
   --epoch=T               speculation epoch length (0 = auto)       [0]
 
+Message delivery (DESIGN.md #9; instant reproduces the paper's
+zero-delay semantics byte-identically, the others trade messages for
+staleness):
+  --net=instant           deliver inside the producing event   [instant]
+  --net=latency:D[:J]     per-link delay D + uniform jitter [0,J)
+  --net=batch:DELTA       sources coalesce crossings, flush every DELTA
+  --net=bw:RATE           per-source uplink FIFO, RATE messages/unit
+
 Churn mode (open query population; the query/protocol flags above form
 the arrival mix — when --range / --q is given explicitly it pins every
 arrival's query shape, otherwise shapes are drawn at random over the
@@ -160,6 +168,7 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   config.oracle = base.oracle;
   config.shards = base.shards;
   config.shard_epoch = base.shard_epoch;
+  config.net = base.net;
   ASF_ASSIGN_OR_RETURN(config.queries, ExpandChurn(spec, config.duration));
   if (config.queries.empty()) {
     return Status::InvalidArgument(
@@ -201,6 +210,16 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   totals.AddRow({"sharing saving",
                  Fmt("%llu", (unsigned long long)(result.LogicalUpdates() -
                                                   result.physical_updates))});
+  if (config.net.DelaysDelivery()) {
+    totals.AddRow({"net model", config.net.ToString()});
+    totals.AddRow({"net msgs per flush",
+                   Fmt("%.2f", result.net.MessagesPerFlush())});
+    totals.AddRow({"net staleness mean",
+                   Fmt("%.3f", result.net.delay.mean())});
+    totals.AddRow({"net dropped (retired)",
+                   Fmt("%llu",
+                       (unsigned long long)result.net.dropped_retired)});
+  }
   totals.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", totals.ToString().c_str());
 
@@ -252,6 +271,9 @@ Status RunFromFlags(const Flags& flags) {
   if (shards < 1) return Status::InvalidArgument("--shards must be >= 1");
   config.shards = static_cast<std::size_t>(shards);
   ASF_ASSIGN_OR_RETURN(config.shard_epoch, flags.GetDouble("epoch", 0));
+  if (flags.Has("net")) {
+    ASF_ASSIGN_OR_RETURN(config.net, ParseNetSpec(flags.GetString("net")));
+  }
 
   // Query + protocol + tolerance.
   ASF_ASSIGN_OR_RETURN(config.query, ParseQuery(flags));
@@ -330,29 +352,61 @@ Status RunFromFlags(const Flags& flags) {
     table.AddRow({"max F+ / F-", Fmt("%.3f / %.3f", result.max_f_plus,
                                      result.max_f_minus)});
   }
+  // Delivery costs — only under a delaying model, so default runs print
+  // byte-identically to the pre-subsystem tool.
+  if (config.net.DelaysDelivery()) {
+    table.AddRow({"net model", config.net.ToString()});
+    table.AddRow({"net wire updates",
+                  Fmt("%llu", (unsigned long long)result.net.update_messages)});
+    table.AddRow({"net msgs per flush",
+                  Fmt("%.2f", result.net.MessagesPerFlush())});
+    table.AddRow({"staleness mean / max",
+                  Fmt("%.3f / %.3f", result.update_delay.mean(),
+                      result.update_delay.max())});
+    if (result.oracle_checks > 0) {
+      table.AddRow(
+          {"violations in flight",
+           Fmt("%llu", (unsigned long long)result.oracle_violations_in_flight)});
+    }
+    table.AddRow({"in flight at horizon",
+                  Fmt("%llu",
+                      (unsigned long long)result.net.in_flight_at_end)});
+  }
   table.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", table.ToString().c_str());
 
   // Machine-readable counterpart of the table, same schema as the bench
   // harnesses and `asf_sweep --bench-json`.
   if (flags.Has("bench-json")) {
-    ASF_RETURN_IF_ERROR(WriteBenchJson(
-        flags.GetString("bench-json"), "asf_run",
-        {{"maint_messages",
-          static_cast<double>(result.MaintenanceMessages())},
-         {"shards", static_cast<double>(config.shards)},
-         {"simd", static_cast<double>(simd::KernelLanes())},
-         {"init_messages", static_cast<double>(result.messages.InitTotal())},
-         {"updates_generated",
-          static_cast<double>(result.updates_generated)},
-         {"updates_reported",
-          static_cast<double>(result.updates_reported)},
-         {"reinits", static_cast<double>(result.reinits)},
-         {"answer_size_mean", result.answer_size.mean()},
-         {"oracle_checks", static_cast<double>(result.oracle_checks)},
-         {"oracle_violations",
-          static_cast<double>(result.oracle_violations)},
-         {"wall_seconds", result.wall_seconds}}));
+    std::vector<std::pair<std::string, double>> metrics = {
+        {"maint_messages", static_cast<double>(result.MaintenanceMessages())},
+        {"shards", static_cast<double>(config.shards)},
+        {"simd", static_cast<double>(simd::KernelLanes())},
+        {"init_messages", static_cast<double>(result.messages.InitTotal())},
+        {"updates_generated", static_cast<double>(result.updates_generated)},
+        {"updates_reported", static_cast<double>(result.updates_reported)},
+        {"reinits", static_cast<double>(result.reinits)},
+        {"answer_size_mean", result.answer_size.mean()},
+        {"oracle_checks", static_cast<double>(result.oracle_checks)},
+        {"oracle_violations", static_cast<double>(result.oracle_violations)},
+        {"wall_seconds", result.wall_seconds}};
+    if (config.net.DelaysDelivery()) {
+      metrics.emplace_back(
+          "net_kind", static_cast<double>(static_cast<int>(config.net.kind)));
+      metrics.emplace_back("net_wire_updates",
+                           static_cast<double>(result.net.update_messages));
+      metrics.emplace_back("net_msgs_per_flush",
+                           result.net.MessagesPerFlush());
+      metrics.emplace_back("staleness_mean", result.update_delay.mean());
+      metrics.emplace_back("staleness_max", result.update_delay.max());
+      metrics.emplace_back(
+          "oracle_violations_in_flight",
+          static_cast<double>(result.oracle_violations_in_flight));
+      metrics.emplace_back("net_in_flight_at_end",
+                           static_cast<double>(result.net.in_flight_at_end));
+    }
+    ASF_RETURN_IF_ERROR(
+        WriteBenchJson(flags.GetString("bench-json"), "asf_run", metrics));
     std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
   }
   return Status::OK();

@@ -2,7 +2,8 @@
 ///
 ///   bench_check --baseline=BENCH_micro_dispatch.json \
 ///               --current=build/BENCH_micro_dispatch.json \
-///               [--tolerance=0.25] [--keys=simd_speedup_q256,...]
+///               [--tolerance=0.25] [--keys=simd_speedup_q256,...] \
+///               [--min-cores=N]
 ///
 /// Compares every metric key present in both files (or only --keys, when
 /// given). Throughput-like metrics (higher is better) regress when
@@ -10,9 +11,16 @@
 /// (lower is better) regress when current > baseline * (1 + tolerance).
 /// Exit code 1 if any checked metric regressed, 2 on usage/parse errors.
 ///
+/// `--min-cores=N` makes the whole comparison conditional on the host:
+/// when hardware_concurrency() < N the check is skipped with a logged
+/// reason and exit code 0. CI uses this for the shard-speedup gates
+/// (q*_speedup_s4), which measure parallelism a 1–2 core runner cannot
+/// express (EXPERIMENTS.md flags the 1-thread container baseline).
+///
 /// CI guards the *machine-stable ratio* metrics (SIMD speedup, shard
-/// speedup) this way: absolute updates/sec depend on the runner hardware,
-/// but in-process ratios transfer — see EXPERIMENTS.md.
+/// speedup, batching messages-per-flush) this way: absolute updates/sec
+/// depend on the runner hardware, but in-process and simulation-currency
+/// ratios transfer — see EXPERIMENTS.md.
 
 #include <cctype>
 #include <cstdio>
@@ -21,6 +29,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -105,6 +114,23 @@ int Run(const Flags& flags) {
     return 2;
   }
   const double tolerance = *tolerance_or;
+
+  auto min_cores_or = flags.GetInt("min-cores", 0);
+  if (!min_cores_or.ok() || *min_cores_or < 0) {
+    std::fprintf(stderr, "bench_check: bad --min-cores\n");
+    return 2;
+  }
+  if (*min_cores_or > 0) {
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores < static_cast<unsigned>(*min_cores_or)) {
+      std::printf(
+          "bench_check: SKIPPED — host has %u hardware thread(s), gate "
+          "requires >= %lld (these metrics measure parallelism this "
+          "machine cannot express)\n",
+          cores, static_cast<long long>(*min_cores_or));
+      return 0;
+    }
+  }
 
   std::map<std::string, double> baseline;
   std::map<std::string, double> current;
