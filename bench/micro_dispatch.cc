@@ -12,9 +12,15 @@
 ///  * engine Q=64: end-to-end RunMultiQuerySystem throughput (generated
 ///    updates per wall second) with Q concurrent range queries over a
 ///    shared random-walk population.
+///  * scan/index/auto crossover series Q=64..1M: the three dispatch
+///    policies (DESIGN.md §10) replaying identical random-walk sequences
+///    through FilterArena::DispatchUpdate. The scan does O(Q) work per
+///    update; the interval index does O(log Q + crossings), so the series
+///    locates the crossover and calibrates kDefaultAutoCrossover.
 ///
 /// Writes BENCH_micro_dispatch.json by default (--json=PATH to override,
-/// --json= to disable).
+/// --json= to disable) and the crossover series to
+/// BENCH_index_crossover.json (--crossover-json=PATH / empty to disable).
 
 #include <cstdio>
 #include <cstring>
@@ -26,6 +32,7 @@
 #include "common/rng.h"
 #include "common/simd.h"
 #include "engine/multi_system.h"
+#include "filter/dispatch.h"
 #include "filter/filter_arena.h"
 
 namespace asf {
@@ -114,6 +121,66 @@ double AosScanUpdatesPerSec(std::size_t q_count,
   return static_cast<double>(total_updates) / elapsed;
 }
 
+/// One point of the scan/index crossover series. Large Q needs few
+/// streams: the arena keeps Q bound lanes per strip, so Q=1M with the
+/// usual 800 streams would be ~13 GB of lanes.
+struct CrossoverPoint {
+  const char* tag;              ///< metric-key suffix ("q16k")
+  std::size_t q;                ///< live filter columns
+  std::size_t streams;          ///< strips in the arena
+  std::uint64_t scan_updates;   ///< measured updates on the O(Q) path
+  std::uint64_t index_updates;  ///< measured updates on the indexed path
+};
+
+/// Dispatch throughput at one (Q, policy) point. Every policy replays the
+/// same small-step random walks — small steps keep the crossing count per
+/// update a vanishing fraction of Q, the output-sensitive regime the
+/// index targets (uniform value jumps would cross ~half the endpoints and
+/// hide the asymmetry).
+double CrossoverUpdatesPerSec(const CrossoverPoint& pt, DispatchPolicy policy,
+                              std::uint64_t total_updates) {
+  FilterArena arena(pt.streams);
+  arena.SetDispatchPolicy(policy);
+  // Distinct narrow windows spread over the value space, deterministic
+  // per point so scan/index/auto see identical filters.
+  Rng qrng(101);
+  for (std::size_t q = 0; q < pt.q; ++q) {
+    const std::size_t c = arena.Acquire();
+    const double lo = qrng.Uniform(0, 950);
+    const FilterConstraint constraint =
+        FilterConstraint::Range(Interval(lo, lo + 50.0));
+    for (StreamId id = 0; id < pt.streams; ++id) {
+      arena.Deploy(id, c, constraint, 500.0);
+    }
+  }
+
+  constexpr std::size_t kWalkLen = 4096;
+  std::vector<std::vector<Value>> walks(pt.streams);
+  for (std::size_t id = 0; id < pt.streams; ++id) {
+    Rng rng(MixSeed(303, id));
+    double v = 500.0;
+    walks[id].reserve(kWalkLen);
+    for (std::size_t i = 0; i < kWalkLen; ++i) {
+      v += rng.Uniform(-1.5, 1.5);
+      if (v < 1.0) v = 1.0;
+      if (v > 999.0) v = 999.0;
+      walks[id].push_back(v);
+    }
+  }
+
+  std::vector<std::uint32_t> fired;
+  std::uint64_t fired_total = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t u = 0; u < total_updates; ++u) {
+    const StreamId id = static_cast<StreamId>(u % pt.streams);
+    arena.DispatchUpdate(id, walks[id][(u / pt.streams) % kWalkLen], &fired);
+    fired_total += fired.size();
+  }
+  const double elapsed = Seconds(start);
+  if (fired_total == 0) std::fprintf(stderr, "unreachable\n");
+  return static_cast<double>(total_updates) / elapsed;
+}
+
 /// End-to-end: Q range queries with staggered windows over one shared
 /// walk population, protocol ZT-NRP (pure filter maintenance, no
 /// tolerance slack) — the fig11 configuration shape.
@@ -169,6 +236,75 @@ int Main(int argc, char** argv) {
   std::printf("engine Q=64        %12.3e updates/sec  (%llu updates)\n",
               engine64, static_cast<unsigned long long>(updates));
 
+  // --- scan/index/auto crossover series (DESIGN.md §10) ---
+  const CrossoverPoint points[] = {
+      {"q64", 64, 512, 2'000'000, 2'000'000},
+      {"q1k", 1024, 512, 400'000, 1'000'000},
+      {"q16k", 16384, 256, 60'000, 600'000},
+      {"q256k", 262144, 16, 6'000, 200'000},
+      {"q1m", 1048576, 4, 1'500, 60'000},
+  };
+  std::printf("\ncrossover series (scan vs index vs auto, updates/sec):\n");
+  std::vector<std::pair<std::string, double>> xmetrics;
+  double crossover_q = 0.0;
+  double auto_efficiency_min = 1e300;
+  double index_speedup_q16k = 0.0;
+  for (const CrossoverPoint& pt : points) {
+    const auto scaled = [scale](std::uint64_t n) {
+      const auto s = static_cast<std::uint64_t>(static_cast<double>(n) * scale);
+      return s > 0 ? s : std::uint64_t{1};
+    };
+    const double scan = CrossoverUpdatesPerSec(pt, DispatchPolicy::kScan,
+                                               scaled(pt.scan_updates));
+    const double index = CrossoverUpdatesPerSec(pt, DispatchPolicy::kIndex,
+                                                scaled(pt.index_updates));
+    const double autod = CrossoverUpdatesPerSec(
+        pt, DispatchPolicy::kAuto,
+        scaled(pt.q >= kDefaultAutoCrossover ? pt.index_updates
+                                             : pt.scan_updates));
+    const double speedup = index / scan;
+    std::printf("  Q=%-8zu scan %10.3e  index %10.3e  auto %10.3e"
+                "  (index/scan %8.2fx)\n",
+                pt.q, scan, index, autod, speedup);
+    const std::string tag = pt.tag;
+    xmetrics.emplace_back("scan_" + tag + "_updates_per_sec", scan);
+    xmetrics.emplace_back("index_" + tag + "_updates_per_sec", index);
+    xmetrics.emplace_back("auto_" + tag + "_updates_per_sec", autod);
+    xmetrics.emplace_back("index_speedup_" + tag, speedup);
+    if (crossover_q == 0.0 && index >= scan) {
+      crossover_q = static_cast<double>(pt.q);
+    }
+    const double best = scan > index ? scan : index;
+    const double efficiency = autod / best;
+    if (efficiency < auto_efficiency_min) auto_efficiency_min = efficiency;
+    if (tag == "q16k") index_speedup_q16k = speedup;
+  }
+  std::printf("crossover_q %.0f (first measured Q where index beats scan; "
+              "auto constant %zu)\nauto_efficiency_min %.2f (auto vs "
+              "better-of-two, worst point)\n",
+              crossover_q, std::size_t{kDefaultAutoCrossover},
+              auto_efficiency_min);
+  xmetrics.emplace_back("crossover_q", crossover_q);
+  xmetrics.emplace_back("auto_efficiency_min", auto_efficiency_min);
+  xmetrics.emplace_back("auto_crossover_constant",
+                        static_cast<double>(kDefaultAutoCrossover));
+
+  std::string xpath = "BENCH_index_crossover.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--crossover-json=", 17) == 0) {
+      xpath = argv[i] + 17;
+    }
+  }
+  if (!xpath.empty()) {
+    const Status status = bench::WriteJson(xpath, "index_crossover", xmetrics);
+    if (!status.ok()) {
+      std::fprintf(stderr, "json export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", xpath.c_str());
+  }
+
   return bench::FinishMicroBench(
       argc, argv, "BENCH_micro_dispatch.json", "micro_dispatch",
       {{"strip_scan_q64_updates_per_sec", scan64},
@@ -177,6 +313,8 @@ int Main(int argc, char** argv) {
        {"aos_scan_q256_updates_per_sec", aos256},
        {"simd_speedup_q256", speedup256},
        {"engine_q64_updates_per_sec", engine64},
+       {"index_speedup_q16k", index_speedup_q16k},
+       {"crossover_q", crossover_q},
        {"simd_lanes", static_cast<double>(simd::KernelLanes())}});
 }
 

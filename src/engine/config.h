@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "filter/dispatch.h"
 #include "net/network_model.h"
 #include "protocol/options.h"
 #include "query/query.h"
@@ -179,6 +180,15 @@ struct SystemConfig {
   /// byte-identically; delayed models turn message savings into
   /// observable staleness (`asf_run --net=...`, `bench/net_delay`).
   NetConfig net;
+
+  /// How value changes are dispatched against the live filter population
+  /// (DESIGN.md §10): the SIMD scan, the per-stream stabbing index, or a
+  /// per-dispatch auto pick around the measured crossover. Every policy
+  /// produces byte-identical results; this is purely a performance knob
+  /// (`asf_run --dispatch=...`). kAuto additionally honors the
+  /// ASF_DISPATCH environment override (an explicit scan/index config
+  /// beats the environment).
+  DispatchPolicy dispatch = DispatchPolicy::kAuto;
 
   Status Validate() const;
 };

@@ -113,6 +113,8 @@ MultiQueryResult RunAndFlatten(Core& core, const MultiQueryConfig& config) {
   result.physical_updates = core.physical_updates();
   result.peak_live_queries = core.peak_live_queries();
   result.net = core.net_stats();
+  result.dispatch_policy = core.dispatch_policy();
+  result.dispatch = core.dispatch_stats();
   result.wall_seconds = core.wall_seconds();
   return result;
 }
@@ -129,6 +131,7 @@ Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
   options.seed = config.seed;
   options.oracle = config.oracle;
   options.net = config.net;
+  options.dispatch = config.dispatch;
   if (config.shards > 1) {
     ShardedSimulationCore::Options sharded;
     sharded.base = options;

@@ -59,6 +59,9 @@ struct MultiQueryConfig {
   /// Message delivery model (DESIGN.md §9); instant by default.
   NetConfig net;
 
+  /// Update-dispatch policy (DESIGN.md §10; see SystemConfig::dispatch).
+  DispatchPolicy dispatch = DispatchPolicy::kAuto;
+
   Status Validate() const;
 };
 
@@ -103,6 +106,11 @@ struct MultiQueryResult {
 
   /// Run-level network delivery accounting (DESIGN.md §9).
   NetStats net;
+
+  /// Executed dispatch policy and its path accounting (DESIGN.md §10);
+  /// performance telemetry only — results are policy-independent.
+  DispatchPolicy dispatch_policy = DispatchPolicy::kScan;
+  DispatchStats dispatch;
 
   /// Physical maintenance messages: shared updates + every query's probes
   /// and deployments.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "filter/dispatch.h"
 #include "net/message_stats.h"
 #include "net/network_model.h"
 
@@ -52,6 +53,13 @@ struct RunResult {
   OnlineStats update_delay;
   /// Run-level network accounting (wire messages, coalescing, drops).
   NetStats net;
+
+  /// The dispatch policy the engine actually executed (after the
+  /// ASF_DISPATCH resolution) and its path accounting (DESIGN.md §10).
+  /// Purely performance telemetry: the results above are byte-identical
+  /// under every policy.
+  DispatchPolicy dispatch_policy = DispatchPolicy::kScan;
+  DispatchStats dispatch;
 
   /// Host wall-clock seconds consumed by the run.
   double wall_seconds = 0.0;

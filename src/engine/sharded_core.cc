@@ -41,6 +41,8 @@ ShardedSimulationCore::ShardedSimulationCore(const Options& options)
   ASF_CHECK(initial != nullptr);
   values_ = initial->values();
 
+  const DispatchPolicy dispatch =
+      ResolveDispatchPolicy(options_.base.dispatch);
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     const StreamPartition partition{s, num_shards};
@@ -50,8 +52,18 @@ ShardedSimulationCore::ShardedSimulationCore(const Options& options)
     shards_.push_back(std::make_unique<Shard>(
         MakeStreams(options_.base.source, partition), rows));
     shards_.back()->arena.EnableCellTracking(true);
+    shards_.back()->arena.SetDispatchPolicy(dispatch);
     arena_ptrs_.push_back(&shards_.back()->arena);
   }
+  // Compaction relocations retag the moved column's owner once — the
+  // arenas evolve in lockstep, so the hook lives on arena 0 only and the
+  // other arenas' Release returns are merely cross-checked (RetireSlot).
+  arena_ptrs_.front()->set_relocation_callback(
+      [this](std::size_t from, std::size_t to) {
+        const std::size_t owner = column_owner_[from];
+        column_owner_[to] = owner;
+        slots_[owner]->column = to;
+      });
 
   // The delivery model runs on the coordinator: sends happen during the
   // serial replay stage, and delayed deliveries queue in net_scheduler_,
@@ -211,15 +223,11 @@ void ShardedSimulationCore::RetireSlot(std::size_t index, SimTime at) {
   slot.live = false;
 
   // Release the column in every arena; the compaction move is the same
-  // everywhere, so one owner retag covers all shards.
+  // everywhere, so arena 0's relocation callback retags the moved owner
+  // once and the other arenas' returns are only cross-checked.
   const std::size_t moved = arena_ptrs_.front()->Release(slot.column);
   for (std::size_t s = 1; s < arena_ptrs_.size(); ++s) {
     ASF_CHECK(arena_ptrs_[s]->Release(slot.column) == moved);
-  }
-  if (moved != slot.column) {
-    const std::size_t moved_owner = column_owner_[moved];
-    column_owner_[slot.column] = moved_owner;
-    slots_[moved_owner]->column = slot.column;
   }
   column_owner_.pop_back();
   slot.column = FilterArena::kNoColumn;
@@ -243,27 +251,38 @@ void ShardedSimulationCore::ReplayUpdate(Shard& shard,
   coord_now_ = update.time;
   ++updates_generated_;
 
+  // Merge the update's speculated fired list with the strip's touched
+  // columns, ascending. Columns whose cells were touched by a server
+  // reaction earlier in this epoch lost their speculated entries;
+  // re-evaluate them scalar against the canonical (already-overwritten,
+  // hence exact) state. Untouched speculated entries are exact as
+  // computed. Both inputs are sorted lists, so the replay cost is
+  // O(speculated + touched) — output-sensitive like the dispatch itself,
+  // with no O(live) mask walk.
   const StreamId row = update.id / shards_.size();
-  const std::uint64_t* spec = shard.masks.data() + shard.cursor * epoch_words_;
+  const std::uint32_t* spec = shard.fired.data() + update.fired_begin;
+  const std::size_t spec_n = update.fired_count;
+  const std::vector<std::uint32_t>& touched = shard.arena.TouchedColumns(row);
   fired_slots_.clear();
-  for (std::size_t w = 0; w < epoch_words_; ++w) {
-    // Columns whose cells were touched by a server reaction earlier in
-    // this epoch lost their speculated bits; re-evaluate them scalar
-    // against the canonical (already-overwritten, hence exact) state.
-    // Untouched speculated bits are exact as computed.
-    const std::uint64_t touched = shard.arena.TouchedWord(row, w);
-    std::uint64_t candidates = spec[w] | touched;
-    while (candidates != 0) {
-      const std::size_t c =
-          w * 64 + static_cast<unsigned>(__builtin_ctzll(candidates));
-      candidates &= candidates - 1;
-      if (c >= live) break;  // touched bits beyond live cannot exist; safety
-      const bool fired = ((touched >> (c - w * 64)) & 1u)
-                             ? shard.arena.EvaluateColumn(row, c, update.value)
-                             : true;
-      if (!fired) continue;
-      fired_slots_.push_back(column_owner_[c]);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < spec_n || j < touched.size()) {
+    std::uint32_t c;
+    bool is_touched;
+    if (j == touched.size() || (i < spec_n && spec[i] < touched[j])) {
+      c = spec[i++];
+      is_touched = false;
+    } else {
+      c = touched[j++];
+      is_touched = true;
+      if (i < spec_n && spec[i] == c) ++i;  // superseded speculation
     }
+    if (c >= live) continue;  // stale touched entries cannot exist; safety
+    const bool fired = is_touched
+                           ? shard.arena.EvaluateColumn(row, c, update.value)
+                           : true;
+    if (!fired) continue;
+    fired_slots_.push_back(column_owner_[c]);
   }
   // The crossings travel through the network model and come back via
   // OnNetUpdate — inside this replay step for instant delivery, drained
@@ -392,10 +411,10 @@ void ShardedSimulationCore::SpeculateEpoch(SimTime from, SimTime to) {
   (void)from;
   // Fresh epoch: logs restart, speculation state is the canonical state
   // (all barrier mutations applied), touched cells reset.
-  epoch_words_ = arena_ptrs_.front()->fired_words();
+  epoch_live_ = arena_ptrs_.front()->live();
   for (const auto& shard : shards_) {
     shard->log.clear();
-    shard->masks.clear();
+    shard->fired.clear();
     shard->cursor = 0;
     shard->arena.ClearTouched();
   }
@@ -426,13 +445,21 @@ void ShardedSimulationCore::Run() {
     Shard* shard = shard_ptr.get();
     shard->streams->set_update_handler(
         [this, shard](StreamId id, Value v, SimTime t) {
-          shard->log.push_back({t, id, v});
-          if (epoch_words_ > 0) {
-            const std::uint64_t* fired =
-                shard->arena.EvaluateUpdate(id / shards_.size(), v);
-            shard->masks.insert(shard->masks.end(), fired,
-                                fired + epoch_words_);
+          Shard::Update update{t, id, v,
+                               static_cast<std::uint32_t>(shard->fired.size()),
+                               0};
+          if (epoch_live_ > 0) {
+            // The configured dispatch policy (SIMD scan or stabbing
+            // index) speculates under the epoch-start filter state.
+            shard->arena.DispatchUpdate(id / shards_.size(), v,
+                                        &shard->fired_scratch);
+            update.fired_count =
+                static_cast<std::uint32_t>(shard->fired_scratch.size());
+            shard->fired.insert(shard->fired.end(),
+                                shard->fired_scratch.begin(),
+                                shard->fired_scratch.end());
           }
+          shard->log.push_back(update);
         });
     shard->streams->Start(&shard->scheduler, duration);
   }
@@ -534,6 +561,14 @@ void ShardedSimulationCore::Run() {
 const QueryRunStats& ShardedSimulationCore::query_stats(std::size_t i) const {
   ASF_CHECK(i < slots_.size());
   return slots_[i]->stats;
+}
+
+DispatchStats ShardedSimulationCore::dispatch_stats() const {
+  DispatchStats stats;
+  for (const FilterArena* arena : arena_ptrs_) {
+    stats += arena->dispatch_stats();
+  }
+  return stats;
 }
 
 }  // namespace asf

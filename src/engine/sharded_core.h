@@ -88,6 +88,14 @@ class ShardedSimulationCore {
   double wall_seconds() const { return wall_seconds_; }
   std::size_t shards() const { return shards_.size(); }
 
+  /// The dispatch policy the run actually executed (after the
+  /// ASF_DISPATCH resolution) and its accounting summed over all shard
+  /// arenas.
+  DispatchPolicy dispatch_policy() const {
+    return arena_ptrs_.front()->dispatch_policy();
+  }
+  DispatchStats dispatch_stats() const;
+
  private:
   struct Slot;
 
@@ -103,11 +111,20 @@ class ShardedSimulationCore {
       SimTime time;
       StreamId id;  ///< global stream id
       Value value;
+      /// This update's speculated fired columns: `fired_count` entries
+      /// starting at `fired` offset `fired_begin` (none while no query is
+      /// live). Lists, not dense masks, so speculation and replay both
+      /// stay output-sensitive under the index dispatch policy — a
+      /// 256k-column population with two crossings logs two entries, not
+      /// 4k mask words (DESIGN.md §10).
+      std::uint32_t fired_begin = 0;
+      std::uint32_t fired_count = 0;
     };
     std::vector<Update> log;
-    /// Speculated fired masks, epoch_words_ words per logged update (empty
-    /// while no query is live).
-    std::vector<std::uint64_t> masks;
+    /// Shared pool of the epoch's speculated fired columns (ascending
+    /// within each update's slice).
+    std::vector<std::uint32_t> fired;
+    std::vector<std::uint32_t> fired_scratch;  ///< per-dispatch reuse
     std::size_t cursor = 0;  ///< replay position in log
 
     Shard(std::unique_ptr<StreamSet> s, std::size_t rows)
@@ -164,7 +181,7 @@ class ShardedSimulationCore {
   std::vector<Value> values_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<std::size_t> column_owner_;
-  std::size_t epoch_words_ = 0;  ///< fired-mask words during this epoch
+  std::size_t epoch_live_ = 0;  ///< live columns during this epoch
 
   /// The delivery model (DESIGN.md §9). Delayed deliveries and the
   /// periodic oracle sample live in the coordinator's dedicated event

@@ -37,6 +37,15 @@ SimulationCore::SimulationCore(const Options& options)
   ASF_CHECK(streams_ != nullptr);
   ASF_CHECK(streams_->size() == arena_.num_streams());
 
+  arena_.SetDispatchPolicy(ResolveDispatchPolicy(options_.dispatch));
+  // Compaction relocations retag the moved column's owner in one place;
+  // RetireSlot only has to shrink the owner map afterwards.
+  arena_.set_relocation_callback([this](std::size_t from, std::size_t to) {
+    const std::size_t owner = column_owner_[from];
+    column_owner_[to] = owner;
+    slots_[owner]->column = to;
+  });
+
   // Every source→server update and server→source deploy travels through
   // the delivery model (DESIGN.md §9): inline for instant-equivalent
   // configs, as scheduler events otherwise.
@@ -186,15 +195,11 @@ void SimulationCore::RetireSlot(std::size_t index) {
   slot.stats.reinits = slot.protocol->reinit_count();
   slot.live = false;
 
-  // Release the arena column; the last live column compacts into the hole,
-  // so retag its owner and rebind every live view against the bumped
+  // Release the arena column; the last live column compacts into the
+  // hole, and the arena's relocation callback retags its owner before
+  // Release returns. Rebind every live view against the bumped
   // generation.
-  const std::size_t moved = arena_.Release(slot.column);
-  if (moved != slot.column) {
-    const std::size_t moved_owner = column_owner_[moved];
-    column_owner_[slot.column] = moved_owner;
-    slots_[moved_owner]->column = slot.column;
-  }
+  arena_.Release(slot.column);
   column_owner_.pop_back();
   slot.column = FilterArena::kNoColumn;
   *slot.filters = FilterBank();  // detach: any further access trips checks
@@ -256,26 +261,21 @@ void SimulationCore::Run() {
     if (live == 0) return;  // warm-up / lull: no query, no messages
     ++updates_generated_;
     // All live queries' filters for this stream sit in one contiguous,
-    // compacted SoA strip; one SIMD sweep evaluates every live column and
-    // advances the membership references (retired queries cost nothing
-    // here). Per-query isolation makes the batch evaluation exact: a fired
+    // compacted SoA strip; the configured dispatch policy evaluates every
+    // live column — one SIMD sweep, or the stabbing index's
+    // output-sensitive crossing query (DESIGN.md §10) — and advances the
+    // membership references (retired queries cost nothing here).
+    // Per-query isolation makes the batch evaluation exact: a fired
     // column's protocol reaction can only touch its own filters, never
     // another column's crossing decision for this update (DESIGN.md §8).
-    const std::uint64_t* fired_words = arena_.EvaluateUpdate(id, v);
-    const std::size_t words = arena_.fired_words();
+    arena_.DispatchUpdate(id, v, &fired_columns_);
     // Fired columns map to slot indices *now* (columns move under
     // compaction, slots never do) and the crossings travel through the
     // network model, which delivers them back via OnNetUpdate — inside
     // this event for instant delivery, later otherwise (DESIGN.md §9).
     fired_slots_.clear();
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t word = fired_words[w];
-      while (word != 0) {
-        const std::size_t c =
-            w * 64 + static_cast<unsigned>(__builtin_ctzll(word));
-        word &= word - 1;
-        fired_slots_.push_back(column_owner_[c]);
-      }
+    for (const std::uint32_t c : fired_columns_) {
+      fired_slots_.push_back(column_owner_[c]);
     }
     if (!fired_slots_.empty()) net_->SendUpdate(id, v, fired_slots_, t);
     if (options_.oracle.check_every_update) {

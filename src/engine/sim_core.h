@@ -141,6 +141,9 @@ class SimulationCore {
     /// Message delivery model (DESIGN.md §9). The default instant model
     /// is byte-identical to an engine without the network layer.
     NetConfig net;
+    /// Update-dispatch policy (DESIGN.md §10); resolved against the
+    /// ASF_DISPATCH environment override at construction.
+    DispatchPolicy dispatch = DispatchPolicy::kAuto;
   };
 
   explicit SimulationCore(const Options& options);
@@ -193,6 +196,11 @@ class SimulationCore {
 
   /// Delivery accounting of the run's network model; valid after Run().
   const NetStats& net_stats() const { return net_->stats(); }
+
+  /// The dispatch policy the run actually executed (after the
+  /// ASF_DISPATCH resolution) and its path accounting.
+  DispatchPolicy dispatch_policy() const { return arena_.dispatch_policy(); }
+  DispatchStats dispatch_stats() const { return arena_.dispatch_stats(); }
 
   /// Host wall-clock seconds from construction to the end of Run().
   double wall_seconds() const { return wall_seconds_; }
@@ -253,7 +261,9 @@ class SimulationCore {
   /// producing event and staleness accounting is skipped (it is
   /// identically zero).
   bool net_delayed_ = false;
-  /// Scratch: slot indices whose filters fired for the current update.
+  /// Scratch: fired columns of the current dispatch, and the slot indices
+  /// they map to.
+  std::vector<std::uint32_t> fired_columns_;
   std::vector<std::size_t> fired_slots_;
   bool ran_ = false;
   std::size_t peak_live_ = 0;

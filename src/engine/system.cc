@@ -31,6 +31,8 @@ RunResult RunAndFlatten(Core& core, const QueryDeployment& deployment) {
   result.oracle_violations_in_flight = stats.oracle_violations_in_flight;
   result.update_delay = stats.update_delay;
   result.net = core.net_stats();
+  result.dispatch_policy = core.dispatch_policy();
+  result.dispatch = core.dispatch_stats();
   result.wall_seconds = core.wall_seconds();
   return result;
 }
@@ -47,6 +49,7 @@ Result<RunResult> RunSystem(const SystemConfig& config) {
   options.seed = config.seed;
   options.oracle = config.oracle;
   options.net = config.net;
+  options.dispatch = config.dispatch;
 
   QueryDeployment deployment;
   deployment.query = config.query;

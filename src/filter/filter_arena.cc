@@ -1,11 +1,13 @@
 #include "filter/filter_arena.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <utility>
 
 #include "common/simd.h"
+#include "filter/interval_index.h"
 
 namespace asf {
 
@@ -13,6 +15,15 @@ namespace {
 constexpr double kSentinelLower = std::numeric_limits<double>::infinity();
 constexpr double kSentinelUpper = -std::numeric_limits<double>::infinity();
 }  // namespace
+
+FilterArena::FilterArena(std::size_t num_streams)
+    : num_streams_(num_streams),
+      known_values_(num_streams,
+                    std::numeric_limits<double>::quiet_NaN()) {
+  simd::AssertHostSupportsKernel();
+}
+
+FilterArena::~FilterArena() = default;
 
 void FilterArena::RefreshCell(StreamId id, std::size_t column) {
   const Filter& f = storage_[id * capacity_ + column];
@@ -96,6 +107,8 @@ std::size_t FilterArena::Acquire() {
     storage_[s * capacity_ + column] = Filter();
     RefreshCell(s, column);
   }
+  // A re-acquired column may shadow stale snapshot entries in the index.
+  if (index_) index_->OnAcquire(column);
   return column;
 }
 
@@ -114,10 +127,19 @@ std::size_t FilterArena::Release(std::size_t column) {
       SetBit(always_bits_, s, column,
              (always_bits_[s * words_ + last / 64] >> (last % 64)) & 1u);
       if (tracking_) {
-        SetBit(touched_bits_, s, column,
-               (touched_bits_[s * words_ + last / 64] >> (last % 64)) & 1u);
+        const bool moved_touched =
+            (touched_bits_[s * words_ + last / 64] >> (last % 64)) & 1u;
+        SetBit(touched_bits_, s, column, moved_touched);
+        if (moved_touched) {
+          // The moved tenant's touched mark now answers at the hole; the
+          // per-stream list must learn the new position (the old entry at
+          // `last` goes stale and is compacted away lazily).
+          touched_cols_[s].push_back(static_cast<std::uint32_t>(column));
+          touched_cols_stale_[s] = 1;
+        }
       }
     }
+    if (index_) index_->OnRelease(column, last);
   }
   --live_;
   // The vacated last column must never fire again until re-acquired.
@@ -125,9 +147,15 @@ std::size_t FilterArena::Release(std::size_t column) {
     SentinelCell(s, last);
     if (tracking_) SetBit(touched_bits_, s, last, false);
   }
+  if (tracking_) {
+    // Cleared `last` bits may leave stale list entries behind.
+    std::fill(touched_cols_stale_.begin(), touched_cols_stale_.end(),
+              std::uint8_t{1});
+  }
   // The released column's views (and, after a move, the last column's) are
   // stale either way.
   ++generation_;
+  if (column != last && relocate_) relocate_(last, column);
   return last;
 }
 
@@ -137,7 +165,8 @@ void FilterArena::Deploy(StreamId id, std::size_t column,
   ASF_DCHECK(id < num_streams_ && column < live_);
   storage_[id * capacity_ + column].Deploy(constraint, current_value);
   RefreshCell(id, column);
-  if (tracking_) SetBit(touched_bits_, id, column, true);
+  if (tracking_) MarkTouched(id, column);
+  if (index_) index_->OnDeploy(id, column);
 }
 
 void FilterArena::SyncReference(StreamId id, std::size_t column,
@@ -146,7 +175,11 @@ void FilterArena::SyncReference(StreamId id, std::size_t column,
   Filter& f = storage_[id * capacity_ + column];
   f.SyncReference(current_value);
   SetBit(ref_bits_, id, column, f.reference_inside());
-  if (tracking_) SetBit(touched_bits_, id, column, true);
+  // No index dirty-mark: a reference sync changes no bounds, and the
+  // serial engine only syncs at dispatch-coherent values; the sharded
+  // replay's syncs land on cells the epoch already dirty-marked via
+  // Deploy or that the merge evaluates scalar anyway (DESIGN.md §10).
+  if (tracking_) MarkTouched(id, column);
 }
 
 const std::uint64_t* FilterArena::EvaluateUpdate(StreamId id, Value v) {
@@ -188,17 +221,101 @@ void FilterArena::EnableCellTracking(bool enabled) {
   tracking_ = enabled;
   if (enabled) {
     touched_bits_.assign(num_streams_ * words_, 0);
+    touched_cols_.assign(num_streams_, {});
+    touched_cols_stale_.assign(num_streams_, 0);
   } else {
     touched_bits_.clear();
     touched_bits_.shrink_to_fit();
+    touched_cols_.clear();
+    touched_cols_stale_.clear();
   }
 }
 
 void FilterArena::ClearTouched() {
   ASF_DCHECK(tracking_);
+  for (std::vector<std::uint32_t>& cols : touched_cols_) cols.clear();
+  std::fill(touched_cols_stale_.begin(), touched_cols_stale_.end(),
+            std::uint8_t{0});
   if (touched_bits_.empty()) return;  // nothing tracked yet (no columns)
   std::memset(touched_bits_.data(), 0,
               touched_bits_.size() * sizeof(std::uint64_t));
+}
+
+void FilterArena::MarkTouched(StreamId id, std::size_t column) {
+  std::uint64_t& word = touched_bits_[id * words_ + column / 64];
+  const std::uint64_t mask = std::uint64_t{1} << (column % 64);
+  if ((word & mask) != 0) return;  // already listed (possibly stale-dup)
+  word |= mask;
+  touched_cols_[id].push_back(static_cast<std::uint32_t>(column));
+  touched_cols_stale_[id] = 1;
+}
+
+const std::vector<std::uint32_t>& FilterArena::TouchedColumns(StreamId id) {
+  ASF_DCHECK(tracking_ && id < num_streams_);
+  std::vector<std::uint32_t>& cols = touched_cols_[id];
+  if (touched_cols_stale_[id]) {
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    // Drop entries whose bit is gone (vacated columns) or that fell
+    // outside the live prefix.
+    cols.erase(std::remove_if(
+                   cols.begin(), cols.end(),
+                   [&](std::uint32_t c) {
+                     return c >= live_ ||
+                            ((touched_bits_[id * words_ + c / 64] >>
+                              (c % 64)) &
+                             1u) == 0;
+                   }),
+               cols.end());
+    touched_cols_stale_[id] = 0;
+  }
+  return cols;
+}
+
+void FilterArena::SetDispatchPolicy(DispatchPolicy policy,
+                                    std::size_t auto_crossover) {
+  policy_ = policy;
+  auto_crossover_ = auto_crossover;
+}
+
+void FilterArena::DispatchUpdate(StreamId id, Value v,
+                                 std::vector<std::uint32_t>* fired) {
+  ASF_DCHECK(id < num_streams_ && live_ > 0);
+  ASF_DCHECK(std::isfinite(v));
+  fired->clear();
+  const bool use_index =
+      policy_ == DispatchPolicy::kIndex ||
+      (policy_ == DispatchPolicy::kAuto && live_ >= auto_crossover_);
+  if (use_index) {
+    // Created on first use so pure-scan runs never pay for the hooks;
+    // once alive, every mutation keeps it coherent, so policies can
+    // switch per dispatch (kAuto does, around the crossover).
+    if (!index_) index_ = std::make_unique<IntervalIndex>(this);
+    index_->Dispatch(id, known_values_[id], v, fired);
+    ++stats_.index_dispatches;
+  } else {
+    const std::uint64_t* words = EvaluateUpdate(id, v);
+    const std::size_t nwords = fired_words();
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t word = words[w];
+      while (word != 0) {
+        fired->push_back(static_cast<std::uint32_t>(
+            w * 64 + static_cast<unsigned>(__builtin_ctzll(word))));
+        word &= word - 1;
+      }
+    }
+    ++stats_.scan_dispatches;
+  }
+  known_values_[id] = v;
+}
+
+DispatchStats FilterArena::dispatch_stats() const {
+  DispatchStats stats = stats_;
+  if (index_) {
+    stats.index_rebuilds = index_->rebuilds();
+    stats.max_stream_rebuilds = index_->max_stream_rebuilds();
+  }
+  return stats;
 }
 
 }  // namespace asf

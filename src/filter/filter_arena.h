@@ -3,11 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
 #include "common/simd.h"
 #include "common/types.h"
+#include "filter/dispatch.h"
 #include "filter/filter.h"
 #include "filter/filter_bank.h"
 
@@ -59,14 +62,15 @@
 
 namespace asf {
 
+class IntervalIndex;
+
 /// Stream-major, column-tenured filter storage shared by all live queries.
 class FilterArena {
  public:
   static constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
 
-  explicit FilterArena(std::size_t num_streams) : num_streams_(num_streams) {
-    simd::AssertHostSupportsKernel();
-  }
+  explicit FilterArena(std::size_t num_streams);
+  ~FilterArena();
 
   FilterArena(const FilterArena&) = delete;
   FilterArena& operator=(const FilterArena&) = delete;
@@ -94,8 +98,20 @@ class FilterArena {
   /// bumped. Returns the index of the column that was moved — i.e. its
   /// *old* index, so the caller can retag the tenant that now lives in
   /// `column` — or `column` itself when it was the last live column (no
-  /// move happened).
+  /// move happened). Callers caching per-column cursors should prefer the
+  /// relocation callback over decoding the return value.
   std::size_t Release(std::size_t column);
+
+  /// Registers the compaction-relocation hook: during a Release that
+  /// swap-moves the last live column into the hole, `callback(from, to)`
+  /// runs — the tenant formerly at column `from` now lives at `to` — so
+  /// owner maps and per-column cursors retag in one place instead of
+  /// decoding Release's return value at every call site.
+  using RelocationCallback =
+      std::function<void(std::size_t from, std::size_t to)>;
+  void set_relocation_callback(RelocationCallback callback) {
+    relocate_ = std::move(callback);
+  }
 
   /// The contiguous constraint strip of stream `id`'s filters; columns
   /// 0..live()-1 are the live ones. Read-only outside the arena: direct
@@ -151,6 +167,32 @@ class FilterArena {
   /// mirror reference bit in sync. Returns whether the filter fired.
   bool EvaluateColumn(StreamId id, std::size_t column, Value v);
 
+  // --- Policy-aware dispatch (DESIGN.md §10) ---
+
+  /// Selects the path DispatchUpdate takes: the SIMD kernel scan
+  /// (default), the per-stream stabbing index, or the per-dispatch auto
+  /// pick (index once live() reaches `auto_crossover`). Every policy
+  /// produces identical fired sets and references; switch any time.
+  void SetDispatchPolicy(DispatchPolicy policy,
+                         std::size_t auto_crossover = kDefaultAutoCrossover);
+  DispatchPolicy dispatch_policy() const { return policy_; }
+
+  /// The engines' per-update entry point: evaluates value `v` of stream
+  /// `id` against all live columns under the configured policy, advancing
+  /// references exactly like EvaluateUpdate, and fills `*fired` with the
+  /// fired columns in ascending order. Also records `v` as the stream's
+  /// last dispatched value — the "previous value" the index diffs
+  /// against. Requires live() > 0 and finite `v`.
+  void DispatchUpdate(StreamId id, Value v,
+                      std::vector<std::uint32_t>* fired);
+
+  /// Dispatch-path accounting since construction.
+  DispatchStats dispatch_stats() const;
+
+  /// The stream's last DispatchUpdate value; NaN before the first
+  /// dispatch (the index treats NaN as "no diff base" and rebuilds).
+  Value known_value(StreamId id) const { return known_values_[id]; }
+
   /// A view of `column` (must be live) routed through this arena, tagged
   /// with the current generation.
   FilterBank View(std::size_t column) {
@@ -180,7 +222,15 @@ class FilterArena {
   /// Clears the touched-cell set (start of a new epoch).
   void ClearTouched();
 
+  /// The touched cells of stream `id`'s strip as a sorted, deduplicated
+  /// column list (tracking mode only) — the list form the sharded merge
+  /// replay walks so its per-update cost is O(spec + touched), not
+  /// O(strip words). Lazily compacted; the reference is valid until the
+  /// next mutation or ClearTouched.
+  const std::vector<std::uint32_t>& TouchedColumns(StreamId id);
+
  private:
+  friend class IntervalIndex;
   static std::size_t PaddedStride(std::size_t capacity) {
     return (capacity + 63) & ~std::size_t{63};
   }
@@ -220,8 +270,31 @@ class FilterArena {
   std::vector<std::uint64_t> always_bits_;  ///< [stream * words_ + w]
   std::vector<std::uint64_t> fired_;        ///< scratch, words_ words
 
+  /// Sets the touched bit of cell (id, column), recording the column in
+  /// the stream's touched list on the 0→1 transition.
+  void MarkTouched(StreamId id, std::size_t column);
+
   bool tracking_ = false;
   std::vector<std::uint64_t> touched_bits_;  ///< [stream * words_ + w]
+  /// Per-stream touched columns, unsorted with possibly-stale entries
+  /// (compaction relocations append; ClearTouched resets); TouchedColumns
+  /// compacts lazily against the bitmask.
+  std::vector<std::vector<std::uint32_t>> touched_cols_;
+  std::vector<std::uint8_t> touched_cols_stale_;  ///< per stream
+
+  // --- Dispatch policy state (DESIGN.md §10) ---
+  DispatchPolicy policy_ = DispatchPolicy::kScan;
+  std::size_t auto_crossover_ = kDefaultAutoCrossover;
+  /// The stabbing index, created on demand by the first non-scan
+  /// dispatch; once alive it shadows every mutation via hooks.
+  std::unique_ptr<IntervalIndex> index_;
+  /// Scan/index dispatch counters (rebuild counts live in the index).
+  DispatchStats stats_;
+  /// Last dispatched value per stream (NaN = none yet) — the diff base
+  /// of the index's crossing query.
+  std::vector<Value> known_values_;
+  /// Engine hook for compaction moves (see set_relocation_callback).
+  RelocationCallback relocate_;
 };
 
 }  // namespace asf

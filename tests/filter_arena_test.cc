@@ -1,6 +1,7 @@
 #include "filter/filter_arena.h"
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -118,6 +119,37 @@ TEST(FilterArenaTest, RecycledColumnComesUpPristine) {
   EXPECT_EQ(again, a);
   // The new tenant must not inherit the old tenant's filters.
   EXPECT_FALSE(arena.View(again).at(0).constraint().has_filter());
+}
+
+TEST(FilterArenaTest, RelocationCallbackReportsCompactionMoves) {
+  FilterArena arena(2);
+  std::vector<std::pair<std::size_t, std::size_t>> moves;
+  arena.set_relocation_callback([&](std::size_t from, std::size_t to) {
+    moves.push_back({from, to});
+  });
+  const std::size_t a = arena.Acquire();
+  const std::size_t b = arena.Acquire();
+  const std::size_t c = arena.Acquire();
+  (void)b;
+
+  // Releasing the last live column moves nothing: no callback.
+  arena.Release(c);
+  EXPECT_TRUE(moves.empty());
+
+  // Releasing the first column swap-moves the (new) last column into the
+  // hole; the callback reports exactly that move, after the arena state
+  // is fully consistent (the moved tenant already answers at `to`).
+  arena.set_relocation_callback([&](std::size_t from, std::size_t to) {
+    moves.push_back({from, to});
+    EXPECT_EQ(arena.live(), 1u);
+  });
+  arena.Release(a);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].first, 1u);   // b's old position
+  EXPECT_EQ(moves[0].second, 0u);  // b's new position
+
+  arena.Release(0);  // last again: still silent
+  EXPECT_EQ(moves.size(), 1u);
 }
 
 TEST(FilterArenaTest, StripScansLivePrefix) {

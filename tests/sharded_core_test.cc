@@ -233,6 +233,107 @@ TEST(ShardedCoreTest, ByteIdenticalOnTraceSource) {
   ExpectSameResult(*serial, *sharded, "trace shards=4");
 }
 
+// --- Dispatch-policy equivalence (DESIGN.md §10) ---
+//
+// The scan / index / auto dispatch policies are a pure performance trade:
+// every observable result must be byte-identical, serial and sharded, for
+// every protocol, under churn, and under delayed (batched) delivery.
+
+TEST(ShardedCoreTest, DispatchPoliciesByteIdenticalAcrossProtocols) {
+  const ProtocolKind protocols[] = {
+      ProtocolKind::kNoFilter, ProtocolKind::kZtNrp, ProtocolKind::kFtNrp,
+      ProtocolKind::kRtp,      ProtocolKind::kZtRp,  ProtocolKind::kFtRp};
+  const DispatchPolicy policies[] = {DispatchPolicy::kIndex,
+                                     DispatchPolicy::kAuto};
+  for (ProtocolKind protocol : protocols) {
+    MultiQueryConfig config = ProtocolConfig(protocol);
+    config.dispatch = DispatchPolicy::kScan;
+    auto scan = RunMultiQuerySystem(config);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    for (DispatchPolicy policy : policies) {
+      config.dispatch = policy;
+      const std::string label = std::string(ProtocolKindName(protocol)) +
+                                " dispatch=" +
+                                std::string(DispatchPolicyName(policy));
+      config.shards = 1;
+      auto serial = RunMultiQuerySystem(config);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      ExpectSameResult(*scan, *serial, label + " serial");
+      if (policy == DispatchPolicy::kIndex) {
+        // An explicit index config wins outright (no env override) and
+        // serves every generated update through the index path.
+        EXPECT_EQ(serial->dispatch_policy, DispatchPolicy::kIndex);
+        EXPECT_EQ(serial->dispatch.scan_dispatches, 0u);
+        EXPECT_EQ(serial->dispatch.index_dispatches,
+                  serial->updates_generated);
+      }
+      for (std::size_t shards : {2u, 4u}) {
+        config.shards = shards;
+        auto sharded = RunMultiQuerySystem(config);
+        ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+        ExpectSameResult(*scan, *sharded,
+                         label + " shards=" + std::to_string(shards));
+      }
+      config.shards = 1;
+    }
+  }
+}
+
+TEST(ShardedCoreTest, IndexDispatchByteIdenticalOnChurnSchedule) {
+  MultiQueryConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 70;
+  walk.seed = 5;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = 900;
+  config.seed = 7;
+  config.oracle.sample_interval = 120;
+
+  ChurnSpec spec;
+  spec.arrival_rate = 0.05;
+  spec.mean_lifetime = 220;
+  spec.seed = 31;
+  auto deployments = ExpandChurn(spec, config.duration);
+  ASSERT_TRUE(deployments.ok());
+  config.queries = std::move(deployments).value();
+
+  config.dispatch = DispatchPolicy::kScan;
+  auto scan = RunMultiQuerySystem(config);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  config.dispatch = DispatchPolicy::kIndex;
+  auto index = RunMultiQuerySystem(config);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ExpectSameResult(*scan, *index, "churn index serial");
+  // The churn schedule's acquire/release/deploy mix must actually hit the
+  // incremental maintenance paths, not rebuild every dispatch.
+  EXPECT_GT(index->dispatch.index_dispatches, 0u);
+  EXPECT_GT(index->dispatch.index_rebuilds, 0u);
+  EXPECT_LT(index->dispatch.index_rebuilds, index->dispatch.index_dispatches);
+
+  config.shards = 3;
+  auto sharded = RunMultiQuerySystem(config);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ExpectSameResult(*scan, *sharded, "churn index shards=3");
+}
+
+TEST(ShardedCoreTest, IndexDispatchByteIdenticalUnderBatchedDelivery) {
+  MultiQueryConfig config = ProtocolConfig(ProtocolKind::kFtNrp);
+  config.net.kind = NetConfig::Kind::kBatched;
+  config.net.delta = 7.5;
+
+  config.dispatch = DispatchPolicy::kScan;
+  auto scan = RunMultiQuerySystem(config);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  config.dispatch = DispatchPolicy::kIndex;
+  for (std::size_t shards : {1u, 2u}) {
+    config.shards = shards;
+    auto index = RunMultiQuerySystem(config);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    ExpectSameResult(*scan, *index,
+                     "batched index shards=" + std::to_string(shards));
+  }
+}
+
 TEST(ShardedCoreTest, RejectsCrossShardTraceTimestampTies) {
   // Two records at the same instant on streams of different shards: the
   // sharded merge would order them by stream id while the serial engine

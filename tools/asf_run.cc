@@ -21,6 +21,7 @@
 
 #include "common/flags.h"
 #include "common/simd.h"
+#include "filter/dispatch.h"
 #include "engine/churn.h"
 #include "engine/multi_system.h"
 #include "engine/system.h"
@@ -63,6 +64,13 @@ Auditing:
 Sharding (byte-identical to the serial engine for any shard count):
   --shards=S              partition streams across S worker shards  [1]
   --epoch=T               speculation epoch length (0 = auto)       [0]
+
+Dispatch (DESIGN.md #10; every policy produces byte-identical results,
+only wall time differs):
+  --dispatch=scan         SIMD sweep of every live filter per update
+  --dispatch=index        per-stream interval index (output-sensitive)
+  --dispatch=auto         pick per update from the live filter count
+                          (honors ASF_DISPATCH when set)        [auto]
 
 Message delivery (DESIGN.md #9; instant reproduces the paper's
 zero-delay semantics byte-identically, the others trade messages for
@@ -169,6 +177,7 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   config.shards = base.shards;
   config.shard_epoch = base.shard_epoch;
   config.net = base.net;
+  config.dispatch = base.dispatch;
   ASF_ASSIGN_OR_RETURN(config.queries, ExpandChurn(spec, config.duration));
   if (config.queries.empty()) {
     return Status::InvalidArgument(
@@ -236,6 +245,16 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
           static_cast<double>(result.PhysicalMaintenanceTotal())},
          {"logical_maint",
           static_cast<double>(result.LogicalMaintenanceTotal())},
+         {"dispatch_policy",
+          static_cast<double>(static_cast<int>(result.dispatch_policy))},
+         {"dispatch_scan",
+          static_cast<double>(result.dispatch.scan_dispatches)},
+         {"dispatch_index",
+          static_cast<double>(result.dispatch.index_dispatches)},
+         {"dispatch_rebuilds_total",
+          static_cast<double>(result.dispatch.index_rebuilds)},
+         {"dispatch_rebuilds_max_stream",
+          static_cast<double>(result.dispatch.max_stream_rebuilds)},
          {"wall_seconds", result.wall_seconds}}));
     std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
   }
@@ -273,6 +292,12 @@ Status RunFromFlags(const Flags& flags) {
   ASF_ASSIGN_OR_RETURN(config.shard_epoch, flags.GetDouble("epoch", 0));
   if (flags.Has("net")) {
     ASF_ASSIGN_OR_RETURN(config.net, ParseNetSpec(flags.GetString("net")));
+  }
+  if (flags.Has("dispatch")) {
+    const std::string dispatch = flags.GetString("dispatch");
+    if (!ParseDispatchPolicy(dispatch, &config.dispatch)) {
+      return Status::InvalidArgument("unknown --dispatch: " + dispatch);
+    }
   }
 
   // Query + protocol + tolerance.
@@ -389,6 +414,16 @@ Status RunFromFlags(const Flags& flags) {
         {"answer_size_mean", result.answer_size.mean()},
         {"oracle_checks", static_cast<double>(result.oracle_checks)},
         {"oracle_violations", static_cast<double>(result.oracle_violations)},
+        {"dispatch_policy",
+         static_cast<double>(static_cast<int>(result.dispatch_policy))},
+        {"dispatch_scan",
+         static_cast<double>(result.dispatch.scan_dispatches)},
+        {"dispatch_index",
+         static_cast<double>(result.dispatch.index_dispatches)},
+        {"dispatch_rebuilds_total",
+         static_cast<double>(result.dispatch.index_rebuilds)},
+        {"dispatch_rebuilds_max_stream",
+         static_cast<double>(result.dispatch.max_stream_rebuilds)},
         {"wall_seconds", result.wall_seconds}};
     if (config.net.DelaysDelivery()) {
       metrics.emplace_back(
