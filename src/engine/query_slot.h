@@ -51,6 +51,12 @@ struct QuerySlot {
   /// since sample number `answer_sampled_upto` (see FlushAnswerSamples).
   double answer_cur_size = 0.0;
   std::uint64_t answer_sampled_upto = 0;
+
+  /// Per-stream floor of applied wire sequence numbers, maintained only
+  /// when a reordering delivery model stamps them (Payload::seq != 0):
+  /// a payload at or below the floor was obsoleted by an overtaker and is
+  /// suppressed, so the server cache never regresses to a stale value.
+  std::vector<std::uint64_t> update_seq_floor;
 };
 
 /// Wires one deployment into `slot` in place: detached bank, server
@@ -108,8 +114,21 @@ void DeliverWireMessage(SlotPtrVec& slots, NetworkModel& net,
     if (!slot.live) {
       // The query retired while the message was in flight; its books are
       // closed and its arena column is gone (DESIGN.md §9).
-      ++net.stats().dropped_retired;
+      net.stats().dropped_retired += p.crossings;
       continue;
+    }
+    net.stats().delivered_crossings += p.crossings;
+    if (p.seq != 0) {
+      // A reordering link stamped wire seqnos: suppress anything an
+      // overtaker already obsoleted for this (query, stream) pair.
+      if (slot.update_seq_floor.size() <= id) {
+        slot.update_seq_floor.resize(id + 1, 0);
+      }
+      if (p.seq <= slot.update_seq_floor[id]) {
+        net.stats().suppressed_stale += p.crossings;
+        continue;
+      }
+      slot.update_seq_floor[id] = p.seq;
     }
     DeliverUpdateToSlot(slot, id, p.value, at, updates_generated);
     if (net_delayed) slot.stats.update_delay.Add(at - p.crossed_at);
@@ -125,6 +144,34 @@ void DeliverWireMessage(SlotPtrVec& slots, NetworkModel& net,
 /// Appends the slot's pending run of unchanged answer-size samples (one
 /// per generated update, up to update number `upto`) in O(1).
 void FlushAnswerSamples(QuerySlot& slot, std::uint64_t upto);
+
+/// The partition-reconnect summary-vector exchange both engines bind as
+/// NetworkModel::ReconcileSink (DESIGN.md §11). Each reconnecting source
+/// reports the data half of its summary vector — its current value — and
+/// the server applies the entries its per-query view missed: the filter
+/// reference re-syncs for every live query, and values the cache is stale
+/// on are delivered as ordinary (charged) reports so the protocol repairs
+/// its answer. The deploy half (still-unacked constraint installs) is
+/// replayed by the fault pipeline itself over the same handshake. One
+/// copy for both engines, like DeliverWireMessage: reconciliation must
+/// not drift between serial and sharded replay.
+template <typename SlotPtrVec, typename Values>
+void ReconcileSlots(SlotPtrVec& slots, const Values& values,
+                    NetworkModel& net, std::uint64_t updates_generated,
+                    SimTime at) {
+  net.stats().reconcile_exchanges += values.size();
+  for (auto& slot_ptr : slots) {
+    QuerySlot& slot = *slot_ptr;
+    if (!slot.live) continue;
+    for (StreamId id = 0; id < values.size(); ++id) {
+      const Value v = values[id];
+      slot.filters->SyncReference(id, v);
+      if (slot.ctx->cached(id) != v) {
+        DeliverUpdateToSlot(slot, id, v, at, updates_generated);
+      }
+    }
+  }
+}
 
 }  // namespace engine_internal
 }  // namespace asf

@@ -79,6 +79,7 @@ ShardedSimulationCore::ShardedSimulationCore(const Options& options)
       },
       [this](std::size_t slot, StreamId id, const FilterConstraint& constraint,
              SimTime at) { OnNetDeploy(slot, id, constraint, at); });
+  net_->BindReconcile([this](SimTime at) { OnNetReconcile(at); });
 }
 
 ShardedSimulationCore::~ShardedSimulationCore() {
@@ -114,9 +115,11 @@ std::size_t ShardedSimulationCore::DeployQuery(
   // deploys route through it and install at the source on delivery.
   const auto make_transport = [this, index](FilterBank* bank) {
     Transport transport;
-    transport.probe = [this, bank](StreamId id) {
+    transport.probe = [this, bank](StreamId id) -> std::optional<Value> {
       AssertViewFresh(*bank, *arena_ptrs_.front());
-      net_->OnControlRpc(id, coord_now_);
+      // Same failover as the serial engine: a lost exchange reports no
+      // value and the server context serves its cache.
+      if (!net_->ControlRpc(id, coord_now_)) return std::nullopt;
       const Value v = values_[id];
       bank->SyncReference(id, v);  // the probed value is now "reported"
       return v;
@@ -125,7 +128,7 @@ std::size_t ShardedSimulationCore::DeployQuery(
         [this, bank](StreamId id,
                      const Interval& region) -> std::optional<Value> {
       AssertViewFresh(*bank, *arena_ptrs_.front());
-      net_->OnControlRpc(id, coord_now_);
+      if (!net_->ControlRpc(id, coord_now_)) return std::nullopt;
       const Value v = values_[id];
       if (!region.Contains(v)) return std::nullopt;
       bank->SyncReference(id, v);
@@ -316,13 +319,28 @@ void ShardedSimulationCore::OnNetDeploy(std::size_t slot_index, StreamId id,
   (void)at;
   Slot& slot = *slots_[slot_index];
   if (!slot.live) {
-    ++net_->stats().dropped_retired;
+    ++net_->stats().deploy_dropped_retired;
     return;
   }
   AssertViewFresh(*slot.filters, *arena_ptrs_.front());
   // Routed through the bank so the owning shard's arena records the
   // touched cell for this epoch's self-healing replay (DESIGN.md §8).
-  slot.filters->Deploy(id, constraint, values_[id]);
+  // Compensation mirrors the serial engine (DESIGN.md §11).
+  slot.filters->Deploy(
+      id, CompensateConstraint(constraint, options_.base.net.comp),
+      values_[id]);
+}
+
+void ShardedSimulationCore::OnNetReconcile(SimTime at) {
+  // Runs inside DrainDeliveries at the up-edge's merged time position, so
+  // values_ is exactly the serial engine's StreamSet state there.
+  engine_internal::ReconcileSlots(slots_, values_, *net_, updates_generated_,
+                                  at);
+  if (options_.base.oracle.check_every_update) {
+    for (auto& slot : slots_) {
+      if (slot->live) RunOracle(*slot);
+    }
+  }
 }
 
 void ShardedSimulationCore::OracleSampleTick() {
@@ -476,6 +494,11 @@ void ShardedSimulationCore::Run() {
             duration),
         [this] { OracleSampleTick(); });
   }
+
+  // Model-owned timers (partition reconnect exchanges) are scheduled
+  // after the oracle tick, exactly like the serial engine calls StartRun
+  // after scheduling it, so FIFO seniority at equal timestamps matches.
+  net_->StartRun(duration);
 
   // Epoch boundaries: a regular speculation grid plus every lifecycle
   // event time (lifecycle executes only at barriers, keeping the column

@@ -151,6 +151,10 @@ class ShardedSimulationCore {
   void OnNetDeploy(std::size_t slot, StreamId id,
                    const FilterConstraint& constraint, SimTime at);
 
+  /// Partition-reconnect summary-vector exchange, the coordinator-side
+  /// counterpart of SimulationCore::OnNetReconcile (DESIGN.md §11).
+  void OnNetReconcile(SimTime at);
+
   /// The periodic oracle sample, a self-rescheduling net_scheduler_
   /// event exactly like the serial engine's — FIFO seniority then breaks
   /// sample-vs-delivery ties (a batch flush landing on a sample's grid

@@ -59,6 +59,7 @@ SimulationCore::SimulationCore(const Options& options)
       },
       [this](std::size_t slot, StreamId id, const FilterConstraint& constraint,
              SimTime at) { OnNetDeploy(slot, id, constraint, at); });
+  net_->BindReconcile([this](SimTime at) { OnNetReconcile(at); });
 }
 
 SimulationCore::~SimulationCore() = default;
@@ -86,9 +87,11 @@ std::size_t SimulationCore::DeployQuery(const QueryDeployment& deployment,
   // it and take effect at the source on *delivery* (OnNetDeploy).
   const auto make_transport = [this, index](FilterBank* bank) {
     Transport transport;
-    transport.probe = [this, bank](StreamId id) {
+    transport.probe = [this, bank](StreamId id) -> std::optional<Value> {
       AssertViewFresh(*bank, arena_);
-      net_->OnControlRpc(id, scheduler_.now());
+      // A lost exchange (partition / bounded retransmission exhausted)
+      // reports no value; the server context serves its cache instead.
+      if (!net_->ControlRpc(id, scheduler_.now())) return std::nullopt;
       const Value v = streams_->value(id);
       bank->SyncReference(id, v);  // the probed value is now "reported"
       return v;
@@ -97,7 +100,9 @@ std::size_t SimulationCore::DeployQuery(const QueryDeployment& deployment,
         [this, bank](StreamId id,
                      const Interval& region) -> std::optional<Value> {
       AssertViewFresh(*bank, arena_);
-      net_->OnControlRpc(id, scheduler_.now());
+      // A lost region probe is indistinguishable from an out-of-region
+      // silence at the server — exactly the conservative reading.
+      if (!net_->ControlRpc(id, scheduler_.now())) return std::nullopt;
       const Value v = streams_->value(id);
       if (!region.Contains(v)) return std::nullopt;
       bank->SyncReference(id, v);
@@ -230,14 +235,26 @@ void SimulationCore::OnNetDeploy(std::size_t slot_index, StreamId id,
   Slot& slot = *slots_[slot_index];
   if (!slot.live) {
     // Retirement already uninstalled the column; drop the stale install.
-    ++net_->stats().dropped_retired;
+    ++net_->stats().deploy_dropped_retired;
     return;
   }
   AssertViewFresh(*slot.filters, arena_);
   // The agent resets the membership reference against its *current* local
   // value (DESIGN.md §4, first bullet) — under delayed delivery that is
-  // the value at arrival, not at send.
-  slot.filters->Deploy(id, constraint, streams_->value(id));
+  // the value at arrival, not at send. Staleness compensation shrinks the
+  // installed band by the configured guard margin (DESIGN.md §11).
+  slot.filters->Deploy(id, CompensateConstraint(constraint, options_.net.comp),
+                       streams_->value(id));
+}
+
+void SimulationCore::OnNetReconcile(SimTime at) {
+  engine_internal::ReconcileSlots(slots_, streams_->values(), *net_,
+                                  updates_generated_, at);
+  if (options_.oracle.check_every_update) {
+    for (auto& slot : slots_) {
+      if (slot->live) RunOracle(*slot);
+    }
+  }
 }
 
 void SimulationCore::OracleSampleTick() {
@@ -312,6 +329,11 @@ void SimulationCore::Run() {
                  options_.duration),
         [this] { OracleSampleTick(); });
   }
+
+  // Model-owned timers (partition reconnect exchanges) are scheduled
+  // last, after lifecycle and oracle events, so FIFO seniority at equal
+  // timestamps matches the sharded engine.
+  net_->StartRun(options_.duration);
 
   streams_->Start(&scheduler_, options_.duration);
   scheduler_.RunUntil(options_.duration);

@@ -238,6 +238,11 @@ class SimulationCore {
   void OnNetDeploy(std::size_t slot, StreamId id,
                    const FilterConstraint& constraint, SimTime at);
 
+  /// Partition-reconnect summary-vector exchange (NetworkModel::
+  /// BindReconcile): every source reports its current value and the
+  /// server repairs each live query's stale view (DESIGN.md §11).
+  void OnNetReconcile(SimTime at);
+
   /// Appends the pending run of unchanged answer-size samples (one per
   /// generated update, up to update number `upto`) in O(1).
   void FlushAnswerSamples(Slot& slot, std::uint64_t upto);

@@ -1,0 +1,332 @@
+#include "net/fault_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace asf {
+
+namespace {
+
+/// Bounded probe retry: after this many lost request/response exchanges
+/// within one zero-time RPC the server fails over to its cached value.
+constexpr std::uint32_t kMaxProbeAttempts = 8;
+
+}  // namespace
+
+FaultPipeline::FaultPipeline(const NetConfig& config,
+                             std::unique_ptr<NetworkModel> base,
+                             std::uint64_t seed)
+    : config_(config),
+      base_(std::move(base)),
+      rng_(seed),
+      rto_initial_(config.RtoInitial()),
+      rto_cap_(config.RtoMax()) {
+  ASF_CHECK(base_ != nullptr);
+}
+
+void FaultPipeline::OnBind() {
+  base_->set_update_egress(
+      [this](StreamId id, std::vector<Payload>& payloads, SimTime at) {
+        return OnUpdateEgress(id, payloads, at);
+      });
+  base_->Bind(scheduler_, update_sink_,
+              [](std::size_t, StreamId, const FilterConstraint&, SimTime) {
+                ASF_CHECK_MSG(false,
+                              "FaultPipeline owns the deploy control plane");
+              });
+}
+
+bool FaultPipeline::LinkUp(SimTime t) const {
+  std::size_t edges = 0;
+  while (edges < config_.partition.size() && config_.partition[edges] <= t) {
+    ++edges;
+  }
+  return (edges % 2) == 0;
+}
+
+bool FaultPipeline::LossDraw(std::vector<GeChain>* chains, StreamId id) {
+  if (config_.loss <= 0) return false;
+  if (config_.loss_burst <= 1.0) return rng_.Bernoulli(config_.loss);
+  if (id >= chains->size()) chains->resize(id + 1);
+  GeChain& ch = (*chains)[id];
+  if (!ch.init) {
+    // Enter at the stationary distribution: P(bad) == overall loss rate.
+    ch.init = true;
+    ch.bad = rng_.Bernoulli(config_.loss);
+  }
+  const bool drop = ch.bad;
+  if (ch.bad) {
+    if (rng_.Bernoulli(1.0 / config_.loss_burst)) ch.bad = false;
+  } else if (rng_.Bernoulli(config_.loss /
+                            (config_.loss_burst * (1.0 - config_.loss)))) {
+    ch.bad = true;
+  }
+  return drop;
+}
+
+SimTime FaultPipeline::CtlDelay() {
+  if (config_.kind != NetConfig::Kind::kFixedLatency) return 0;
+  SimTime d = config_.latency;
+  if (config_.jitter > 0) d += rng_.Uniform(0, config_.jitter);
+  return d;
+}
+
+void FaultPipeline::SendUpdate(StreamId id, Value v,
+                               const std::vector<std::size_t>& slots,
+                               SimTime now) {
+  // The data plane rides the base model untouched (batching, queueing and
+  // latency behave exactly as configured); faults apply at its egress.
+  base_->SendUpdate(id, v, slots, now);
+}
+
+NetworkModel::EgressAction FaultPipeline::OnUpdateEgress(
+    StreamId id, std::vector<Payload>& payloads, SimTime at) {
+  std::uint64_t crossings = 0;
+  for (const Payload& p : payloads) crossings += p.crossings;
+  NetStats& s = stats();
+  if (!LinkUp(at)) {
+    s.dropped_partition += crossings;
+    return EgressAction::kConsumed;
+  }
+  if (LossDraw(&up_, id)) {
+    s.dropped_loss += crossings;
+    return EgressAction::kConsumed;
+  }
+  if (config_.reorder == 0) return EgressAction::kDeliver;
+
+  // Bounded out-of-order delivery: stamp the link's wire sequence number
+  // (the server suppresses payloads an overtaker already obsoleted) and
+  // stash the message under release key seq + hold. Survivor seqnos are
+  // consecutive per link, so a message releases exactly when the link's
+  // latest survivor reaches its key — a later message j overtakes i only
+  // if j + hold_j < i + hold_i, which caps the displacement at k.
+  if (id >= msg_seq_.size()) msg_seq_.resize(id + 1, 0);
+  const std::uint64_t seq = ++msg_seq_[id];
+  for (Payload& p : payloads) p.seq = seq;
+  const auto hold =
+      static_cast<std::uint32_t>(rng_.UniformInt(0, config_.reorder));
+  if (id >= held_.size()) held_.resize(id + 1);
+  Held h;
+  h.payloads = std::move(payloads);
+  h.crossings = crossings;
+  h.seq = seq;
+  h.key = seq + hold;
+  ++stash_msgs_;
+  stash_crossings_ += crossings;
+  for (const Payload& p : h.payloads) {
+    if (p.slot >= stash_in_flight_.size()) {
+      stash_in_flight_.resize(p.slot + 1, 0);
+    }
+    ++stash_in_flight_[p.slot];
+  }
+  auto& q = held_[id];
+  const auto pos = std::upper_bound(
+      q.begin(), q.end(), h, [](const Held& a, const Held& b) {
+        return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+      });
+  q.insert(pos, std::move(h));
+  while (!q.empty() && q.front().key <= seq) {
+    Held ripe = std::move(q.front());
+    q.erase(q.begin());
+    DeliverStashed(id, ripe, at);
+  }
+  return EgressAction::kConsumed;
+}
+
+void FaultPipeline::DeliverStashed(StreamId id, Held& held, SimTime at) {
+  --stash_msgs_;
+  stash_crossings_ -= held.crossings;
+  for (const Payload& p : held.payloads) --stash_in_flight_[p.slot];
+  base_->DeliverHeldUpdate(id, held.payloads, at);
+}
+
+void FaultPipeline::SendDeploy(std::size_t slot, StreamId id,
+                               const FilterConstraint& constraint,
+                               SimTime now) {
+  Channel& ch = channels_[ChannelKey(slot, id)];
+  ch.slot = slot;
+  ch.id = id;
+  if (ch.timer_armed) {
+    scheduler_->Cancel(ch.timer);
+    ch.timer_armed = false;
+  }
+  // Last-writer-wins supersession: a fresh install restarts the channel;
+  // acks for the superseded seq are ignored and the source applies only
+  // monotonically newer installs.
+  ++ch.seq;
+  ch.constraint = constraint;
+  ch.pending = true;
+  ch.attempt = 0;
+  Transmit(ch, now, /*reliable=*/false);
+}
+
+void FaultPipeline::Transmit(Channel& ch, SimTime now, bool reliable) {
+  NetStats& s = stats();
+  ++s.deploy_attempts;
+  const bool wire_ok = reliable || (LinkUp(now) && !LossDraw(&down_, ch.id));
+  if (!wire_ok) {
+    ++s.deploy_dropped;
+  } else {
+    const SimTime at = now + CtlDelay();
+    ++pending_ctl_wire_;
+    const std::size_t slot = ch.slot;
+    const StreamId id = ch.id;
+    const std::uint64_t seq = ch.seq;
+    const FilterConstraint constraint = ch.constraint;
+    const bool want_ack = !reliable;
+    scheduler_->ScheduleAt(at,
+                           [this, slot, id, seq, constraint, at, want_ack] {
+                             --pending_ctl_wire_;
+                             OnDeployArrival(slot, id, seq, constraint, at,
+                                             want_ack);
+                           });
+  }
+  if (reliable) {
+    // The reconnect handshake is transactional: the replayed install is
+    // considered acknowledged as part of the summary exchange.
+    ch.pending = false;
+    ch.attempt = 0;
+  } else {
+    ArmTimer(ch, now);
+  }
+}
+
+void FaultPipeline::ArmTimer(Channel& ch, SimTime now) {
+  const double backoff = std::min(
+      rto_cap_,
+      std::ldexp(rto_initial_, std::min<std::uint32_t>(ch.attempt, 60)));
+  ++ch.attempt;
+  const std::size_t slot = ch.slot;
+  const StreamId id = ch.id;
+  ch.timer = scheduler_->ScheduleAt(
+      now + backoff, [this, slot, id] { OnDeployTimeout(slot, id); });
+  ch.timer_armed = true;
+}
+
+void FaultPipeline::OnDeployArrival(std::size_t slot, StreamId id,
+                                    std::uint64_t seq,
+                                    const FilterConstraint& constraint,
+                                    SimTime at, bool want_ack) {
+  Channel& ch = channels_[ChannelKey(slot, id)];
+  NetStats& s = stats();
+  if (seq > ch.applied_seq) {
+    ch.applied_seq = seq;
+    ++s.deploy_messages;
+    deploy_sink_(slot, id, constraint, at);
+  } else {
+    ++s.deploy_dup_suppressed;
+  }
+  if (!want_ack) return;
+  // The ack rides the uplink and draws the same fault processes. It is
+  // sent even when the install was a suppressed duplicate (or the query
+  // has retired): the server must stop retransmitting either way.
+  if (!LinkUp(at) || LossDraw(&up_, id)) {
+    ++s.deploy_dropped;
+    return;
+  }
+  const SimTime ack_at = at + CtlDelay();
+  ++pending_ctl_wire_;
+  scheduler_->ScheduleAt(ack_at, [this, slot, id, seq] {
+    --pending_ctl_wire_;
+    OnDeployAck(slot, id, seq);
+  });
+}
+
+void FaultPipeline::OnDeployAck(std::size_t slot, StreamId id,
+                                std::uint64_t seq) {
+  Channel& ch = channels_[ChannelKey(slot, id)];
+  NetStats& s = stats();
+  if (ch.pending && seq == ch.seq) {
+    ch.pending = false;
+    ++s.deploy_acks;
+    if (ch.timer_armed) {
+      scheduler_->Cancel(ch.timer);
+      ch.timer_armed = false;
+    }
+  } else {
+    ++s.deploy_stale_acks;
+  }
+}
+
+void FaultPipeline::OnDeployTimeout(std::size_t slot, StreamId id) {
+  Channel& ch = channels_[ChannelKey(slot, id)];
+  ch.timer_armed = false;
+  if (!ch.pending) return;
+  ++stats().deploy_retransmits;
+  Transmit(ch, scheduler_->now(), /*reliable=*/false);
+}
+
+bool FaultPipeline::ControlRpc(StreamId id, SimTime now) {
+  NetStats& s = stats();
+  ++s.control_rpcs;
+  if (!LinkUp(now)) {
+    ++s.probe_failovers;
+    return false;
+  }
+  for (std::uint32_t attempt = 0; attempt < kMaxProbeAttempts; ++attempt) {
+    const bool request_lost = LossDraw(&down_, id);
+    const bool response_lost = !request_lost && LossDraw(&up_, id);
+    if (!request_lost && !response_lost) {
+      s.probe_retransmits += attempt;
+      return true;
+    }
+  }
+  s.probe_retransmits += kMaxProbeAttempts - 1;
+  ++s.probe_failovers;
+  return false;
+}
+
+void FaultPipeline::StartRun(SimTime horizon) {
+  base_->StartRun(horizon);
+  if (!config_.reconcile) return;
+  // Up-edges are the odd-indexed partition boundaries. Scheduling them
+  // here — after the engine's lifecycle events, before the first stream
+  // event — gives them the same FIFO seniority in both engines.
+  for (std::size_t i = 1; i < config_.partition.size(); i += 2) {
+    const SimTime up = config_.partition[i];
+    if (up > horizon) break;
+    scheduler_->ScheduleAt(up, [this, up] { OnReconnect(up); });
+  }
+}
+
+void FaultPipeline::OnReconnect(SimTime t) {
+  // Snapshot the channels that were pending before the exchange: installs
+  // the engine issues *during* reconciliation are fresh traffic on a live
+  // link and keep their ordinary retransmit path.
+  std::vector<std::uint64_t> pending_keys;
+  for (const auto& [key, ch] : channels_) {
+    if (ch.pending) pending_keys.push_back(key);
+  }
+  if (reconcile_sink_) reconcile_sink_(t);
+  NetStats& s = stats();
+  for (const std::uint64_t key : pending_keys) {
+    Channel& ch = channels_[key];
+    if (!ch.pending) continue;
+    if (ch.timer_armed) {
+      scheduler_->Cancel(ch.timer);
+      ch.timer_armed = false;
+    }
+    ++s.reconcile_deploys;
+    Transmit(ch, t, /*reliable=*/true);
+  }
+}
+
+std::uint64_t FaultPipeline::InFlight(std::size_t slot) const {
+  const std::uint64_t held =
+      slot < stash_in_flight_.size() ? stash_in_flight_[slot] : 0;
+  return base_->InFlight(slot) + held;
+}
+
+void FaultPipeline::Finalize(SimTime horizon) {
+  base_->Finalize(horizon);
+  NetStats& s = stats();
+  s.in_flight_at_end += stash_msgs_ + pending_ctl_wire_;
+  s.in_flight_crossings_at_end += stash_crossings_;
+  for (const auto& [key, ch] : channels_) {
+    (void)key;
+    if (ch.pending) ++s.deploy_unacked_at_end;
+  }
+}
+
+}  // namespace asf

@@ -1,0 +1,151 @@
+#ifndef ASF_NET_FAULT_PIPELINE_H_
+#define ASF_NET_FAULT_PIPELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network_model.h"
+
+/// \file
+/// Fault injection over any base delivery model, plus the
+/// disruption-tolerant control plane that survives it (DESIGN.md §11).
+///
+/// The pipeline decorates a base NetworkModel. Updates keep riding the
+/// base model's data plane (batching, queueing and latency behave exactly
+/// as configured); the fault stages apply at the base model's *egress* —
+/// the instant it would hand a wire message to the server — in a fixed
+/// order: partition check, loss draw, reorder hold. The control plane the
+/// pipeline owns outright:
+///
+///  * deploys become a retransmitting state machine per (query, stream)
+///    channel — sequence numbers, transport acks, per-request timeout
+///    with capped exponential backoff, duplicate suppression at the
+///    source, last-writer-wins supersession at the server;
+///  * probes stay zero-time RPCs but draw the same loss/partition
+///    processes, retry a bounded number of times, and fail over to the
+///    server's cached value when the link is down;
+///  * at every partition up-edge the sources run a summary-vector
+///    reconciliation exchange: each reports its current value (the
+///    server refreshes every live query's view) and the server replays
+///    still-unacked constraint installs over the reliable handshake.
+///
+/// Every random decision comes from one decorrelated RNG substream whose
+/// draw sites occur in replayed-event order, so a (config, seed) pair
+/// fully determines the fault schedule and the serial and sharded engines
+/// stay byte-identical under any composite configuration.
+namespace asf {
+
+class FaultPipeline final : public NetworkModel {
+ public:
+  /// `config` must have HasFaults() or a nonzero rto/comp; `base` is the
+  /// delivery model faults are injected into (never exposed directly —
+  /// the pipeline forwards its stats).
+  FaultPipeline(const NetConfig& config, std::unique_ptr<NetworkModel> base,
+                std::uint64_t seed);
+
+  void SendUpdate(StreamId id, Value v, const std::vector<std::size_t>& slots,
+                  SimTime now) override;
+  void SendDeploy(std::size_t slot, StreamId id,
+                  const FilterConstraint& constraint, SimTime now) override;
+  bool ControlRpc(StreamId id, SimTime now) override;
+  std::uint64_t InFlight(std::size_t slot) const override;
+  void Finalize(SimTime horizon) override;
+  void StartRun(SimTime horizon) override;
+  void BindReconcile(ReconcileSink sink) override {
+    reconcile_sink_ = std::move(sink);
+  }
+
+  NetStats& stats() override { return base_->stats(); }
+  const NetStats& stats() const override { return base_->stats(); }
+
+  /// True when the partition schedule has every link up at `t` (links are
+  /// down in [t0,t1), [t2,t3), ...).
+  bool LinkUp(SimTime t) const;
+
+ protected:
+  void OnBind() override;
+
+ private:
+  /// Per-(link, direction) Gilbert-Elliott loss chain; lazily entered at
+  /// its stationary distribution on first use.
+  struct GeChain {
+    bool init = false;
+    bool bad = false;
+  };
+
+  /// A surviving update wire message held back for bounded reordering.
+  /// A message with wire seqno s and hold draw h releases once the link's
+  /// latest survivor seqno reaches its `key` = s + h (ties release in
+  /// seqno order), so at most k later messages can ever overtake it; what
+  /// is still held at the horizon counts as in flight.
+  struct Held {
+    std::vector<Payload> payloads;
+    std::uint64_t crossings = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t key = 0;
+  };
+
+  /// Retransmitting deploy channel, one per (query slot, stream) pair.
+  /// `seq` is the last install the server issued, `applied_seq` the last
+  /// the source applied; `pending` means the latest install is un-acked
+  /// and a retransmit timer is live.
+  struct Channel {
+    std::size_t slot = 0;
+    StreamId id = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t applied_seq = 0;
+    FilterConstraint constraint;
+    bool pending = false;
+    std::uint32_t attempt = 0;
+    EventId timer = 0;
+    bool timer_armed = false;
+  };
+
+  static std::uint64_t ChannelKey(std::size_t slot, StreamId id) {
+    return (static_cast<std::uint64_t>(slot) << 32) |
+           static_cast<std::uint64_t>(id);
+  }
+
+  EgressAction OnUpdateEgress(StreamId id, std::vector<Payload>& payloads,
+                              SimTime at);
+  void DeliverStashed(StreamId id, Held& held, SimTime at);
+  bool LossDraw(std::vector<GeChain>* chains, StreamId id);
+  /// One-way control-plane transit time on the base model (0 unless the
+  /// base is latency:<d>[:<j>]; jitter draws come from the pipeline RNG).
+  SimTime CtlDelay();
+  void Transmit(Channel& ch, SimTime now, bool reliable);
+  void ArmTimer(Channel& ch, SimTime now);
+  void OnDeployArrival(std::size_t slot, StreamId id, std::uint64_t seq,
+                       const FilterConstraint& constraint, SimTime at,
+                       bool want_ack);
+  void OnDeployAck(std::size_t slot, StreamId id, std::uint64_t seq);
+  void OnDeployTimeout(std::size_t slot, StreamId id);
+  void OnReconnect(SimTime t);
+
+  const NetConfig config_;
+  const std::unique_ptr<NetworkModel> base_;
+  Rng rng_;
+  const double rto_initial_;
+  const double rto_cap_;
+
+  std::vector<GeChain> up_;    ///< source→server loss chains
+  std::vector<GeChain> down_;  ///< server→source loss chains
+  std::vector<std::uint64_t> msg_seq_;  ///< per-link update wire seqno
+  /// Per-link reorder stash, sorted by (key, seq).
+  std::vector<std::vector<Held>> held_;
+  std::vector<std::uint64_t> stash_in_flight_;  ///< per-slot held payloads
+  std::uint64_t stash_msgs_ = 0;
+  std::uint64_t stash_crossings_ = 0;
+  /// Deploy/ack wire copies currently in transit.
+  std::uint64_t pending_ctl_wire_ = 0;
+  /// Ordered so reconnect replay iterates deterministically.
+  std::map<std::uint64_t, Channel> channels_;
+  ReconcileSink reconcile_sink_;
+};
+
+}  // namespace asf
+
+#endif  // ASF_NET_FAULT_PIPELINE_H_

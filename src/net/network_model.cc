@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "net/fault_pipeline.h"
+
 namespace asf {
 
 std::string_view NetKindName(NetConfig::Kind kind) {
@@ -35,10 +37,48 @@ Status NetConfig::Validate() const {
   if (kind == Kind::kBoundedBandwidth && !(rate > 0)) {
     return Status::InvalidArgument("net bandwidth rate must be > 0");
   }
+  if (std::isnan(loss) || loss < 0 || loss > 1) {
+    return Status::InvalidArgument("net loss probability must be in [0, 1]");
+  }
+  if (!(loss_burst >= 1) || std::isinf(loss_burst)) {
+    return Status::InvalidArgument("net loss burst must be finite and >= 1");
+  }
+  if (loss_burst > 1 && loss > 0) {
+    // The Gilbert-Elliott chain needs a valid good->bad probability
+    // loss / (burst * (1 - loss)), which requires loss <= burst/(burst+1).
+    if (loss >= 1 || loss / (loss_burst * (1.0 - loss)) > 1.0) {
+      return Status::InvalidArgument(
+          "net loss/burst combination is infeasible: burst b needs "
+          "loss <= b/(b+1)");
+    }
+  }
+  for (std::size_t i = 0; i < partition.size(); ++i) {
+    if (std::isnan(partition[i]) || std::isinf(partition[i]) ||
+        partition[i] < 0 || (i > 0 && partition[i] <= partition[i - 1])) {
+      return Status::InvalidArgument(
+          "net partition boundaries must be finite, >= 0, and strictly "
+          "increasing");
+    }
+  }
+  if (std::isnan(rto) || std::isinf(rto) || rto < 0) {
+    return Status::InvalidArgument("net rto must be finite and >= 0");
+  }
+  if (std::isnan(rto_max) || std::isinf(rto_max) || rto_max < 0) {
+    return Status::InvalidArgument("net rto cap must be finite and >= 0");
+  }
+  if (rto_max > 0 && rto_max < RtoInitial()) {
+    return Status::InvalidArgument(
+        "net rto cap must be >= the initial timeout");
+  }
+  if (bad(comp) || std::isinf(comp)) {
+    return Status::InvalidArgument(
+        "net compensation margin must be finite and >= 0");
+  }
   return Status::OK();
 }
 
 bool NetConfig::DelaysDelivery() const {
+  if (HasFaults() || comp > 0) return true;
   switch (kind) {
     case Kind::kInstant:
       return false;
@@ -53,87 +93,262 @@ bool NetConfig::DelaysDelivery() const {
   return false;
 }
 
+double NetConfig::RtoInitial() const {
+  if (rto > 0) return rto;
+  return std::max(1.0, 4.0 * (latency + jitter));
+}
+
+double NetConfig::RtoMax() const {
+  if (rto_max > 0) return rto_max;
+  return 64.0 * RtoInitial();
+}
+
 std::string NetConfig::ToString() const {
   char buf[64];
+  std::string out;
   switch (kind) {
     case Kind::kInstant:
-      return "instant";
+      out = "instant";
+      break;
     case Kind::kFixedLatency:
       if (jitter > 0) {
         std::snprintf(buf, sizeof(buf), "latency:%g:%g", latency, jitter);
       } else {
         std::snprintf(buf, sizeof(buf), "latency:%g", latency);
       }
-      return buf;
+      out = buf;
+      break;
     case Kind::kBatched:
       std::snprintf(buf, sizeof(buf), "batch:%g", delta);
-      return buf;
+      out = buf;
+      break;
     case Kind::kBoundedBandwidth:
       std::snprintf(buf, sizeof(buf), "bw:%g", rate);
-      return buf;
+      out = buf;
+      break;
   }
-  return "unknown";
+  std::vector<std::string> stages;
+  if (loss > 0) {
+    if (loss_burst > 1) {
+      std::snprintf(buf, sizeof(buf), "loss:%g:%g", loss, loss_burst);
+    } else {
+      std::snprintf(buf, sizeof(buf), "loss:%g", loss);
+    }
+    stages.push_back(buf);
+  }
+  if (reorder > 0) {
+    std::snprintf(buf, sizeof(buf), "reorder:%u", reorder);
+    stages.push_back(buf);
+  }
+  if (!partition.empty()) {
+    std::string p = "partition:";
+    for (std::size_t i = 0; i < partition.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%g", i ? "," : "", partition[i]);
+      p += buf;
+    }
+    stages.push_back(std::move(p));
+  }
+  if (rto > 0) {
+    if (rto_max > 0) {
+      std::snprintf(buf, sizeof(buf), "rto:%g:%g", rto, rto_max);
+    } else {
+      std::snprintf(buf, sizeof(buf), "rto:%g", rto);
+    }
+    stages.push_back(buf);
+  }
+  if (comp > 0) {
+    std::snprintf(buf, sizeof(buf), "comp:%g", comp);
+    stages.push_back(buf);
+  }
+  if (!reconcile) stages.push_back("norecon");
+  if (stages.empty()) return out;
+  // An instant base is implied when fault stages are present, so the
+  // canonical form round-trips ("loss:0.1" stays "loss:0.1").
+  std::string joined = kind == Kind::kInstant ? "" : out;
+  for (const std::string& s : stages) {
+    if (!joined.empty()) joined += '+';
+    joined += s;
+  }
+  return joined;
 }
 
-Result<NetConfig> ParseNetSpec(const std::string& spec) {
-  // Split on ':' into a head keyword and up to two numeric parameters.
+namespace {
+
+/// Splits `s` on `sep` (keeping empty pieces, so "a++b" yields an empty
+/// middle stage the caller can reject with a useful message).
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
   std::vector<std::string> parts;
   std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    const std::size_t colon = spec.find(':', pos);
-    if (colon == std::string::npos) {
-      parts.push_back(spec.substr(pos));
+  while (pos <= s.size()) {
+    const std::size_t at = s.find(sep, pos);
+    if (at == std::string::npos) {
+      parts.push_back(s.substr(pos));
       break;
     }
-    parts.push_back(spec.substr(pos, colon - pos));
-    pos = colon + 1;
+    parts.push_back(s.substr(pos, at - pos));
+    pos = at + 1;
   }
-  const auto number = [&](std::size_t i) -> Result<double> {
+  return parts;
+}
+
+}  // namespace
+
+Result<NetConfig> ParseNetSpec(const std::string& spec) {
+  NetConfig config;
+  bool have_base = false;
+  bool have_loss = false, have_reorder = false, have_partition = false;
+  bool have_rto = false, have_comp = false, have_norecon = false;
+
+  const auto number = [](const std::string& stage, const std::string& token,
+                         const char* what) -> Result<double> {
     char* end = nullptr;
-    const double v = std::strtod(parts[i].c_str(), &end);
-    if (end == parts[i].c_str() || *end != '\0') {
-      return Status::InvalidArgument("bad number in --net spec: " + spec);
+    const double v = std::strtod(token.c_str(), &end);
+    if (token.empty() || end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("--net stage '" + stage + "': " + what +
+                                     " is not a number: '" + token + "'");
     }
     return v;
   };
 
-  NetConfig config;
-  if (parts[0] == "instant") {
-    if (parts.size() != 1) {
-      return Status::InvalidArgument("--net=instant takes no parameters");
+  for (const std::string& stage : SplitOn(spec, '+')) {
+    if (stage.empty()) {
+      return Status::InvalidArgument("--net spec has an empty stage: '" +
+                                     spec + "'");
     }
-    config.kind = NetConfig::Kind::kInstant;
-  } else if (parts[0] == "latency") {
-    if (parts.size() < 2 || parts.size() > 3) {
+    const std::vector<std::string> parts = SplitOn(stage, ':');
+    const std::string& head = parts[0];
+    const std::size_t nparams = parts.size() - 1;
+
+    const auto base_stage = [&](NetConfig::Kind kind) -> Status {
+      if (have_base) {
+        return Status::InvalidArgument(
+            "--net allows at most one base delivery model, got a second: '" +
+            stage + "'");
+      }
+      have_base = true;
+      config.kind = kind;
+      return Status::OK();
+    };
+
+    if (head == "instant") {
+      ASF_RETURN_IF_ERROR(base_stage(NetConfig::Kind::kInstant));
+      if (nparams != 0) {
+        return Status::InvalidArgument("--net=instant takes no parameters");
+      }
+    } else if (head == "latency") {
+      ASF_RETURN_IF_ERROR(base_stage(NetConfig::Kind::kFixedLatency));
+      if (nparams < 1 || nparams > 2) {
+        return Status::InvalidArgument(
+            "--net=latency expects latency:<delay>[:<jitter>]");
+      }
+      ASF_ASSIGN_OR_RETURN(config.latency, number(stage, parts[1], "delay"));
+      if (nparams == 2) {
+        ASF_ASSIGN_OR_RETURN(config.jitter, number(stage, parts[2], "jitter"));
+      }
+    } else if (head == "batch") {
+      ASF_RETURN_IF_ERROR(base_stage(NetConfig::Kind::kBatched));
+      if (nparams != 1) {
+        return Status::InvalidArgument("--net=batch expects batch:<delta>");
+      }
+      ASF_ASSIGN_OR_RETURN(config.delta, number(stage, parts[1], "delta"));
+    } else if (head == "bw") {
+      ASF_RETURN_IF_ERROR(base_stage(NetConfig::Kind::kBoundedBandwidth));
+      if (nparams != 1) {
+        return Status::InvalidArgument("--net=bw expects bw:<rate>");
+      }
+      ASF_ASSIGN_OR_RETURN(config.rate, number(stage, parts[1], "rate"));
+    } else if (head == "loss") {
+      if (have_loss) {
+        return Status::InvalidArgument("duplicate --net stage: loss");
+      }
+      have_loss = true;
+      if (nparams < 1 || nparams > 2) {
+        return Status::InvalidArgument(
+            "--net loss expects loss:<probability>[:<burst>]");
+      }
+      ASF_ASSIGN_OR_RETURN(config.loss, number(stage, parts[1], "probability"));
+      if (nparams == 2) {
+        ASF_ASSIGN_OR_RETURN(config.loss_burst,
+                             number(stage, parts[2], "burst length"));
+      }
+    } else if (head == "reorder") {
+      if (have_reorder) {
+        return Status::InvalidArgument("duplicate --net stage: reorder");
+      }
+      have_reorder = true;
+      if (nparams != 1) {
+        return Status::InvalidArgument(
+            "--net reorder expects reorder:<max-displacement>");
+      }
+      ASF_ASSIGN_OR_RETURN(const double k,
+                           number(stage, parts[1], "max displacement"));
+      if (k < 0 || k != std::floor(k) || k > 1e6) {
+        return Status::InvalidArgument(
+            "--net reorder: max displacement must be an integer in "
+            "[0, 1000000], got '" +
+            parts[1] + "'");
+      }
+      config.reorder = static_cast<std::uint32_t>(k);
+    } else if (head == "partition") {
+      if (have_partition) {
+        return Status::InvalidArgument("duplicate --net stage: partition");
+      }
+      have_partition = true;
+      if (nparams != 1 || parts[1].empty()) {
+        return Status::InvalidArgument(
+            "--net partition expects partition:<t0>,<t1>[,...]");
+      }
+      for (const std::string& tok : SplitOn(parts[1], ',')) {
+        ASF_ASSIGN_OR_RETURN(const double t, number(stage, tok, "boundary"));
+        config.partition.push_back(t);
+      }
+    } else if (head == "rto") {
+      if (have_rto) {
+        return Status::InvalidArgument("duplicate --net stage: rto");
+      }
+      have_rto = true;
+      if (nparams < 1 || nparams > 2) {
+        return Status::InvalidArgument(
+            "--net rto expects rto:<timeout>[:<max>]");
+      }
+      ASF_ASSIGN_OR_RETURN(config.rto, number(stage, parts[1], "timeout"));
+      if (!(config.rto > 0)) {
+        return Status::InvalidArgument("--net rto: timeout must be > 0");
+      }
+      if (nparams == 2) {
+        ASF_ASSIGN_OR_RETURN(config.rto_max, number(stage, parts[2], "cap"));
+      }
+    } else if (head == "comp") {
+      if (have_comp) {
+        return Status::InvalidArgument("duplicate --net stage: comp");
+      }
+      have_comp = true;
+      if (nparams != 1) {
+        return Status::InvalidArgument("--net comp expects comp:<margin>");
+      }
+      ASF_ASSIGN_OR_RETURN(config.comp, number(stage, parts[1], "margin"));
+    } else if (head == "norecon") {
+      if (have_norecon) {
+        return Status::InvalidArgument("duplicate --net stage: norecon");
+      }
+      have_norecon = true;
+      if (nparams != 0) {
+        return Status::InvalidArgument("--net norecon takes no parameters");
+      }
+      config.reconcile = false;
+    } else {
       return Status::InvalidArgument(
-          "--net=latency expects latency:<delay>[:<jitter>]");
+          "unknown --net stage: '" + head +
+          "' (expected instant|latency|batch|bw|loss|reorder|partition|rto|"
+          "comp|norecon)");
     }
-    config.kind = NetConfig::Kind::kFixedLatency;
-    ASF_ASSIGN_OR_RETURN(config.latency, number(1));
-    if (parts.size() == 3) {
-      ASF_ASSIGN_OR_RETURN(config.jitter, number(2));
-    }
-  } else if (parts[0] == "batch") {
-    if (parts.size() != 2) {
-      return Status::InvalidArgument("--net=batch expects batch:<delta>");
-    }
-    config.kind = NetConfig::Kind::kBatched;
-    ASF_ASSIGN_OR_RETURN(config.delta, number(1));
-  } else if (parts[0] == "bw") {
-    if (parts.size() != 2) {
-      return Status::InvalidArgument("--net=bw expects bw:<rate>");
-    }
-    config.kind = NetConfig::Kind::kBoundedBandwidth;
-    ASF_ASSIGN_OR_RETURN(config.rate, number(1));
-  } else {
-    return Status::InvalidArgument("unknown --net model: " + parts[0]);
   }
   ASF_RETURN_IF_ERROR(config.Validate());
   return config;
 }
 
 std::string NetStats::ToString() const {
-  char buf[256];
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "crossings=%llu wire=%llu payloads=%llu per_flush=%.2f "
@@ -147,7 +362,25 @@ std::string NetStats::ToString() const {
       static_cast<unsigned long long>(dropped_retired),
       static_cast<unsigned long long>(in_flight_at_end), delay.mean(),
       delay.max());
-  return buf;
+  std::string out = buf;
+  if (dropped_loss || dropped_partition || suppressed_stale ||
+      deploy_retransmits || deploy_dropped || probe_failovers ||
+      reconcile_exchanges) {
+    std::snprintf(
+        buf, sizeof(buf),
+        " lost=%llu partitioned=%llu stale=%llu deploy_retx=%llu "
+        "deploy_lost=%llu probe_retx=%llu probe_fail=%llu recon=%llu",
+        static_cast<unsigned long long>(dropped_loss),
+        static_cast<unsigned long long>(dropped_partition),
+        static_cast<unsigned long long>(suppressed_stale),
+        static_cast<unsigned long long>(deploy_retransmits),
+        static_cast<unsigned long long>(deploy_dropped),
+        static_cast<unsigned long long>(probe_retransmits),
+        static_cast<unsigned long long>(probe_failovers),
+        static_cast<unsigned long long>(reconcile_exchanges));
+    out += buf;
+  }
+  return out;
 }
 
 void NetworkModel::Bind(Scheduler* scheduler, UpdateSink on_update,
@@ -160,6 +393,25 @@ void NetworkModel::Bind(Scheduler* scheduler, UpdateSink on_update,
   update_sink_ = std::move(on_update);
   deploy_sink_ = std::move(on_deploy);
   OnBind();
+}
+
+FilterConstraint CompensateConstraint(const FilterConstraint& constraint,
+                                      double margin) {
+  if (margin <= 0 || !constraint.has_filter() || constraint.IsSilent()) {
+    return constraint;
+  }
+  const Interval& iv = constraint.interval();
+  const Value lo = iv.lo();
+  const Value hi = iv.hi();
+  const Value lo2 = std::isinf(lo) ? lo : lo + margin;
+  const Value hi2 = std::isinf(hi) ? hi : hi - margin;
+  if (lo2 > hi2) {
+    // Guard bands crossed: the compensated filter collapses to the
+    // original midpoint, so any movement reports (maximally cautious).
+    const Value mid = (lo + hi) / 2;
+    return FilterConstraint::Range(Interval(mid, mid));
+  }
+  return FilterConstraint::Range(Interval(lo2, hi2));
 }
 
 namespace {
@@ -177,11 +429,9 @@ class InlineDeliveryBase : public NetworkModel {
                            SimTime now) {
     scratch_.clear();
     for (const std::size_t slot : slots) {
-      scratch_.push_back(Payload{slot, v, now, 1});
+      scratch_.push_back(Payload{slot, v, now, 1, 0});
     }
-    ++stats_.update_messages;
-    stats_.update_payloads += scratch_.size();
-    update_sink_(id, scratch_.data(), scratch_.size(), now);
+    EmitUpdate(id, scratch_, now, /*sample_delay=*/false);
   }
 
   void DeliverDeployInline(std::size_t slot, StreamId id,
@@ -198,17 +448,16 @@ class InlineDeliveryBase : public NetworkModel {
                            SimTime at) {
     for (const Payload& p : payloads) AddInFlight(p.slot);
     ++pending_wire_;
+    pending_crossings_ += payloads.size();
     scheduler_->ScheduleAt(
         at, [this, id, at, payloads = std::move(payloads)]() mutable {
           --pending_wire_;
           OnWireDelivered(id);
-          ++stats_.update_messages;
-          stats_.update_payloads += payloads.size();
           for (const Payload& p : payloads) {
             SubInFlight(p.slot);
-            stats_.delay.Add(at - p.crossed_at);
+            pending_crossings_ -= p.crossings;
           }
-          update_sink_(id, payloads.data(), payloads.size(), at);
+          EmitUpdate(id, payloads, at, /*sample_delay=*/true);
         });
   }
 
@@ -256,7 +505,7 @@ class FixedLatencyNet final : public InlineDeliveryBase {
     std::vector<Payload> payloads;
     payloads.reserve(slots.size());
     for (const std::size_t slot : slots) {
-      payloads.push_back(Payload{slot, v, now, 1});
+      payloads.push_back(Payload{slot, v, now, 1, 0});
     }
     ScheduleWireMessage(id, std::move(payloads),
                         NextDelivery(&uplink_last_, id, now));
@@ -314,6 +563,7 @@ class BatchedNet final : public InlineDeliveryBase {
     }
     if (id >= links_.size()) links_.resize(id + 1);
     Link& link = links_[id];
+    pending_crossings_ += slots.size();
     for (const std::size_t slot : slots) {
       // Pending lists stay sorted by slot and are tiny (the queries this
       // one source crossed since the last flush), so a linear merge is
@@ -326,7 +576,7 @@ class BatchedNet final : public InlineDeliveryBase {
         it->crossed_at = now;
         ++it->crossings;
       } else {
-        link.pending.insert(it, Payload{slot, v, now, 1});
+        link.pending.insert(it, Payload{slot, v, now, 1, 0});
         AddInFlight(slot);
       }
     }
@@ -356,13 +606,11 @@ class BatchedNet final : public InlineDeliveryBase {
     link.scheduled = false;
     flush_scratch_.clear();
     flush_scratch_.swap(link.pending);
-    ++stats_.update_messages;
-    stats_.update_payloads += flush_scratch_.size();
     for (const Payload& p : flush_scratch_) {
       SubInFlight(p.slot);
-      stats_.delay.Add(at - p.crossed_at);
+      pending_crossings_ -= p.crossings;
     }
-    update_sink_(id, flush_scratch_.data(), flush_scratch_.size(), at);
+    EmitUpdate(id, flush_scratch_, at, /*sample_delay=*/true);
   }
 
   const double delta_;
@@ -397,7 +645,7 @@ class BoundedBandwidthNet final : public InlineDeliveryBase {
     std::vector<Payload> payloads;
     payloads.reserve(slots.size());
     for (const std::size_t slot : slots) {
-      payloads.push_back(Payload{slot, v, now, 1});
+      payloads.push_back(Payload{slot, v, now, 1, 0});
     }
     const SimTime at = std::max(now, next_free_[id]) + service_time_;
     next_free_[id] = at;
@@ -422,20 +670,31 @@ class BoundedBandwidthNet final : public InlineDeliveryBase {
 
 std::unique_ptr<NetworkModel> MakeNetworkModel(const NetConfig& config,
                                                std::uint64_t seed) {
+  std::unique_ptr<NetworkModel> base;
   switch (config.kind) {
     case NetConfig::Kind::kInstant:
-      return std::make_unique<InstantNet>();
+      base = std::make_unique<InstantNet>();
+      break;
     case NetConfig::Kind::kFixedLatency:
       // Decorrelated substream: the model's jitter draws never perturb
       // protocol RNG consumption (slots derive their own seeds).
-      return std::make_unique<FixedLatencyNet>(
-          config.latency, config.jitter, MixSeed(seed, 0x6e657421ULL));
+      base = std::make_unique<FixedLatencyNet>(config.latency, config.jitter,
+                                               MixSeed(seed, 0x6e657421ULL));
+      break;
     case NetConfig::Kind::kBatched:
-      return std::make_unique<BatchedNet>(config.delta);
+      base = std::make_unique<BatchedNet>(config.delta);
+      break;
     case NetConfig::Kind::kBoundedBandwidth:
-      return std::make_unique<BoundedBandwidthNet>(config.rate);
+      base = std::make_unique<BoundedBandwidthNet>(config.rate);
+      break;
   }
-  return std::make_unique<InstantNet>();
+  if (base == nullptr) base = std::make_unique<InstantNet>();
+  if (!config.HasFaults()) return base;
+  // Zero-rate fault configs never reach here (HasFaults is false), so the
+  // bare base model keeps its byte-identity guarantees; any active fault
+  // stage wraps it in the pipeline, with its own decorrelated substream.
+  return std::make_unique<FaultPipeline>(config, std::move(base),
+                                         MixSeed(seed, 0x6661756cULL));
 }
 
 }  // namespace asf

@@ -27,10 +27,11 @@
 /// NetworkModel, which decides *when* (and, for batching, *how coalesced*)
 /// the message reaches the other end — inline for zero-delay models,
 /// as scheduler events otherwise. Control-plane request/response exchanges
-/// (probes, region probes) are modeled as blocking zero-time RPCs and are
-/// only observed for accounting (DESIGN.md §9 records the full contract).
+/// (probes, region probes) are modeled as zero-time RPCs; they are observed
+/// for accounting and — under a faulty configuration — may fail after
+/// bounded retransmission (DESIGN.md §9 and §11 record the full contract).
 ///
-/// Four models ship (`MakeNetworkModel`):
+/// Four base models ship (`MakeNetworkModel`):
 ///  * InstantNet          — the paper's semantics, byte-identical to the
 ///                          pre-subsystem engines;
 ///  * FixedLatencyNet     — per-link constant delay plus optional uniform
@@ -41,6 +42,13 @@
 ///                          per window, latest value per query);
 ///  * BoundedBandwidthNet — per-source uplink FIFO served at a fixed rate,
 ///                          so bursts induce queueing delay.
+///
+/// Any base model composes with the *fault stages* of net/fault_pipeline.h
+/// — probabilistic loss (i.i.d. or Gilbert-Elliott bursts), bounded
+/// reordering, and scheduled partitions — which also turn the control
+/// plane into retransmitting state machines (deploy acks + capped
+/// exponential backoff, probe retry with cached-value failover, and
+/// summary-vector reconciliation at partition up-edges). DESIGN.md §11.
 
 namespace asf {
 
@@ -67,28 +75,82 @@ struct NetConfig {
   /// (each message occupies the link for 1/rate).
   double rate = 0;
 
+  // --- Fault stages, composable with any base model (DESIGN.md §11) ---
+  /// Per-wire-message drop probability in [0, 1] (`loss:p`). Applies to
+  /// update messages, deploy transmissions, deploy acks and probe
+  /// exchanges, per direction.
+  double loss = 0;
+  /// Mean loss-burst length (`loss:p:burst`). 1 = i.i.d. drops; > 1 runs a
+  /// per-(link, direction) Gilbert-Elliott chain whose bad state drops
+  /// everything, tuned so the stationary drop rate is `loss` and the mean
+  /// bad sojourn is `loss_burst` messages.
+  double loss_burst = 1;
+  /// Bounded out-of-order delivery (`reorder:k`): each surviving update
+  /// wire message is held back behind up to k later messages on its link
+  /// (hold drawn uniformly from {0..k}); stale payloads are suppressed at
+  /// the server via per-link sequence numbers.
+  std::uint32_t reorder = 0;
+  /// Scheduled link-down windows (`partition:t0,t1,...`), strictly
+  /// increasing boundaries: every link is down in [t0,t1), [t2,t3), ...;
+  /// an odd count leaves the final window open to the horizon. Messages
+  /// and RPCs that hit a down window are dropped; at each up-edge the
+  /// sources run a summary-vector reconciliation exchange with the server
+  /// unless `norecon` is set.
+  std::vector<double> partition;
+  /// Deploy retransmission initial timeout (`rto:t[:max]`); 0 = auto
+  /// (max(1, 4·(latency+jitter))). Backoff doubles per attempt.
+  double rto = 0;
+  /// Retransmission backoff cap; 0 = auto (64·initial).
+  double rto_max = 0;
+  /// Staleness compensation (`comp:g`): every constraint installs at the
+  /// source with each finite interval bound pulled inward by g, so
+  /// boundary-approaching values report an expected-delay bound early.
+  double comp = 0;
+  /// Summary-vector reconciliation at partition up-edges (`norecon`
+  /// disables it): reconnecting sources report their current values and
+  /// the server replays un-acked constraint installs over the handshake.
+  bool reconcile = true;
+
   Status Validate() const;
 
+  /// True when any fault stage is active (the engines then wrap the base
+  /// model in a FaultPipeline).
+  bool HasFaults() const {
+    return loss > 0 || reorder > 0 || !partition.empty();
+  }
+
   /// False when the configured parameters make the model observably
-  /// identical to InstantNet (zero latency+jitter, zero Δ, infinite rate);
-  /// such models must deliver inline so runs stay byte-identical.
+  /// identical to InstantNet (zero latency+jitter, zero Δ, infinite rate,
+  /// zero-rate fault stages); such models must deliver inline so runs stay
+  /// byte-identical.
   bool DelaysDelivery() const;
 
+  /// The resolved retransmission timeout parameters.
+  double RtoInitial() const;
+  double RtoMax() const;
+
   /// Canonical `--net=` spec form ("instant", "latency:5:2", "batch:10",
-  /// "bw:0.5").
+  /// "bw:0.5", "latency:5+loss:0.1:4+partition:100,200").
   std::string ToString() const;
 };
 
 std::string_view NetKindName(NetConfig::Kind kind);
 
-/// Parses a `--net=` spec: `instant`, `latency:<d>[:<jitter>]`,
-/// `batch:<delta>`, or `bw:<rate>`.
+/// Parses a `--net=` spec: stages joined by `+`, at most one base model
+/// (`instant`, `latency:<d>[:<jitter>]`, `batch:<delta>`, `bw:<rate>`)
+/// plus fault stages `loss:<p>[:<burst>]`, `reorder:<k>`,
+/// `partition:<t0>,<t1>[,...]`, `rto:<t>[:<max>]`, `comp:<g>`, `norecon`.
+/// Malformed specs yield a precise InvalidArgument diagnostic.
 Result<NetConfig> ParseNetSpec(const std::string& spec);
 
 /// Run-level delivery accounting, owned by the model. Message *costs*
 /// stay in MessageStats (counted once, at server arrival / source
 /// install — see DESIGN.md §9); NetStats measures what delivery *did* to
-/// them: coalescing, delay, drops.
+/// them: coalescing, delay, drops, retransmissions.
+///
+/// Crossings obey the conservation invariant (checked in tests):
+///   crossings == delivered_crossings + dropped_loss + dropped_partition
+///                + dropped_retired + in_flight_crossings_at_end.
 struct NetStats {
   /// Source-side filter crossings offered to the network (one per fired
   /// query per update). Under batching several crossings may coalesce
@@ -100,15 +162,58 @@ struct NetStats {
   /// Per-query payloads delivered to the server (== crossings for
   /// non-coalescing models).
   std::uint64_t update_payloads = 0;
+  /// Crossings in payloads that reached a live query's server context
+  /// (including reordered payloads suppressed as stale on arrival).
+  std::uint64_t delivered_crossings = 0;
   /// Server→source constraint installs delivered to sources.
   std::uint64_t deploy_messages = 0;
-  /// Blocking control-plane RPC exchanges observed (probes/region probes).
+  /// Control-plane RPC exchanges observed (probes/region probes).
   std::uint64_t control_rpcs = 0;
-  /// Payloads/deploys that arrived after their query retired and were
-  /// dropped (the engine's books for that query are closed).
+  /// Update crossings in payloads that arrived after their query retired
+  /// and were dropped (the engine's books for that query are closed).
   std::uint64_t dropped_retired = 0;
-  /// Messages still undelivered when the run hit its horizon.
+  /// Constraint installs that arrived after their query retired.
+  std::uint64_t deploy_dropped_retired = 0;
+  /// Wire messages still undelivered when the run hit its horizon (any
+  /// direction, including held reordered messages and in-flight control
+  /// traffic).
   std::uint64_t in_flight_at_end = 0;
+  /// Update crossings still undelivered at the horizon.
+  std::uint64_t in_flight_crossings_at_end = 0;
+
+  // --- Fault stages (zero without a fault pipeline; DESIGN.md §11) ---
+  /// Update crossings dropped by the loss process / inside a partition
+  /// window.
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_partition = 0;
+  /// Crossings in delivered payloads suppressed at the server because a
+  /// newer payload from the same link had already been applied
+  /// (reordering duplicate suppression).
+  std::uint64_t suppressed_stale = 0;
+  /// Deploy transmissions (first sends + retransmissions), and how they
+  /// fared. deploy_dropped counts deploy/ack wire copies lost to
+  /// loss/partition.
+  std::uint64_t deploy_attempts = 0;
+  std::uint64_t deploy_retransmits = 0;
+  std::uint64_t deploy_dropped = 0;
+  std::uint64_t deploy_acks = 0;
+  /// Retransmitted installs the source had already applied (suppressed by
+  /// sequence number; still re-acked).
+  std::uint64_t deploy_dup_suppressed = 0;
+  /// Acks for a superseded or already-acked sequence number, ignored.
+  std::uint64_t deploy_stale_acks = 0;
+  /// Deploy channels whose latest install was never acked by the horizon.
+  std::uint64_t deploy_unacked_at_end = 0;
+  /// Probe exchanges re-attempted after a lost request/response, and
+  /// probes that exhausted their attempts (or hit a partition) and served
+  /// the server's cached value instead.
+  std::uint64_t probe_retransmits = 0;
+  std::uint64_t probe_failovers = 0;
+  /// Partition up-edge summary-vector exchanges (one per link) and the
+  /// constraint installs replayed over them.
+  std::uint64_t reconcile_exchanges = 0;
+  std::uint64_t reconcile_deploys = 0;
+
   /// Server-side staleness: delivery time minus the (latest coalesced)
   /// crossing time, one sample per delivered payload. Empty for
   /// zero-delay models (staleness is identically zero).
@@ -141,6 +246,11 @@ class NetworkModel {
     Value value = 0;            ///< value that crossed (latest if coalesced)
     SimTime crossed_at = 0;     ///< when that crossing happened
     std::uint64_t crossings = 1;  ///< crossings coalesced into this payload
+    /// Per-link wire sequence number, stamped by the fault pipeline when
+    /// reordering is possible (0 otherwise). The server suppresses
+    /// payloads whose seq is not newer than the last applied for the
+    /// (slot, stream) pair, so its cache never regresses.
+    std::uint64_t seq = 0;
   };
 
   /// One call = one physical wire message arriving at the server, carrying
@@ -151,6 +261,22 @@ class NetworkModel {
   using DeploySink = std::function<void(std::size_t slot, StreamId id,
                                         const FilterConstraint& constraint,
                                         SimTime at)>;
+  /// Partition-reconnect summary-vector exchange hook the engine binds:
+  /// invoked once per up-edge, at that simulated time.
+  using ReconcileSink = std::function<void(SimTime at)>;
+
+  /// What an update wire message's final egress decided (fault pipeline).
+  enum class EgressAction {
+    kDeliver,   ///< proceed: account the delivery and call the sink
+    kConsumed,  ///< dropped or held back; the hook owns it from here
+  };
+  /// Outbound interceptor the fault pipeline installs on its inner base
+  /// model: invoked once per update wire message at the instant the model
+  /// would deliver it, with a mutable payload vector (so sequence numbers
+  /// can be stamped).
+  using UpdateEgress =
+      std::function<EgressAction(StreamId id, std::vector<Payload>& payloads,
+                                 SimTime at)>;
 
   virtual ~NetworkModel() = default;
   NetworkModel(const NetworkModel&) = delete;
@@ -161,6 +287,18 @@ class NetworkModel {
   /// sharded coordinator's delivery queue). Must be called exactly once,
   /// before any Send*.
   void Bind(Scheduler* scheduler, UpdateSink on_update, DeploySink on_deploy);
+
+  /// Binds the engine's reconnect-reconciliation handler. Only fault
+  /// pipelines with a partition schedule ever invoke it; the base models
+  /// ignore it.
+  virtual void BindReconcile(ReconcileSink sink) { (void)sink; }
+
+  /// Run-start hook, called by the engine once per run after its
+  /// lifecycle events are scheduled and before the first stream event:
+  /// models schedule their deterministic timers here (partition
+  /// reconnect exchanges), so event FIFO seniority at equal timestamps
+  /// matches between the serial and sharded engines.
+  virtual void StartRun(SimTime horizon) { (void)horizon; }
 
   /// Data plane: stream `id` changed to `v` at `now`, crossing the filter
   /// of each query slot in `slots` (ascending, no duplicates). The model
@@ -175,36 +313,67 @@ class NetworkModel {
   virtual void SendDeploy(std::size_t slot, StreamId id,
                           const FilterConstraint& constraint, SimTime now) = 0;
 
-  /// Observation hook for blocking control-plane RPCs (probe/region
-  /// probe). Zero simulated time passes (DESIGN.md §9); models only
-  /// account the exchange.
-  void OnControlRpc(StreamId id, SimTime now) {
+  /// Control-plane request/response exchange (probe/region probe). Zero
+  /// simulated time passes (DESIGN.md §9). Returns false when the fault
+  /// process lost the exchange — partitioned link, or every bounded
+  /// retransmission dropped — in which case the caller serves its cached
+  /// value instead (DESIGN.md §11). The lossless base models always
+  /// succeed.
+  virtual bool ControlRpc(StreamId id, SimTime now) {
     (void)id;
     (void)now;
     ++stats_.control_rpcs;
+    return true;
   }
 
   /// Update payloads currently in flight toward query `slot` — what the
   /// oracle consults to attribute a tolerance violation to transit delay.
-  std::uint64_t InFlight(std::size_t slot) const {
+  virtual std::uint64_t InFlight(std::size_t slot) const {
     return slot < in_flight_.size() ? in_flight_[slot] : 0;
   }
 
   /// Closes the books at the run horizon: records messages that never
   /// arrived. Call once, after the last event has run.
-  void Finalize(SimTime horizon) {
+  virtual void Finalize(SimTime horizon) {
     (void)horizon;
     stats_.in_flight_at_end = pending_wire_;
+    stats_.in_flight_crossings_at_end = pending_crossings_;
   }
 
-  NetStats& stats() { return stats_; }
-  const NetStats& stats() const { return stats_; }
+  virtual NetStats& stats() { return stats_; }
+  virtual const NetStats& stats() const { return stats_; }
+
+  /// Installs the fault pipeline's egress interceptor (pipeline-internal;
+  /// set before Bind).
+  void set_update_egress(UpdateEgress egress) { egress_ = std::move(egress); }
+
+  /// Pipeline-only: accounts and delivers a wire message the egress hook
+  /// consumed earlier (a surviving message the pipeline delivers itself,
+  /// or a held reordered message released late). Staleness is sampled
+  /// against the actual delivery time `at`.
+  void DeliverHeldUpdate(StreamId id, std::vector<Payload>& payloads,
+                         SimTime at) {
+    AccountAndDeliver(id, payloads, at, /*sample_delay=*/true);
+  }
 
  protected:
   NetworkModel() = default;
 
   /// Subclass hook run at Bind time (after the sinks are set).
   virtual void OnBind() {}
+
+  /// Final egress of one update wire message: consults the fault
+  /// interceptor (if any), then accounts the delivery and hands the
+  /// message to the engine. `sample_delay` is false only on the
+  /// zero-delay inline path, where staleness is identically zero and no
+  /// samples are recorded (byte-identity with the pre-subsystem engines).
+  void EmitUpdate(StreamId id, std::vector<Payload>& payloads, SimTime at,
+                  bool sample_delay) {
+    if (egress_ && egress_(id, payloads, at) == EgressAction::kConsumed) {
+      return;
+    }
+    AccountAndDeliver(id, payloads, at, sample_delay);
+  }
 
   void AddInFlight(std::size_t slot, std::uint64_t n = 1) {
     if (slot >= in_flight_.size()) in_flight_.resize(slot + 1, 0);
@@ -221,14 +390,36 @@ class NetworkModel {
   NetStats stats_;
   /// Wire messages enqueued but not yet delivered (any direction).
   std::uint64_t pending_wire_ = 0;
+  /// Update crossings enqueued but not yet delivered.
+  std::uint64_t pending_crossings_ = 0;
 
  private:
+  void AccountAndDeliver(StreamId id, std::vector<Payload>& payloads,
+                         SimTime at, bool sample_delay) {
+    ++stats_.update_messages;
+    stats_.update_payloads += payloads.size();
+    if (sample_delay) {
+      for (const Payload& p : payloads) stats_.delay.Add(at - p.crossed_at);
+    }
+    update_sink_(id, payloads.data(), payloads.size(), at);
+  }
+
+  UpdateEgress egress_;
   std::vector<std::uint64_t> in_flight_;
 };
 
+/// Staleness compensation (DESIGN.md §11): the constraint as installed at
+/// the source under guard band `margin` — each finite interval bound
+/// pulled inward by `margin`, collapsing to the original midpoint when the
+/// bands cross. No-filter and the silent FP/FN forms pass through.
+FilterConstraint CompensateConstraint(const FilterConstraint& constraint,
+                                      double margin);
+
 /// Builds the model `config` describes. `seed` feeds the model's
-/// deterministic randomness (latency jitter); models derive a
-/// decorrelated substream so protocol RNG consumption is unaffected.
+/// deterministic randomness (latency jitter, fault draws); models derive
+/// decorrelated substreams so protocol RNG consumption is unaffected.
+/// Configurations with active fault stages come back wrapped in a
+/// FaultPipeline (net/fault_pipeline.h).
 std::unique_ptr<NetworkModel> MakeNetworkModel(const NetConfig& config,
                                                std::uint64_t seed);
 

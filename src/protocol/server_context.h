@@ -25,8 +25,11 @@ namespace asf {
 struct Transport {
   /// Requests the stream's current value (one request + one response). The
   /// implementation must also sync the stream's filter reference, since the
-  /// probed value becomes the last-reported one.
-  std::function<Value(StreamId)> probe;
+  /// probed value becomes the last-reported one. Returns nullopt when the
+  /// delivery model lost the exchange (partitioned link, or bounded
+  /// retransmission exhausted — DESIGN.md §11); the context then serves
+  /// its cached value.
+  std::function<std::optional<Value>(StreamId)> probe;
 
   /// Asks one stream "respond with your value if it lies in `region`". One
   /// request always; one response only if the value is inside (in which
@@ -92,12 +95,17 @@ class ServerContext {
   }
 
   /// Probes one stream: counts a request + response, refreshes the cache.
+  /// When the exchange is lost to the fault process the request is still
+  /// charged but no response arrives: the stale cached value is served
+  /// (the protocol proceeds, possibly conservatively) — this is what keeps
+  /// every protocol terminating under arbitrary loss.
   Value Probe(StreamId id, SimTime t) {
     stats_->Count(MessageType::kProbeRequest);
-    const Value v = transport_.probe(id);
+    const std::optional<Value> v = transport_.probe(id);
+    if (!v.has_value()) return cached(id);
     stats_->Count(MessageType::kProbeResponse);
-    RecordReport(id, v, t);
-    return v;
+    RecordReport(id, *v, t);
+    return *v;
   }
 
   /// Probes every stream ("request all streams to send their values" —
@@ -108,9 +116,10 @@ class ServerContext {
     if (broadcast_ == BroadcastCostModel::kSingleMessage) {
       stats_->Count(MessageType::kProbeRequest);
       for (StreamId id = 0; id < cache_.size(); ++id) {
-        const Value v = transport_.probe(id);
+        const std::optional<Value> v = transport_.probe(id);
+        if (!v.has_value()) continue;
         stats_->Count(MessageType::kProbeResponse);
-        RecordReport(id, v, t);
+        RecordReport(id, *v, t);
       }
       return;
     }

@@ -1,0 +1,666 @@
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/interval.h"
+#include "engine/multi_system.h"
+#include "engine/system.h"
+#include "net/fault_pipeline.h"
+#include "net/network_model.h"
+#include "sim/scheduler.h"
+
+/// \file
+/// Fault injection and the disruption-tolerant control plane (DESIGN.md
+/// §11): the composable `--net=` stage grammar, the zero-rate ≡ instant
+/// contract, seed-determinism of the fault schedule (serial and sharded),
+/// the crossing conservation invariant, the deploy retransmission state
+/// machine (timeout, duplicate suppression, supersession, backoff cap),
+/// probe failover, bounded reordering, partition-reconnect reconciliation,
+/// and staleness compensation.
+
+namespace asf {
+namespace {
+
+// ---------------------------------------------------------------- parsing
+
+TEST(NetFaultSpecTest, ParsesEveryStage) {
+  auto loss = ParseNetSpec("loss:0.1");
+  ASSERT_TRUE(loss.ok());
+  EXPECT_EQ(loss->kind, NetConfig::Kind::kInstant);
+  EXPECT_DOUBLE_EQ(loss->loss, 0.1);
+  EXPECT_DOUBLE_EQ(loss->loss_burst, 1);
+  EXPECT_TRUE(loss->HasFaults());
+  EXPECT_TRUE(loss->DelaysDelivery());
+  EXPECT_EQ(loss->ToString(), "loss:0.1");
+
+  auto burst = ParseNetSpec("loss:0.1:4");
+  ASSERT_TRUE(burst.ok());
+  EXPECT_DOUBLE_EQ(burst->loss_burst, 4);
+  EXPECT_EQ(burst->ToString(), "loss:0.1:4");
+
+  auto reorder = ParseNetSpec("reorder:3");
+  ASSERT_TRUE(reorder.ok());
+  EXPECT_EQ(reorder->reorder, 3u);
+  EXPECT_EQ(reorder->ToString(), "reorder:3");
+
+  auto partition = ParseNetSpec("partition:100,200,350");
+  ASSERT_TRUE(partition.ok());
+  ASSERT_EQ(partition->partition.size(), 3u);
+  EXPECT_DOUBLE_EQ(partition->partition[1], 200);
+  EXPECT_EQ(partition->ToString(), "partition:100,200,350");
+
+  auto composite =
+      ParseNetSpec("latency:5:2+loss:0.05:3+reorder:2+partition:10,20"
+                   "+rto:4:32+comp:1.5+norecon");
+  ASSERT_TRUE(composite.ok());
+  EXPECT_EQ(composite->kind, NetConfig::Kind::kFixedLatency);
+  EXPECT_DOUBLE_EQ(composite->latency, 5);
+  EXPECT_DOUBLE_EQ(composite->jitter, 2);
+  EXPECT_DOUBLE_EQ(composite->loss, 0.05);
+  EXPECT_DOUBLE_EQ(composite->loss_burst, 3);
+  EXPECT_EQ(composite->reorder, 2u);
+  EXPECT_DOUBLE_EQ(composite->rto, 4);
+  EXPECT_DOUBLE_EQ(composite->rto_max, 32);
+  EXPECT_DOUBLE_EQ(composite->comp, 1.5);
+  EXPECT_FALSE(composite->reconcile);
+  // Canonical round trip.
+  EXPECT_EQ(composite->ToString(),
+            "latency:5:2+loss:0.05:3+reorder:2+partition:10,20+rto:4:32"
+            "+comp:1.5+norecon");
+  auto again = ParseNetSpec(composite->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), composite->ToString());
+
+  // Zero-rate stages parse and are recognized as fault-free.
+  auto zero = ParseNetSpec("loss:0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_FALSE(zero->HasFaults());
+  EXPECT_FALSE(zero->DelaysDelivery());
+  auto zreorder = ParseNetSpec("reorder:0");
+  ASSERT_TRUE(zreorder.ok());
+  EXPECT_FALSE(zreorder->HasFaults());
+  EXPECT_FALSE(zreorder->DelaysDelivery());
+
+  // An explicit base composes with stages.
+  auto batched = ParseNetSpec("batch:10+loss:0.2");
+  ASSERT_TRUE(batched.ok());
+  EXPECT_EQ(batched->kind, NetConfig::Kind::kBatched);
+  EXPECT_DOUBLE_EQ(batched->delta, 10);
+  EXPECT_DOUBLE_EQ(batched->loss, 0.2);
+}
+
+TEST(NetFaultSpecTest, RejectsMalformedStages) {
+  // Out-of-range probabilities and burst lengths.
+  EXPECT_FALSE(ParseNetSpec("loss:1.5").ok());
+  EXPECT_FALSE(ParseNetSpec("loss:-0.1").ok());
+  EXPECT_FALSE(ParseNetSpec("loss:abc").ok());
+  EXPECT_FALSE(ParseNetSpec("loss:0.1:0.5").ok());  // burst < 1
+  EXPECT_FALSE(ParseNetSpec("loss:").ok());
+  // Gilbert-Elliott feasibility: burst b needs loss <= b/(b+1).
+  EXPECT_FALSE(ParseNetSpec("loss:0.9:2").ok());
+  // Reorder must be a bounded non-negative integer.
+  EXPECT_FALSE(ParseNetSpec("reorder:-1").ok());
+  EXPECT_FALSE(ParseNetSpec("reorder:1.5").ok());
+  EXPECT_FALSE(ParseNetSpec("reorder:").ok());
+  EXPECT_FALSE(ParseNetSpec("reorder:2:3").ok());
+  // Partition boundaries must be strictly increasing and well-formed.
+  EXPECT_FALSE(ParseNetSpec("partition:").ok());
+  EXPECT_FALSE(ParseNetSpec("partition:5,3").ok());
+  EXPECT_FALSE(ParseNetSpec("partition:5,5").ok());
+  EXPECT_FALSE(ParseNetSpec("partition:-1,5").ok());
+  EXPECT_FALSE(ParseNetSpec("partition:1,2,").ok());
+  // Rto must be positive; the cap must cover the initial timeout.
+  EXPECT_FALSE(ParseNetSpec("rto:0").ok());
+  EXPECT_FALSE(ParseNetSpec("rto:-2").ok());
+  EXPECT_FALSE(ParseNetSpec("rto:8:4").ok());
+  // Compensation must be non-negative.
+  EXPECT_FALSE(ParseNetSpec("comp:-1").ok());
+  // Structural errors: duplicate stages, second base, empty stage,
+  // parameters where none belong, unknown stages.
+  EXPECT_FALSE(ParseNetSpec("loss:0.1+loss:0.2").ok());
+  EXPECT_FALSE(ParseNetSpec("reorder:1+reorder:2").ok());
+  EXPECT_FALSE(ParseNetSpec("latency:1+batch:2").ok());
+  EXPECT_FALSE(ParseNetSpec("instant+instant").ok());
+  EXPECT_FALSE(ParseNetSpec("loss:0.1++reorder:2").ok());
+  EXPECT_FALSE(ParseNetSpec("norecon:1").ok());
+  EXPECT_FALSE(ParseNetSpec("norecon+norecon").ok());
+  EXPECT_FALSE(ParseNetSpec("warp:0.1").ok());
+  EXPECT_FALSE(ParseNetSpec("latency:1+warp").ok());
+  // The diagnostic names the offending stage.
+  auto bad = ParseNetSpec("latency:2+warp:1");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("warp"), std::string::npos);
+}
+
+// ------------------------------------------------ shared run scaffolding
+
+SystemConfig BaseConfig(ProtocolKind protocol, const QuerySpec& query,
+                        double eps, std::size_t rank_r) {
+  SystemConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 200;
+  walk.seed = 23;
+  config.source = SourceSpec::Walk(walk);
+  config.query = query;
+  config.protocol = protocol;
+  config.fraction = {eps, eps};
+  config.rank_r = rank_r;
+  config.duration = 400;
+  config.seed = 23;
+  config.oracle.sample_interval = 25;
+  return config;
+}
+
+struct ProtoCase {
+  const char* label;
+  ProtocolKind protocol;
+  QuerySpec query;
+  double eps;
+  std::size_t rank_r;
+};
+
+const ProtoCase kAllProtocols[] = {
+    {"no-filter", ProtocolKind::kNoFilter, QuerySpec::Range(400, 600), 0, 0},
+    {"zt-nrp", ProtocolKind::kZtNrp, QuerySpec::Range(400, 600), 0, 0},
+    {"ft-nrp", ProtocolKind::kFtNrp, QuerySpec::Range(400, 600), 0.3, 0},
+    {"rtp", ProtocolKind::kRtp, QuerySpec::Knn(5, 500), 0, 3},
+    {"zt-rp", ProtocolKind::kZtRp, QuerySpec::Knn(5, 500), 0, 0},
+    {"ft-rp", ProtocolKind::kFtRp, QuerySpec::Knn(10, 500), 0.3, 0},
+};
+
+void ExpectSameRun(const RunResult& a, const RunResult& b,
+                   const char* label) {
+  for (int phase = 0; phase < kNumMessagePhases; ++phase) {
+    for (int type = 0; type < kNumMessageTypes; ++type) {
+      EXPECT_EQ(a.messages.count(static_cast<MessagePhase>(phase),
+                                 static_cast<MessageType>(type)),
+                b.messages.count(static_cast<MessagePhase>(phase),
+                                 static_cast<MessageType>(type)))
+          << label << " phase=" << phase << " type=" << type;
+    }
+  }
+  EXPECT_EQ(a.updates_generated, b.updates_generated) << label;
+  EXPECT_EQ(a.updates_reported, b.updates_reported) << label;
+  EXPECT_EQ(a.reinits, b.reinits) << label;
+  EXPECT_EQ(a.answer_size.count(), b.answer_size.count()) << label;
+  EXPECT_DOUBLE_EQ(a.answer_size.mean(), b.answer_size.mean()) << label;
+  EXPECT_EQ(a.oracle_checks, b.oracle_checks) << label;
+  EXPECT_EQ(a.oracle_violations, b.oracle_violations) << label;
+  EXPECT_DOUBLE_EQ(a.max_f_plus, b.max_f_plus) << label;
+  EXPECT_DOUBLE_EQ(a.max_f_minus, b.max_f_minus) << label;
+}
+
+void ExpectSameNetStats(const NetStats& a, const NetStats& b,
+                        const char* label) {
+  EXPECT_EQ(a.crossings, b.crossings) << label;
+  EXPECT_EQ(a.update_messages, b.update_messages) << label;
+  EXPECT_EQ(a.update_payloads, b.update_payloads) << label;
+  EXPECT_EQ(a.delivered_crossings, b.delivered_crossings) << label;
+  EXPECT_EQ(a.dropped_loss, b.dropped_loss) << label;
+  EXPECT_EQ(a.dropped_partition, b.dropped_partition) << label;
+  EXPECT_EQ(a.dropped_retired, b.dropped_retired) << label;
+  EXPECT_EQ(a.suppressed_stale, b.suppressed_stale) << label;
+  EXPECT_EQ(a.deploy_attempts, b.deploy_attempts) << label;
+  EXPECT_EQ(a.deploy_retransmits, b.deploy_retransmits) << label;
+  EXPECT_EQ(a.deploy_dropped, b.deploy_dropped) << label;
+  EXPECT_EQ(a.deploy_acks, b.deploy_acks) << label;
+  EXPECT_EQ(a.deploy_dup_suppressed, b.deploy_dup_suppressed) << label;
+  EXPECT_EQ(a.deploy_stale_acks, b.deploy_stale_acks) << label;
+  EXPECT_EQ(a.deploy_unacked_at_end, b.deploy_unacked_at_end) << label;
+  EXPECT_EQ(a.probe_retransmits, b.probe_retransmits) << label;
+  EXPECT_EQ(a.probe_failovers, b.probe_failovers) << label;
+  EXPECT_EQ(a.reconcile_exchanges, b.reconcile_exchanges) << label;
+  EXPECT_EQ(a.reconcile_deploys, b.reconcile_deploys) << label;
+  EXPECT_EQ(a.in_flight_at_end, b.in_flight_at_end) << label;
+  EXPECT_EQ(a.in_flight_crossings_at_end, b.in_flight_crossings_at_end)
+      << label;
+}
+
+/// The crossing conservation invariant (DESIGN.md §11): every crossing the
+/// sources offered is delivered, dropped by a named cause, or still in
+/// flight at the horizon — nothing vanishes.
+void ExpectConservation(const NetStats& net, const char* label) {
+  EXPECT_EQ(net.crossings,
+            net.delivered_crossings + net.dropped_loss +
+                net.dropped_partition + net.dropped_retired +
+                net.in_flight_crossings_at_end)
+      << label << ": crossings=" << net.crossings
+      << " delivered=" << net.delivered_crossings
+      << " loss=" << net.dropped_loss
+      << " partition=" << net.dropped_partition
+      << " retired=" << net.dropped_retired
+      << " in_flight=" << net.in_flight_crossings_at_end;
+}
+
+// ------------------------------------------- zero-rate faults ≡ instant
+
+/// `loss:0`, `reorder:0` and their composites with zero-delay bases are
+/// observably fault-free: they must take the inline delivery path and
+/// reproduce the instant run byte-identically for every protocol, serial
+/// and sharded.
+TEST(NetFaultEquivalenceTest, ZeroRateFaultConfigsMatchInstant) {
+  const char* kSpecs[] = {"loss:0", "reorder:0", "latency:0+loss:0+reorder:0"};
+  for (const ProtoCase& c : kAllProtocols) {
+    SystemConfig config = BaseConfig(c.protocol, c.query, c.eps, c.rank_r);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+      config.shards = shards;
+      config.net = NetConfig{};  // instant
+      auto instant = RunSystem(config);
+      ASSERT_TRUE(instant.ok()) << c.label;
+      for (const char* spec : kSpecs) {
+        auto net = ParseNetSpec(spec);
+        ASSERT_TRUE(net.ok()) << spec;
+        ASSERT_FALSE(net->DelaysDelivery()) << spec;
+        config.net = *net;
+        auto run = RunSystem(config);
+        ASSERT_TRUE(run.ok()) << c.label << " " << spec;
+        ExpectSameRun(*instant, *run, c.label);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ determinism under seed
+
+/// The fault schedule is a pure function of (config, seed): a composite
+/// loss+reorder+partition run replays every observable — including every
+/// fault counter — exactly, serial and sharded alike.
+TEST(NetFaultDeterminismTest, CompositeFaultsReplayExactly) {
+  auto net = ParseNetSpec("latency:3:2+loss:0.08:3+reorder:2+partition:120,240");
+  ASSERT_TRUE(net.ok());
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    SystemConfig config =
+        BaseConfig(ProtocolKind::kFtNrp, QuerySpec::Range(400, 600), 0.2, 0);
+    config.shards = shards;
+    config.net = *net;
+    auto first = RunSystem(config);
+    auto second = RunSystem(config);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    ExpectSameRun(*first, *second, "fault-replay");
+    ExpectSameNetStats(first->net, second->net, "fault-replay");
+    // The faults actually engaged.
+    EXPECT_GT(first->net.dropped_loss, 0u);
+    EXPECT_GT(first->net.dropped_partition, 0u);
+    ExpectConservation(first->net, "fault-replay");
+  }
+}
+
+// ---------------------------------------------- serial ≡ sharded, faulty
+
+/// Under a lossy + delayed composite the sharded engine must reproduce the
+/// serial run for any shard count — fault draws happen in replay order on
+/// the coordinator, so the schedule cannot depend on the partitioning.
+TEST(NetFaultShardedTest, SerialMatchesShardedUnderFaults) {
+  const char* kSpecs[] = {
+      "latency:4+loss:0.05:3",
+      "batch:15+loss:0.1",
+      "latency:2:3+loss:0.05+reorder:2+partition:150,260",
+  };
+  for (const char* spec : kSpecs) {
+    auto net = ParseNetSpec(spec);
+    ASSERT_TRUE(net.ok()) << spec;
+    SystemConfig config =
+        BaseConfig(ProtocolKind::kFtNrp, QuerySpec::Range(400, 600), 0.2, 0);
+    config.net = *net;
+    config.shards = 1;
+    auto serial = RunSystem(config);
+    ASSERT_TRUE(serial.ok()) << spec;
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+      config.shards = shards;
+      auto sharded = RunSystem(config);
+      ASSERT_TRUE(sharded.ok()) << spec;
+      ExpectSameRun(*serial, *sharded, spec);
+      ExpectSameNetStats(serial->net, sharded->net, spec);
+    }
+    ExpectConservation(serial->net, spec);
+  }
+}
+
+// ------------------------------- every protocol terminates under faults
+
+/// Sustained burst loss with retransmitting deploys: all six protocols
+/// complete the run, keep judging, and satisfy the conservation invariant.
+TEST(NetFaultProtocolTest, AllProtocolsTerminateUnderBurstLoss) {
+  auto net = ParseNetSpec("latency:2+loss:0.1:3+rto:8");
+  ASSERT_TRUE(net.ok());
+  for (const ProtoCase& c : kAllProtocols) {
+    SystemConfig config = BaseConfig(c.protocol, c.query, c.eps, c.rank_r);
+    config.net = *net;
+    auto run = RunSystem(config);
+    ASSERT_TRUE(run.ok()) << c.label;
+    EXPECT_GT(run->oracle_checks, 0u) << c.label;
+    EXPECT_LE(run->oracle_violations, run->oracle_checks) << c.label;
+    ExpectConservation(run->net, c.label);
+  }
+}
+
+/// Crossings lost to retirement under loss: a query retiring with updates
+/// in flight closes its books; the invariant still balances with both the
+/// retired and the loss buckets populated.
+TEST(NetFaultLifecycleTest, RetirementAndLossShareTheInvariant) {
+  MultiQueryConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 120;
+  walk.seed = 31;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = 600;
+  config.seed = 31;
+  auto net = ParseNetSpec("latency:25+loss:0.15");
+  ASSERT_TRUE(net.ok());
+  config.net = *net;
+
+  QueryDeployment young;
+  young.name = "young";
+  young.query = QuerySpec::Range(300, 700);
+  young.protocol = ProtocolKind::kZtNrp;
+  young.start = 0;
+  young.end = 200;
+  QueryDeployment old;
+  old.name = "survivor";
+  old.query = QuerySpec::Range(350, 650);
+  old.protocol = ProtocolKind::kZtNrp;
+  config.queries = {young, old};
+
+  auto result = RunMultiQuerySystem(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->net.dropped_retired, 0u);
+  EXPECT_GT(result->net.dropped_loss, 0u);
+  ExpectConservation(result->net, "retire+loss");
+}
+
+// --------------------------------------- deploy state machine, scripted
+
+struct DeployArrival {
+  std::size_t slot;
+  StreamId id;
+  FilterConstraint constraint;
+  SimTime at;
+};
+
+struct FaultRig {
+  Scheduler scheduler;
+  std::unique_ptr<NetworkModel> net;
+  std::vector<DeployArrival> deploys;
+
+  explicit FaultRig(const NetConfig& config, std::uint64_t seed = 7) {
+    net = MakeNetworkModel(config, seed);
+    net->Bind(
+        &scheduler,
+        [](StreamId, const NetworkModel::Payload*, std::size_t, SimTime) {},
+        [this](std::size_t slot, StreamId id, const FilterConstraint& c,
+               SimTime at) {
+          deploys.push_back({slot, id, c, at});
+        });
+  }
+};
+
+/// Scripted timeout + duplicate + lost-ack scenario: deploy at t=0 under
+/// latency:2 with the link down in [1,3) and rto:5. The install arrives at
+/// t=2 and is applied, but its ack evaluates against the down window and is
+/// lost; the timer fires at t=5, the retransmit arrives at t=7 as a
+/// duplicate (suppressed, re-acked), and the ack lands at t=9.
+TEST(NetDeployStateMachineTest, TimeoutRetransmitsAndSuppressesDuplicate) {
+  auto net = ParseNetSpec("latency:2+partition:1,3+rto:5+norecon");
+  ASSERT_TRUE(net.ok());
+  FaultRig rig(*net);
+
+  rig.net->SendDeploy(/*slot=*/4, /*id=*/9,
+                      FilterConstraint::Range(Interval(400, 600)), 0);
+  rig.scheduler.RunUntil(20);
+  rig.net->Finalize(20);
+
+  ASSERT_EQ(rig.deploys.size(), 1u);  // the duplicate was suppressed
+  EXPECT_EQ(rig.deploys[0].slot, 4u);
+  EXPECT_EQ(rig.deploys[0].id, 9u);
+  EXPECT_DOUBLE_EQ(rig.deploys[0].at, 2.0);
+
+  const NetStats& stats = rig.net->stats();
+  EXPECT_EQ(stats.deploy_messages, 1u);
+  EXPECT_EQ(stats.deploy_attempts, 2u);
+  EXPECT_EQ(stats.deploy_retransmits, 1u);
+  EXPECT_EQ(stats.deploy_dropped, 1u);  // the lost ack
+  EXPECT_EQ(stats.deploy_dup_suppressed, 1u);
+  EXPECT_EQ(stats.deploy_acks, 1u);
+  EXPECT_EQ(stats.deploy_stale_acks, 0u);
+  EXPECT_EQ(stats.deploy_unacked_at_end, 0u);
+  EXPECT_EQ(stats.in_flight_at_end, 0u);
+}
+
+/// Supersession: a second install on the same (query, stream) channel
+/// bumps the sequence number before the first ack returns; the stale ack
+/// is ignored and only the newest install's ack settles the channel.
+TEST(NetDeployStateMachineTest, SupersededDeployIgnoresStaleAck) {
+  // The far-away partition window never opens in this script; it only
+  // makes the config faulty so the pipeline (and its ack machinery) runs.
+  auto net = ParseNetSpec("latency:2+partition:900,901+rto:10+norecon");
+  ASSERT_TRUE(net.ok());
+  FaultRig rig(*net);
+
+  const FilterConstraint a = FilterConstraint::Range(Interval(400, 600));
+  const FilterConstraint b = FilterConstraint::Range(Interval(450, 550));
+  rig.net->SendDeploy(/*slot=*/1, /*id=*/3, a, 0);
+  rig.scheduler.RunUntil(1);
+  rig.net->SendDeploy(/*slot=*/1, /*id=*/3, b, 1);
+  rig.scheduler.RunUntil(30);
+  rig.net->Finalize(30);
+
+  ASSERT_EQ(rig.deploys.size(), 2u);
+  EXPECT_TRUE(rig.deploys[0].constraint == a);
+  EXPECT_TRUE(rig.deploys[1].constraint == b);
+  EXPECT_DOUBLE_EQ(rig.deploys[0].at, 2.0);
+  EXPECT_DOUBLE_EQ(rig.deploys[1].at, 3.0);
+
+  const NetStats& stats = rig.net->stats();
+  EXPECT_EQ(stats.deploy_attempts, 2u);
+  EXPECT_EQ(stats.deploy_retransmits, 0u);
+  EXPECT_EQ(stats.deploy_acks, 1u);        // only B's ack counts
+  EXPECT_EQ(stats.deploy_stale_acks, 1u);  // A's ack arrived superseded
+  EXPECT_EQ(stats.deploy_unacked_at_end, 0u);
+}
+
+/// Backoff caps: with rto:5:20 inside a never-healing partition the
+/// retransmit schedule is 5, 15, 35, 55, 75, 95 — seven attempts by t=100.
+/// Uncapped doubling (5, 15, 35, 75, 155) would only reach four.
+TEST(NetDeployStateMachineTest, BackoffIsCappedAtRtoMax) {
+  auto net = ParseNetSpec("partition:0,1000+rto:5:20+norecon");
+  ASSERT_TRUE(net.ok());
+  FaultRig rig(*net);
+
+  rig.net->SendDeploy(/*slot=*/0, /*id=*/0,
+                      FilterConstraint::Range(Interval(100, 200)), 0);
+  rig.scheduler.RunUntil(100);
+  rig.net->Finalize(100);
+
+  const NetStats& stats = rig.net->stats();
+  EXPECT_EQ(stats.deploy_attempts, 7u);
+  EXPECT_EQ(stats.deploy_retransmits, 6u);
+  EXPECT_EQ(stats.deploy_dropped, 7u);  // every copy hit the partition
+  EXPECT_EQ(stats.deploy_acks, 0u);
+  EXPECT_EQ(stats.deploy_unacked_at_end, 1u);
+  EXPECT_EQ(rig.deploys.size(), 0u);
+  EXPECT_EQ(stats.deploy_messages, 0u);
+}
+
+// ----------------------------------------------------- probe resilience
+
+/// A partitioned link fails the probe immediately; a loss:1 link exhausts
+/// the bounded retransmissions. Both report failover so the server serves
+/// its cached value.
+TEST(NetProbeTest, PartitionAndTotalLossFailOver) {
+  auto down = ParseNetSpec("partition:0,1000+norecon");
+  ASSERT_TRUE(down.ok());
+  FaultRig part(*down);
+  EXPECT_FALSE(part.net->ControlRpc(/*id=*/3, /*now=*/50));
+  EXPECT_EQ(part.net->stats().control_rpcs, 1u);
+  EXPECT_EQ(part.net->stats().probe_failovers, 1u);
+  EXPECT_EQ(part.net->stats().probe_retransmits, 0u);
+
+  auto lossy = ParseNetSpec("loss:1");
+  ASSERT_TRUE(lossy.ok());
+  FaultRig total(*lossy);
+  EXPECT_FALSE(total.net->ControlRpc(/*id=*/3, /*now=*/50));
+  EXPECT_EQ(total.net->stats().control_rpcs, 1u);
+  EXPECT_EQ(total.net->stats().probe_failovers, 1u);
+  EXPECT_EQ(total.net->stats().probe_retransmits, 7u);  // 8 attempts
+
+  // A clean link always succeeds and counts no retransmissions.
+  auto clean = ParseNetSpec("latency:2+partition:900,901");
+  ASSERT_TRUE(clean.ok());
+  FaultRig ok(*clean);
+  EXPECT_TRUE(ok.net->ControlRpc(/*id=*/3, /*now=*/50));
+  EXPECT_EQ(ok.net->stats().probe_failovers, 0u);
+}
+
+// -------------------------------------------------- bounded reordering
+
+/// reorder:k holds each surviving message behind at most k later
+/// survivors: arrivals are a permutation with displacement <= k, and
+/// whatever is still held at the horizon is counted in flight.
+TEST(NetReorderTest, DisplacementIsBoundedByK) {
+  auto net = ParseNetSpec("reorder:2");
+  ASSERT_TRUE(net.ok());
+
+  Scheduler scheduler;
+  auto model = MakeNetworkModel(*net, /*seed=*/11);
+  std::vector<std::uint64_t> arrived_seq;
+  model->Bind(
+      &scheduler,
+      [&](StreamId id, const NetworkModel::Payload* payloads,
+          std::size_t count, SimTime) {
+        ASSERT_EQ(id, 5u);
+        ASSERT_EQ(count, 1u);
+        arrived_seq.push_back(payloads[0].seq);
+      },
+      [](std::size_t, StreamId, const FilterConstraint&, SimTime) {});
+
+  const std::vector<std::size_t> slots = {0};
+  const int kSends = 50;
+  for (int i = 0; i < kSends; ++i) {
+    scheduler.RunUntil(static_cast<SimTime>(i));
+    model->SendUpdate(/*id=*/5, static_cast<Value>(i), slots,
+                      scheduler.now());
+  }
+  scheduler.RunUntil(1000);
+  model->Finalize(1000);
+
+  const NetStats& stats = model->stats();
+  EXPECT_EQ(arrived_seq.size() + stats.in_flight_at_end,
+            static_cast<std::size_t>(kSends));
+  EXPECT_EQ(stats.in_flight_crossings_at_end, stats.in_flight_at_end);
+  // Each arrival was overtaken by at most k=2 later sends.
+  std::uint64_t inversions = 0;
+  for (std::size_t i = 0; i < arrived_seq.size(); ++i) {
+    std::uint64_t overtakers = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (arrived_seq[j] > arrived_seq[i]) ++overtakers;
+    }
+    inversions += overtakers;
+    EXPECT_LE(overtakers, 2u) << "arrival " << i;
+  }
+  // The stage actually reorders under this seed.
+  EXPECT_GT(inversions, 0u);
+  // No duplicates: seqs are distinct.
+  std::vector<std::uint64_t> sorted = arrived_seq;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+/// End to end, reordering without loss changes delivery order but loses
+/// nothing: stale payloads are suppressed at the server (counted), and the
+/// conservation invariant holds.
+TEST(NetReorderTest, EndToEndSuppressionIsAccounted) {
+  auto net = ParseNetSpec("latency:1+reorder:3");
+  ASSERT_TRUE(net.ok());
+  SystemConfig config =
+      BaseConfig(ProtocolKind::kZtNrp, QuerySpec::Range(400, 600), 0, 0);
+  config.net = *net;
+  auto run = RunSystem(config);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->net.dropped_loss, 0u);
+  EXPECT_GT(run->net.suppressed_stale, 0u);
+  ExpectConservation(run->net, "reorder-e2e");
+}
+
+// ------------------------------------------- reconnect reconciliation
+
+/// Partition up-edges trigger the summary-vector exchange: with
+/// reconciliation every source reports once per up-edge; `norecon`
+/// suppresses the exchange entirely. Both runs terminate.
+TEST(NetReconcileTest, UpEdgeExchangesRunUnlessDisabled) {
+  SystemConfig config =
+      BaseConfig(ProtocolKind::kZtNrp, QuerySpec::Range(400, 600), 0, 0);
+  auto with = ParseNetSpec("latency:2+partition:150,300");
+  ASSERT_TRUE(with.ok());
+  config.net = *with;
+  auto reconciled = RunSystem(config);
+  ASSERT_TRUE(reconciled.ok());
+  // One up-edge (t=300) x 200 streams.
+  EXPECT_EQ(reconciled->net.reconcile_exchanges, 200u);
+  ExpectConservation(reconciled->net, "reconcile");
+
+  auto without = ParseNetSpec("latency:2+partition:150,300+norecon");
+  ASSERT_TRUE(without.ok());
+  config.net = *without;
+  auto bare = RunSystem(config);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->net.reconcile_exchanges, 0u);
+  EXPECT_EQ(bare->net.reconcile_deploys, 0u);
+  ExpectConservation(bare->net, "norecon");
+}
+
+// ------------------------------------------------ staleness compensation
+
+TEST(NetCompensationTest, ShrinksFiniteBoundsAndCollapsesCrossedBands) {
+  const FilterConstraint range =
+      FilterConstraint::Range(Interval(400, 600));
+  const FilterConstraint shrunk = CompensateConstraint(range, 10);
+  ASSERT_TRUE(shrunk.has_filter());
+  EXPECT_DOUBLE_EQ(shrunk.interval().lo(), 410);
+  EXPECT_DOUBLE_EQ(shrunk.interval().hi(), 590);
+
+  // Margins that cross collapse to the original midpoint.
+  const FilterConstraint collapsed = CompensateConstraint(range, 150);
+  ASSERT_TRUE(collapsed.has_filter());
+  EXPECT_DOUBLE_EQ(collapsed.interval().lo(), 500);
+  EXPECT_DOUBLE_EQ(collapsed.interval().hi(), 500);
+
+  // Infinite bounds stay put; only finite ones move.
+  const FilterConstraint half =
+      FilterConstraint::Range(Interval(-kInf, 600));
+  const FilterConstraint half_shrunk = CompensateConstraint(half, 25);
+  EXPECT_DOUBLE_EQ(half_shrunk.interval().lo(), -kInf);
+  EXPECT_DOUBLE_EQ(half_shrunk.interval().hi(), 575);
+
+  // Pass-through forms are untouched.
+  EXPECT_TRUE(CompensateConstraint(FilterConstraint::NoFilter(), 10) ==
+              FilterConstraint::NoFilter());
+  EXPECT_TRUE(CompensateConstraint(FilterConstraint::FalsePositive(), 10) ==
+              FilterConstraint::FalsePositive());
+  EXPECT_TRUE(CompensateConstraint(FilterConstraint::FalseNegative(), 10) ==
+              FilterConstraint::FalseNegative());
+  // Zero margin is the identity.
+  EXPECT_TRUE(CompensateConstraint(range, 0) == range);
+}
+
+/// comp composes with delay in the engine: the run completes and the
+/// deterministic replay contract still holds.
+TEST(NetCompensationTest, CompensatedRunsAreDeterministic) {
+  auto net = ParseNetSpec("latency:5:2+comp:10");
+  ASSERT_TRUE(net.ok());
+  EXPECT_TRUE(net->DelaysDelivery());
+  SystemConfig config =
+      BaseConfig(ProtocolKind::kZtNrp, QuerySpec::Range(400, 600), 0, 0);
+  config.net = *net;
+  auto first = RunSystem(config);
+  auto second = RunSystem(config);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectSameRun(*first, *second, "comp-replay");
+}
+
+}  // namespace
+}  // namespace asf

@@ -80,6 +80,20 @@ staleness):
   --net=batch:DELTA       sources coalesce crossings, flush every DELTA
   --net=bw:RATE           per-source uplink FIFO, RATE messages/unit
 
+Fault stages (DESIGN.md #11; join with '+' after at most one base model,
+e.g. --net=latency:4+loss:0.05:3+partition:200,400 — deterministic from
+--seed; deploys retransmit with acks and capped exponential backoff,
+probes retry then fail over to the server cache):
+  loss:P[:B]              drop each wire message w.p. P; optional mean
+                          burst length B (Gilbert-Elliott)
+  reorder:K               hold messages behind up to K later survivors;
+                          stale payloads are seqno-suppressed
+  partition:T0,T1[,...]   links down in [T0,T1),[T2,T3),...; summary-
+                          vector reconciliation at each up-edge
+  rto:T[:MAX]             deploy retransmit timeout (auto: 4x latency)
+  comp:G                  shrink installed filter bands by guard G
+  norecon                 disable reconnect reconciliation
+
 Churn mode (open query population; the query/protocol flags above form
 the arrival mix — when --range / --q is given explicitly it pins every
 arrival's query shape, otherwise shapes are drawn at random over the
@@ -396,6 +410,31 @@ Status RunFromFlags(const Flags& flags) {
     table.AddRow({"in flight at horizon",
                   Fmt("%llu",
                       (unsigned long long)result.net.in_flight_at_end)});
+    if (config.net.HasFaults()) {
+      table.AddRow(
+          {"crossings lost / partitioned",
+           Fmt("%llu / %llu", (unsigned long long)result.net.dropped_loss,
+               (unsigned long long)result.net.dropped_partition)});
+      table.AddRow({"stale payloads suppressed",
+                    Fmt("%llu",
+                        (unsigned long long)result.net.suppressed_stale)});
+      table.AddRow(
+          {"deploy retx / acks / unacked",
+           Fmt("%llu / %llu / %llu",
+               (unsigned long long)result.net.deploy_retransmits,
+               (unsigned long long)result.net.deploy_acks,
+               (unsigned long long)result.net.deploy_unacked_at_end)});
+      table.AddRow(
+          {"probe retx / failovers",
+           Fmt("%llu / %llu",
+               (unsigned long long)result.net.probe_retransmits,
+               (unsigned long long)result.net.probe_failovers)});
+      table.AddRow(
+          {"reconcile exchanges / deploys",
+           Fmt("%llu / %llu",
+               (unsigned long long)result.net.reconcile_exchanges,
+               (unsigned long long)result.net.reconcile_deploys)});
+    }
   }
   table.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", table.ToString().c_str());
@@ -439,6 +478,31 @@ Status RunFromFlags(const Flags& flags) {
           static_cast<double>(result.oracle_violations_in_flight));
       metrics.emplace_back("net_in_flight_at_end",
                            static_cast<double>(result.net.in_flight_at_end));
+    }
+    if (config.net.HasFaults()) {
+      metrics.emplace_back("net_dropped_loss",
+                           static_cast<double>(result.net.dropped_loss));
+      metrics.emplace_back("net_dropped_partition",
+                           static_cast<double>(result.net.dropped_partition));
+      metrics.emplace_back("net_suppressed_stale",
+                           static_cast<double>(result.net.suppressed_stale));
+      metrics.emplace_back("net_deploy_retransmits",
+                           static_cast<double>(result.net.deploy_retransmits));
+      metrics.emplace_back("net_deploy_acks",
+                           static_cast<double>(result.net.deploy_acks));
+      metrics.emplace_back(
+          "net_deploy_unacked_at_end",
+          static_cast<double>(result.net.deploy_unacked_at_end));
+      metrics.emplace_back("net_probe_retransmits",
+                           static_cast<double>(result.net.probe_retransmits));
+      metrics.emplace_back("net_probe_failovers",
+                           static_cast<double>(result.net.probe_failovers));
+      metrics.emplace_back(
+          "net_reconcile_exchanges",
+          static_cast<double>(result.net.reconcile_exchanges));
+      metrics.emplace_back(
+          "net_reconcile_deploys",
+          static_cast<double>(result.net.reconcile_deploys));
     }
     ASF_RETURN_IF_ERROR(
         WriteBenchJson(flags.GetString("bench-json"), "asf_run", metrics));
