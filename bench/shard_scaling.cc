@@ -9,10 +9,13 @@
 /// shards whose results are byte-identical to serial (the bench asserts
 /// the physical message count to prove it measures the same run).
 ///
-/// Reported per cell: generated updates per wall second, plus the
-/// machine-stable ratios speedup_s{S} = cell / serial of the same Q.
-/// On a multi-core host the s4 ratio is the headline; on a single
-/// hardware thread it degrades to the epoch pipeline's overhead factor
+/// Reported per cell: generated updates per wall second, the
+/// machine-stable ratios speedup_s{S} = cell / serial of the same Q, and
+/// for sharded cells the measured replay fraction — the share of wall
+/// time spent in the coordinator's replay stage, i.e. the serial term of
+/// the Amdahl curve that replay_workers attacks (DESIGN.md §12). On a
+/// multi-core host the s4 ratio is the headline; on a single hardware
+/// thread it degrades to the epoch pipeline's overhead factor
 /// (EXPERIMENTS.md records which environment produced the checked-in
 /// baseline).
 ///
@@ -57,12 +60,13 @@ int Main(int argc, char** argv) {
   const double scale = bench::Scale();
   const double duration = 1500 * scale;
   const std::size_t kQueries[] = {64, 256};
-  const std::size_t kShards[] = {1, 2, 4};
+  const std::size_t kShards[] = {1, 2, 4, 8, 16};
 
   std::printf("=== shard_scaling (simd backend: %s, %u hardware threads) "
               "===\n",
               simd::KernelBackend(), std::thread::hardware_concurrency());
-  TextTable table({"queries", "shards", "updates/sec", "speedup vs serial"});
+  TextTable table({"queries", "shards", "updates/sec", "speedup vs serial",
+                   "replay frac", "workers"});
   std::vector<std::pair<std::string, double>> metrics;
   metrics.emplace_back("simd_lanes",
                        static_cast<double>(simd::KernelLanes()));
@@ -87,12 +91,21 @@ int Main(int argc, char** argv) {
         ASF_CHECK(result->physical_updates == serial_physical);
       }
       const double speedup = rate / serial_rate;
+      const double replay_fraction =
+          result->wall_seconds > 0
+              ? result->replay_seconds / result->wall_seconds
+              : 0.0;
       table.AddRow({Fmt("%zu", q), Fmt("%zu", s), Fmt("%.3e", rate),
-                    Fmt("%.2fx", speedup)});
+                    Fmt("%.2fx", speedup),
+                    s == 1 ? std::string("-") : Fmt("%.2f", replay_fraction),
+                    s == 1 ? std::string("-")
+                           : Fmt("%zu", result->replay_workers)});
       metrics.emplace_back(
           Fmt("q%zu_s%zu_updates_per_sec", q, s), rate);
       if (s != 1) {
         metrics.emplace_back(Fmt("q%zu_speedup_s%zu", q, s), speedup);
+        metrics.emplace_back(Fmt("q%zu_s%zu_replay_fraction", q, s),
+                             replay_fraction);
       }
     }
   }

@@ -174,6 +174,12 @@ struct SystemConfig {
   std::size_t shards = 1;
   /// Sharded mode's speculation epoch length; <= 0 picks a default.
   SimTime shard_epoch = 0;
+  /// Sharded mode's replay executor count (DESIGN.md §12): 0 picks
+  /// min(shards, hardware); clamped to shards; fault configs run serial
+  /// replay regardless. Byte-identical output at every setting.
+  std::size_t replay_workers = 0;
+  /// Pin the sharded engine's threads to cores (Linux; no-op elsewhere).
+  bool pin_threads = false;
 
   /// How messages travel between server and sources (DESIGN.md §9). The
   /// default instant model reproduces the paper's zero-delay semantics

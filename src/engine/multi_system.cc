@@ -116,6 +116,9 @@ MultiQueryResult RunAndFlatten(Core& core, const MultiQueryConfig& config) {
   result.dispatch_policy = core.dispatch_policy();
   result.dispatch = core.dispatch_stats();
   result.wall_seconds = core.wall_seconds();
+  result.replay_seconds = core.replay_seconds();
+  result.replay_workers = core.replay_workers();
+  result.pinned = core.pinned();
   return result;
 }
 
@@ -137,6 +140,8 @@ Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
     sharded.base = options;
     sharded.shards = config.shards;
     sharded.epoch = config.shard_epoch;
+    sharded.replay_workers = config.replay_workers;
+    sharded.pin_threads = config.pin_threads;
     ShardedSimulationCore core(sharded);
     return RunAndFlatten(core, config);
   }

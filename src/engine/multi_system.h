@@ -55,6 +55,12 @@ struct MultiQueryConfig {
   std::size_t shards = 1;
   /// Sharded mode's speculation epoch length; <= 0 picks a default.
   SimTime shard_epoch = 0;
+  /// Sharded mode's replay executor count (DESIGN.md §12): 0 picks
+  /// min(shards, hardware); clamped to shards; fault configs run serial
+  /// replay regardless. Byte-identical output at every setting.
+  std::size_t replay_workers = 0;
+  /// Pin the sharded engine's threads to cores (Linux; no-op elsewhere).
+  bool pin_threads = false;
 
   /// Message delivery model (DESIGN.md §9); instant by default.
   NetConfig net;
@@ -121,6 +127,12 @@ struct MultiQueryResult {
   std::uint64_t LogicalMaintenanceTotal() const;
 
   double wall_seconds = 0.0;
+  /// Sharded runs: wall seconds spent in the replay stage (the serial
+  /// fraction of the Amdahl curve), the resolved replay executor count,
+  /// and whether thread pinning took effect. Serial runs: 0 / 1 / false.
+  double replay_seconds = 0.0;
+  std::size_t replay_workers = 1;
+  bool pinned = false;
 };
 
 /// Builds and runs a multi-query system.

@@ -86,6 +86,36 @@ void JudgeSlot(QuerySlot& slot, const std::vector<Value>& values);
 void DeliverUpdateToSlot(QuerySlot& slot, StreamId id, Value v, SimTime t,
                          std::uint64_t updates_generated);
 
+/// The per-payload server-arrival gate: retired-query drop accounting and
+/// reorder seq-floor suppression, in one place. Returns true when the
+/// payload must be delivered to the slot. Shared by DeliverWireMessage and
+/// the sharded engine's parallel replay prepass (which admits every
+/// payload serially, in payload order, before fanning the reactions out),
+/// so admission bookkeeping cannot drift between the two paths.
+inline bool AdmitPayload(QuerySlot& slot, NetworkModel& net, StreamId id,
+                         const NetworkModel::Payload& p) {
+  if (!slot.live) {
+    // The query retired while the message was in flight; its books are
+    // closed and its arena column is gone (DESIGN.md §9).
+    net.stats().dropped_retired += p.crossings;
+    return false;
+  }
+  net.stats().delivered_crossings += p.crossings;
+  if (p.seq != 0) {
+    // A reordering link stamped wire seqnos: suppress anything an
+    // overtaker already obsoleted for this (query, stream) pair.
+    if (slot.update_seq_floor.size() <= id) {
+      slot.update_seq_floor.resize(id + 1, 0);
+    }
+    if (p.seq <= slot.update_seq_floor[id]) {
+      net.stats().suppressed_stale += p.crossings;
+      return false;
+    }
+    slot.update_seq_floor[id] = p.seq;
+  }
+  return true;
+}
+
 /// The wire-message arrival sink both engines bind as
 /// NetworkModel::UpdateSink (their OnNetUpdate): one physical message,
 /// per-payload delivery through DeliverUpdateToSlot, retired-query drop
@@ -111,25 +141,7 @@ void DeliverWireMessage(SlotPtrVec& slots, NetworkModel& net,
   for (std::size_t i = 0; i < count; ++i) {
     const NetworkModel::Payload& p = payloads[i];
     QuerySlot& slot = *slots[p.slot];
-    if (!slot.live) {
-      // The query retired while the message was in flight; its books are
-      // closed and its arena column is gone (DESIGN.md §9).
-      net.stats().dropped_retired += p.crossings;
-      continue;
-    }
-    net.stats().delivered_crossings += p.crossings;
-    if (p.seq != 0) {
-      // A reordering link stamped wire seqnos: suppress anything an
-      // overtaker already obsoleted for this (query, stream) pair.
-      if (slot.update_seq_floor.size() <= id) {
-        slot.update_seq_floor.resize(id + 1, 0);
-      }
-      if (p.seq <= slot.update_seq_floor[id]) {
-        net.stats().suppressed_stale += p.crossings;
-        continue;
-      }
-      slot.update_seq_floor[id] = p.seq;
-    }
+    if (!AdmitPayload(slot, net, id, p)) continue;
     DeliverUpdateToSlot(slot, id, p.value, at, updates_generated);
     if (net_delayed) slot.stats.update_delay.Add(at - p.crossed_at);
     delivered = true;

@@ -63,6 +63,12 @@ struct RunResult {
 
   /// Host wall-clock seconds consumed by the run.
   double wall_seconds = 0.0;
+  /// Sharded runs: wall seconds spent in the replay stage (the serial
+  /// fraction of the Amdahl curve), the resolved replay executor count,
+  /// and whether thread pinning took effect. Serial runs: 0 / 1 / false.
+  double replay_seconds = 0.0;
+  std::size_t replay_workers = 1;
+  bool pinned = false;
 
   /// The paper's metric.
   std::uint64_t MaintenanceMessages() const {

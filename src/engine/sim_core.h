@@ -205,6 +205,14 @@ class SimulationCore {
   /// Host wall-clock seconds from construction to the end of Run().
   double wall_seconds() const { return wall_seconds_; }
 
+  /// Serial engine: every reaction runs inline in the one event loop, so
+  /// there is no replay stage to time, one implicit executor, and no
+  /// pinning. Mirrors ShardedSimulationCore so result flattening
+  /// (system.cc / multi_system.cc) stays engine-agnostic.
+  double replay_seconds() const { return 0.0; }
+  std::size_t replay_workers() const { return 1; }
+  bool pinned() const { return false; }
+
  private:
   struct Slot;
 

@@ -1,6 +1,7 @@
 #include "filter/filter_arena.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -215,6 +216,54 @@ bool FilterArena::EvaluateColumn(StreamId id, std::size_t column, Value v) {
   if (inside == ReferenceInside(id, column)) return false;
   SetBit(ref_bits_, id, column, inside);
   return true;
+}
+
+void FilterArena::EvaluateTouched(StreamId id, Value v,
+                                  const std::vector<std::uint32_t>& columns,
+                                  std::vector<std::uint32_t>* fired) {
+  ASF_DCHECK(id < num_streams_);
+  ASF_DCHECK(std::isfinite(v));
+  fired->clear();
+  if (columns.empty()) return;
+  // Below this run length the per-column scalar path beats a 64-lane
+  // inside-mask sweep of the word (scalar builds sweep all 64 lanes).
+  constexpr std::size_t kMinWordRun = 4;
+  const double* lower = lower_.data() + id * stride_;
+  const double* upper = upper_.data() + id * stride_;
+  std::uint64_t* ref = ref_bits_.data() + id * words_;
+  const std::uint64_t* always = always_bits_.data() + id * words_;
+  std::size_t i = 0;
+  while (i < columns.size()) {
+    const std::size_t w = columns[i] / 64;
+    std::size_t run_end = i + 1;
+    std::uint64_t m = std::uint64_t{1} << (columns[i] % 64);
+    while (run_end < columns.size() && columns[run_end] / 64 == w) {
+      m |= std::uint64_t{1} << (columns[run_end] % 64);
+      ++run_end;
+    }
+    if (run_end - i < kMinWordRun) {
+      for (; i < run_end; ++i) {
+        ASF_DCHECK(columns[i] < live_);
+        if (EvaluateColumn(id, columns[i], v)) fired->push_back(columns[i]);
+      }
+      continue;
+    }
+    ASF_DCHECK(columns[run_end - 1] < live_);
+    const std::uint64_t inside =
+        simd::InsideMask64(v, lower + w * 64, upper + w * 64);
+    // EvaluateUpdate's word formulas masked to the touched columns: fire
+    // on a membership flip or a no-filter column, advance the reference
+    // for touched filtered columns only.
+    std::uint64_t fired_w = ((inside ^ ref[w]) | always[w]) & m;
+    const std::uint64_t filt = m & ~always[w];
+    ref[w] = (ref[w] & ~filt) | (inside & filt);
+    while (fired_w != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(fired_w));
+      fired->push_back(static_cast<std::uint32_t>(w * 64 + b));
+      fired_w &= fired_w - 1;
+    }
+    i = run_end;
+  }
 }
 
 void FilterArena::EnableCellTracking(bool enabled) {

@@ -167,6 +167,18 @@ class FilterArena {
   /// mirror reference bit in sync. Returns whether the filter fired.
   bool EvaluateColumn(StreamId id, std::size_t column, Value v);
 
+  /// Batched counterpart of EvaluateColumn for the sharded merge replay:
+  /// evaluates `v` against exactly the live columns in `columns`
+  /// (ascending, deduplicated — TouchedColumns' form), advancing each
+  /// filtered column's membership reference like OnValueChange, and fills
+  /// `*fired` with the subset that fired, ascending. Columns sharing a
+  /// 64-column mask word are evaluated with one SIMD inside-mask and
+  /// three word ops; short word runs fall back to the scalar path so
+  /// sparse touches never pay a full-word sweep.
+  void EvaluateTouched(StreamId id, Value v,
+                       const std::vector<std::uint32_t>& columns,
+                       std::vector<std::uint32_t>* fired);
+
   // --- Policy-aware dispatch (DESIGN.md §10) ---
 
   /// Selects the path DispatchUpdate takes: the SIMD kernel scan

@@ -21,7 +21,8 @@ FaultPipeline::FaultPipeline(const NetConfig& config,
       base_(std::move(base)),
       rng_(seed),
       rto_initial_(config.RtoInitial()),
-      rto_cap_(config.RtoMax()) {
+      rto_cap_(config.RtoMax()),
+      rto_adaptive_(config.rto == 0 && config.rto_adaptive) {
   ASF_CHECK(base_ != nullptr);
 }
 
@@ -158,6 +159,7 @@ void FaultPipeline::SendDeploy(std::size_t slot, StreamId id,
   ch.constraint = constraint;
   ch.pending = true;
   ch.attempt = 0;
+  ch.retransmitted = false;
   Transmit(ch, now, /*reliable=*/false);
 }
 
@@ -188,14 +190,22 @@ void FaultPipeline::Transmit(Channel& ch, SimTime now, bool reliable) {
     ch.pending = false;
     ch.attempt = 0;
   } else {
+    ch.sent_at = now;
     ArmTimer(ch, now);
   }
 }
 
 void FaultPipeline::ArmTimer(Channel& ch, SimTime now) {
+  // Adaptive mode: once the link has a Karn-filtered RTT sample, the
+  // backoff base is its RFC 6298 estimate clamp(srtt + 4·rttvar, 1, cap)
+  // instead of the conservative configured initial. The floor of 1 time
+  // unit keeps instant-base configs on exactly the legacy schedule.
+  double base = rto_initial_;
+  if (rto_adaptive_ && ch.id < rtt_.size() && rtt_[ch.id].has_sample()) {
+    base = rtt_[ch.id].Rto(1.0, rto_cap_);
+  }
   const double backoff = std::min(
-      rto_cap_,
-      std::ldexp(rto_initial_, std::min<std::uint32_t>(ch.attempt, 60)));
+      rto_cap_, std::ldexp(base, std::min<std::uint32_t>(ch.attempt, 60)));
   ++ch.attempt;
   const std::size_t slot = ch.slot;
   const StreamId id = ch.id;
@@ -238,6 +248,12 @@ void FaultPipeline::OnDeployAck(std::size_t slot, StreamId id,
   Channel& ch = channels_[ChannelKey(slot, id)];
   NetStats& s = stats();
   if (ch.pending && seq == ch.seq) {
+    // Karn's rule: only an exchange whose current seq was never
+    // retransmitted yields an unambiguous round trip.
+    if (rto_adaptive_ && !ch.retransmitted) {
+      if (ch.id >= rtt_.size()) rtt_.resize(ch.id + 1);
+      rtt_[ch.id].AddSample(scheduler_->now() - ch.sent_at);
+    }
     ch.pending = false;
     ++s.deploy_acks;
     if (ch.timer_armed) {
@@ -254,6 +270,7 @@ void FaultPipeline::OnDeployTimeout(std::size_t slot, StreamId id) {
   ch.timer_armed = false;
   if (!ch.pending) return;
   ++stats().deploy_retransmits;
+  ch.retransmitted = true;
   Transmit(ch, scheduler_->now(), /*reliable=*/false);
 }
 

@@ -1,6 +1,8 @@
 #ifndef ASF_NET_FAULT_PIPELINE_H_
 #define ASF_NET_FAULT_PIPELINE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -22,8 +24,10 @@
 ///
 ///  * deploys become a retransmitting state machine per (query, stream)
 ///    channel — sequence numbers, transport acks, per-request timeout
-///    with capped exponential backoff, duplicate suppression at the
-///    source, last-writer-wins supersession at the server;
+///    with capped exponential backoff (base adapted per link from an
+///    RFC 6298 SRTT/RTTVAR estimate over Karn-filtered acks unless a
+///    fixed `rto:t` pins it), duplicate suppression at the source,
+///    last-writer-wins supersession at the server;
 ///  * probes stay zero-time RPCs but draw the same loss/partition
 ///    processes, retry a bounded number of times, and fail over to the
 ///    server's cached value when the link is down;
@@ -37,6 +41,42 @@
 /// fully determines the fault schedule and the serial and sharded engines
 /// stay byte-identical under any composite configuration.
 namespace asf {
+
+/// RFC 6298 round-trip-time estimator for one control-plane link:
+/// SRTT/RTTVAR exponential smoothing (gains 1/8 and 1/4), with Karn's
+/// rule applied by the caller — retransmitted exchanges are never
+/// sampled, so a retransmit ack can't be mistaken for a fast original.
+class RttEstimator {
+ public:
+  /// Folds in one measurement. The first sample initialises srtt = R,
+  /// rttvar = R/2 (RFC 6298 §2.2); later samples smooth.
+  void AddSample(double rtt) {
+    if (!has_sample_) {
+      has_sample_ = true;
+      srtt_ = rtt;
+      rttvar_ = rtt / 2.0;
+      return;
+    }
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - rtt);
+    srtt_ = 0.875 * srtt_ + 0.125 * rtt;
+  }
+
+  bool has_sample() const { return has_sample_; }
+  double srtt() const { return srtt_; }
+  double rttvar() const { return rttvar_; }
+
+  /// The retransmission timeout the estimate implies:
+  /// clamp(srtt + 4·rttvar, min_rto, max_rto). Meaningful only once
+  /// has_sample().
+  double Rto(double min_rto, double max_rto) const {
+    return std::min(max_rto, std::max(min_rto, srtt_ + 4.0 * rttvar_));
+  }
+
+ private:
+  bool has_sample_ = false;
+  double srtt_ = 0;
+  double rttvar_ = 0;
+};
 
 class FaultPipeline final : public NetworkModel {
  public:
@@ -91,7 +131,9 @@ class FaultPipeline final : public NetworkModel {
   /// Retransmitting deploy channel, one per (query slot, stream) pair.
   /// `seq` is the last install the server issued, `applied_seq` the last
   /// the source applied; `pending` means the latest install is un-acked
-  /// and a retransmit timer is live.
+  /// and a retransmit timer is live. `sent_at` / `retransmitted` feed the
+  /// adaptive RTO estimator: an ack is RTT-sampled only when the current
+  /// seq was never retransmitted (Karn's rule).
   struct Channel {
     std::size_t slot = 0;
     StreamId id = 0;
@@ -102,6 +144,8 @@ class FaultPipeline final : public NetworkModel {
     std::uint32_t attempt = 0;
     EventId timer = 0;
     bool timer_armed = false;
+    SimTime sent_at = 0;
+    bool retransmitted = false;
   };
 
   static std::uint64_t ChannelKey(std::size_t slot, StreamId id) {
@@ -130,6 +174,13 @@ class FaultPipeline final : public NetworkModel {
   Rng rng_;
   const double rto_initial_;
   const double rto_cap_;
+  /// True when no fixed `rto:t` pins the base and adaptive estimation is
+  /// enabled: ArmTimer derives its base from rtt_ once a link has a
+  /// sample (DESIGN.md §11).
+  const bool rto_adaptive_;
+  /// Per-link (stream id) RTT estimators, shared across query slots —
+  /// the round trip is a property of the link, not of the channel.
+  std::vector<RttEstimator> rtt_;
 
   std::vector<GeChain> up_;    ///< source→server loss chains
   std::vector<GeChain> down_;  ///< server→source loss chains

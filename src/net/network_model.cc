@@ -155,6 +155,17 @@ std::string NetConfig::ToString() const {
       std::snprintf(buf, sizeof(buf), "rto:%g", rto);
     }
     stages.push_back(buf);
+  } else if (!rto_adaptive) {
+    if (rto_max > 0) {
+      std::snprintf(buf, sizeof(buf), "rto:fixed:%g", rto_max);
+    } else {
+      std::snprintf(buf, sizeof(buf), "rto:fixed");
+    }
+    stages.push_back(buf);
+  } else if (rto_max > 0) {
+    // Adaptive is the default; only an explicit cap needs a stage.
+    std::snprintf(buf, sizeof(buf), "rto:adaptive:%g", rto_max);
+    stages.push_back(buf);
   }
   if (comp > 0) {
     std::snprintf(buf, sizeof(buf), "comp:%g", comp);
@@ -309,11 +320,16 @@ Result<NetConfig> ParseNetSpec(const std::string& spec) {
       have_rto = true;
       if (nparams < 1 || nparams > 2) {
         return Status::InvalidArgument(
-            "--net rto expects rto:<timeout>[:<max>]");
+            "--net rto expects rto:<timeout>[:<max>], rto:adaptive[:<max>] "
+            "or rto:fixed[:<max>]");
       }
-      ASF_ASSIGN_OR_RETURN(config.rto, number(stage, parts[1], "timeout"));
-      if (!(config.rto > 0)) {
-        return Status::InvalidArgument("--net rto: timeout must be > 0");
+      if (parts[1] == "adaptive" || parts[1] == "fixed") {
+        config.rto_adaptive = parts[1] == "adaptive";
+      } else {
+        ASF_ASSIGN_OR_RETURN(config.rto, number(stage, parts[1], "timeout"));
+        if (!(config.rto > 0)) {
+          return Status::InvalidArgument("--net rto: timeout must be > 0");
+        }
       }
       if (nparams == 2) {
         ASF_ASSIGN_OR_RETURN(config.rto_max, number(stage, parts[2], "cap"));

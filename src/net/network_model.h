@@ -102,6 +102,14 @@ struct NetConfig {
   double rto = 0;
   /// Retransmission backoff cap; 0 = auto (64·initial).
   double rto_max = 0;
+  /// Adaptive retransmission timeout (`rto:adaptive[:max]`; on by
+  /// default, `rto:fixed[:max]` turns it off). Active only while `rto`
+  /// is 0 (an explicit timeout always wins): each link runs an RFC 6298
+  /// SRTT/RTTVAR estimator over Karn-filtered deploy-ack round trips, and
+  /// once a link has a sample its backoff base becomes
+  /// clamp(srtt + 4·rttvar, 1, cap) instead of the conservative
+  /// RtoInitial(). Links without a sample keep RtoInitial().
+  bool rto_adaptive = true;
   /// Staleness compensation (`comp:g`): every constraint installs at the
   /// source with each finite interval bound pulled inward by g, so
   /// boundary-approaching values report an expected-delay bound early.
@@ -139,7 +147,8 @@ std::string_view NetKindName(NetConfig::Kind kind);
 /// Parses a `--net=` spec: stages joined by `+`, at most one base model
 /// (`instant`, `latency:<d>[:<jitter>]`, `batch:<delta>`, `bw:<rate>`)
 /// plus fault stages `loss:<p>[:<burst>]`, `reorder:<k>`,
-/// `partition:<t0>,<t1>[,...]`, `rto:<t>[:<max>]`, `comp:<g>`, `norecon`.
+/// `partition:<t0>,<t1>[,...]`, `rto:<t>[:<max>]` (or `rto:adaptive[:<max>]`
+/// / `rto:fixed[:<max>]`), `comp:<g>`, `norecon`.
 /// Malformed specs yield a precise InvalidArgument diagnostic.
 Result<NetConfig> ParseNetSpec(const std::string& spec);
 

@@ -662,5 +662,201 @@ TEST(NetCompensationTest, CompensatedRunsAreDeterministic) {
   ExpectSameRun(*first, *second, "comp-replay");
 }
 
+// ------------------------------------------------------- adaptive RTO
+
+TEST(RttEstimatorTest, FollowsRfc6298) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+
+  // First sample: srtt = R, rttvar = R/2, RTO = 3R.
+  est.AddSample(10);
+  ASSERT_TRUE(est.has_sample());
+  EXPECT_DOUBLE_EQ(est.srtt(), 10);
+  EXPECT_DOUBLE_EQ(est.rttvar(), 5);
+  EXPECT_DOUBLE_EQ(est.Rto(1.0, 1000), 30);
+
+  // Steady identical samples: srtt stays, rttvar decays by 3/4 — the
+  // timeout converges down toward srtt.
+  est.AddSample(10);
+  EXPECT_DOUBLE_EQ(est.srtt(), 10);
+  EXPECT_DOUBLE_EQ(est.rttvar(), 3.75);
+  EXPECT_DOUBLE_EQ(est.Rto(1.0, 1000), 25);
+
+  // A deviating sample moves both estimates with gains 1/8 and 1/4.
+  est.AddSample(18);
+  EXPECT_DOUBLE_EQ(est.srtt(), 11);  // 0.875*10 + 0.125*18
+  EXPECT_DOUBLE_EQ(est.rttvar(), 0.75 * 3.75 + 0.25 * 8);
+
+  // Clamps apply at both ends.
+  RttEstimator tiny;
+  tiny.AddSample(0);
+  EXPECT_DOUBLE_EQ(tiny.Rto(1.0, 1000), 1.0);
+  RttEstimator huge;
+  huge.AddSample(500);
+  EXPECT_DOUBLE_EQ(huge.Rto(1.0, 100), 100);
+}
+
+TEST(NetAdaptiveRtoTest, ParsesAdaptiveAndFixedForms) {
+  // Adaptive is the default: no rto stage means rto_adaptive on.
+  auto plain = ParseNetSpec("loss:0.1");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->rto_adaptive);
+  EXPECT_DOUBLE_EQ(plain->rto, 0);
+
+  // Explicit adaptive with no cap canonicalizes away (it IS the default).
+  auto adaptive = ParseNetSpec("latency:5+rto:adaptive");
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_TRUE(adaptive->rto_adaptive);
+  EXPECT_EQ(adaptive->ToString(), "latency:5");
+
+  // An explicit cap keeps a stage and round-trips.
+  auto capped = ParseNetSpec("latency:5+rto:adaptive:160");
+  ASSERT_TRUE(capped.ok());
+  EXPECT_TRUE(capped->rto_adaptive);
+  EXPECT_DOUBLE_EQ(capped->rto_max, 160);
+  EXPECT_EQ(capped->ToString(), "latency:5+rto:adaptive:160");
+  auto again = ParseNetSpec(capped->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), capped->ToString());
+
+  // rto:fixed pins the legacy auto-initial schedule and round-trips.
+  auto fixed = ParseNetSpec("latency:5+rto:fixed");
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_FALSE(fixed->rto_adaptive);
+  EXPECT_DOUBLE_EQ(fixed->rto, 0);
+  EXPECT_EQ(fixed->ToString(), "latency:5+rto:fixed");
+  auto fixed_cap = ParseNetSpec("rto:fixed:40");
+  ASSERT_TRUE(fixed_cap.ok());
+  EXPECT_FALSE(fixed_cap->rto_adaptive);
+  EXPECT_DOUBLE_EQ(fixed_cap->rto_max, 40);
+  EXPECT_EQ(fixed_cap->ToString(), "rto:fixed:40");
+
+  // A numeric timeout always wins over the adaptive flag.
+  auto numeric = ParseNetSpec("rto:4:32");
+  ASSERT_TRUE(numeric.ok());
+  EXPECT_DOUBLE_EQ(numeric->rto, 4);
+
+  // Malformed forms are rejected.
+  EXPECT_FALSE(ParseNetSpec("rto:adaptive:x").ok());
+  EXPECT_FALSE(ParseNetSpec("rto:bogus").ok());
+  EXPECT_FALSE(ParseNetSpec("rto:adaptive:1:2").ok());
+}
+
+/// Warm link, then an outage: five clean deploy/ack exchanges (RTT = 2x
+/// latency = 10 each) train the link's estimator, so the retransmit timer
+/// for a copy lost at t=100 fires at the adaptive base
+/// srtt + 4*rttvar = 10 + 4*(5 * 0.75^4) — earlier than the conservative
+/// auto initial 4*latency = 20 that `rto:fixed` keeps.
+TEST(NetAdaptiveRtoTest, TrainedLinkRetransmitsAtAdaptiveBase) {
+  const double kAdaptiveBase = 10 + 4 * (5 * 0.75 * 0.75 * 0.75 * 0.75);
+  struct Variant {
+    const char* spec;
+    double base;  // backoff base in effect at the t=100 timeout
+  };
+  const Variant kVariants[] = {
+      {"latency:5+partition:100,103+norecon", kAdaptiveBase},
+      {"latency:5+partition:100,103+norecon+rto:fixed", 20.0},
+  };
+  for (const Variant& v : kVariants) {
+    auto net = ParseNetSpec(v.spec);
+    ASSERT_TRUE(net.ok()) << v.spec;
+    FaultRig rig(*net);
+    const FilterConstraint c = FilterConstraint::Range(Interval(400, 600));
+    // Five priming exchanges on link id=3, one per channel (the estimator
+    // is per link, shared across query slots).
+    for (std::size_t k = 0; k < 5; ++k) {
+      rig.scheduler.RunUntil(static_cast<SimTime>(20 * k));
+      rig.net->SendDeploy(/*slot=*/k, /*id=*/3, c, rig.scheduler.now());
+    }
+    rig.scheduler.RunUntil(100);
+    // This copy hits the down window [100,103) and is dropped; the
+    // retransmit goes out one backoff base later and arrives after the
+    // one-way latency.
+    rig.net->SendDeploy(/*slot=*/9, /*id=*/3, c, 100);
+    rig.scheduler.RunUntil(200);
+    rig.net->Finalize(200);
+
+    ASSERT_EQ(rig.deploys.size(), 6u) << v.spec;
+    EXPECT_DOUBLE_EQ(rig.deploys.back().at, 100 + v.base + 5) << v.spec;
+    EXPECT_EQ(rig.net->stats().deploy_retransmits, 1u) << v.spec;
+    EXPECT_EQ(rig.net->stats().deploy_unacked_at_end, 0u) << v.spec;
+  }
+}
+
+/// Karn's rule: an exchange that needed a retransmit yields no RTT sample
+/// (its ack is ambiguous), so a later timeout on the same link still uses
+/// the conservative auto initial base, not a bogus estimate.
+TEST(NetAdaptiveRtoTest, RetransmittedExchangesAreNotSampled) {
+  auto net = ParseNetSpec("latency:5+partition:0,8,40,48+norecon");
+  ASSERT_TRUE(net.ok());
+  FaultRig rig(*net);
+  const FilterConstraint c = FilterConstraint::Range(Interval(400, 600));
+
+  // First install: the t=0 copy hits [0,8) and is dropped; the timeout
+  // fires at the auto initial 4*latency = 20, the retransmit arrives at
+  // 25 and its ack settles the channel — but the exchange was ambiguous,
+  // so no sample is recorded.
+  rig.net->SendDeploy(/*slot=*/0, /*id=*/7, c, 0);
+  rig.scheduler.RunUntil(40);
+  // Second install: the t=40 copy hits [40,48). If the first exchange had
+  // (wrongly) been sampled the timer base would differ from 20; unsampled,
+  // the retransmit again goes out exactly 20 later and arrives at 65.
+  rig.net->SendDeploy(/*slot=*/1, /*id=*/7, c, 40);
+  rig.scheduler.RunUntil(200);
+  rig.net->Finalize(200);
+
+  ASSERT_EQ(rig.deploys.size(), 2u);
+  EXPECT_DOUBLE_EQ(rig.deploys[0].at, 25.0);
+  EXPECT_DOUBLE_EQ(rig.deploys[1].at, 65.0);
+  EXPECT_EQ(rig.net->stats().deploy_retransmits, 2u);
+}
+
+/// Instant-base configs: a zero round trip clamps the adaptive base to
+/// exactly the legacy auto initial max(1, 0) = 1, so adaptive and fixed
+/// schedules coincide and whole runs stay byte-identical.
+TEST(NetAdaptiveRtoTest, InstantBaseAdaptiveMatchesFixedExactly) {
+  auto net = ParseNetSpec("loss:0.12:3");
+  ASSERT_TRUE(net.ok());
+  SystemConfig config =
+      BaseConfig(ProtocolKind::kFtNrp, QuerySpec::Range(400, 600), 0.2, 0);
+  config.net = *net;
+  auto adaptive = RunSystem(config);
+  ASSERT_TRUE(adaptive.ok());
+  config.net.rto_adaptive = false;
+  auto fixed = RunSystem(config);
+  ASSERT_TRUE(fixed.ok());
+  ExpectSameRun(*adaptive, *fixed, "instant-adaptive");
+  ExpectSameNetStats(adaptive->net, fixed->net, "instant-adaptive");
+  EXPECT_GT(adaptive->net.deploy_retransmits, 0u);
+}
+
+/// Adaptive timers live on the coordinator's replayed-event order, so the
+/// serial and sharded engines agree under a delayed lossy composite with
+/// retransmissions actually happening, and runs replay exactly.
+TEST(NetAdaptiveRtoTest, SerialMatchesShardedWithAdaptiveRto) {
+  auto net = ParseNetSpec("latency:4+loss:0.1:2");
+  ASSERT_TRUE(net.ok());
+  ASSERT_TRUE(net->rto_adaptive);
+  SystemConfig config =
+      BaseConfig(ProtocolKind::kFtNrp, QuerySpec::Range(400, 600), 0.2, 0);
+  config.net = *net;
+  config.shards = 1;
+  auto serial = RunSystem(config);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial->net.deploy_retransmits, 0u);
+  auto replay = RunSystem(config);
+  ASSERT_TRUE(replay.ok());
+  ExpectSameRun(*serial, *replay, "adaptive-replay");
+  ExpectSameNetStats(serial->net, replay->net, "adaptive-replay");
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    config.shards = shards;
+    auto sharded = RunSystem(config);
+    ASSERT_TRUE(sharded.ok());
+    ExpectSameRun(*serial, *sharded, "adaptive-sharded");
+    ExpectSameNetStats(serial->net, sharded->net, "adaptive-sharded");
+  }
+  ExpectConservation(serial->net, "adaptive");
+}
+
 }  // namespace
 }  // namespace asf

@@ -99,17 +99,25 @@ MultiQueryConfig ProtocolConfig(ProtocolKind protocol) {
 
 /// Drives ShardedSimulationCore directly (the public entry point routes
 /// shards == 1 to the serial engine, and the epoch machinery must hold for
-/// one shard too).
+/// one shard too). `replay_workers` forces the replay executor count —
+/// essential on small CI hosts, where the 0 = auto default resolves to the
+/// core count and would never exercise the parallel fan-out.
 MultiQueryResult RunShardedDirect(const MultiQueryConfig& config,
-                                  std::size_t shards) {
+                                  std::size_t shards,
+                                  std::size_t replay_workers = 0,
+                                  bool pin_threads = false) {
   ShardedSimulationCore::Options options;
   options.base.source = config.source;
   options.base.duration = config.duration;
   options.base.query_start = config.query_start;
   options.base.seed = config.seed;
   options.base.oracle = config.oracle;
+  options.base.net = config.net;
+  options.base.dispatch = config.dispatch;
   options.shards = shards;
   options.epoch = config.shard_epoch;
+  options.replay_workers = replay_workers;
+  options.pin_threads = pin_threads;
   ShardedSimulationCore core(options);
   for (const QueryDeployment& dep : config.queries) core.AddQuery(dep);
   core.Run();
@@ -332,6 +340,179 @@ TEST(ShardedCoreTest, IndexDispatchByteIdenticalUnderBatchedDelivery) {
     ExpectSameResult(*scan, *index,
                      "batched index shards=" + std::to_string(shards));
   }
+}
+
+// --- Parallel replay (DESIGN.md §12) ---
+//
+// With replay_workers > 1 the coordinator fans per-query reactions of a
+// multi-payload wire message out across the worker pool, journaling shared
+// side effects and committing them in payload order. Every observable must
+// stay byte-identical to the serial engine for every (shards, workers)
+// combination; these tests force worker counts explicitly so the fan-out
+// runs even on single-core hosts.
+
+/// Six heavily-overlapping queries over one walk population, with a late
+/// arrival and a mid-run retirement: most crossings fan out to >= 4 query
+/// slots, which is the engine's parallel-replay payload threshold.
+MultiQueryConfig OverlapConfig(ProtocolKind protocol) {
+  MultiQueryConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 80;
+  walk.seed = 13;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = 500;
+  config.seed = 29;
+  config.oracle.sample_interval = 90;
+
+  const bool rank = protocol == ProtocolKind::kRtp ||
+                    protocol == ProtocolKind::kZtRp ||
+                    protocol == ProtocolKind::kFtRp;
+  for (int i = 0; i < 6; ++i) {
+    QueryDeployment dep;
+    dep.name = "q" + std::to_string(i);
+    if (rank) {
+      dep.query = QuerySpec::Knn(4 + i, 470.0 + 12.0 * i);
+    } else {
+      dep.query = QuerySpec::Range(200.0 + 15.0 * i, 690.0 + 12.0 * i);
+    }
+    dep.protocol = protocol;
+    dep.rank_r = 2;
+    dep.fraction.eps_plus = 0.25;
+    dep.fraction.eps_minus = 0.25;
+    if (i == 4) dep.start = 140.5;   // late arrival
+    if (i == 5) dep.end = 380.25;    // mid-run retirement
+    config.queries.push_back(dep);
+  }
+  return config;
+}
+
+TEST(ParallelReplayTest, ByteIdenticalAcrossProtocolsShardsAndWorkers) {
+  const ProtocolKind protocols[] = {
+      ProtocolKind::kNoFilter, ProtocolKind::kZtNrp, ProtocolKind::kFtNrp,
+      ProtocolKind::kRtp,      ProtocolKind::kZtRp,  ProtocolKind::kFtRp};
+  for (ProtocolKind protocol : protocols) {
+    MultiQueryConfig config = OverlapConfig(protocol);
+    auto serial = RunMultiQuerySystem(config);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+      for (std::size_t workers : {2u, 4u}) {
+        const MultiQueryResult sharded =
+            RunShardedDirect(config, shards, workers);
+        ExpectSameResult(*serial, sharded,
+                         std::string(ProtocolKindName(protocol)) + " shards=" +
+                             std::to_string(shards) + " workers=" +
+                             std::to_string(workers));
+      }
+    }
+  }
+}
+
+TEST(ParallelReplayTest, RepeatedRunsAndOddWorkerCountsReplayExactly) {
+  MultiQueryConfig config = OverlapConfig(ProtocolKind::kFtNrp);
+  const MultiQueryResult first = RunShardedDirect(config, 4, 4);
+  const MultiQueryResult second = RunShardedDirect(config, 4, 4);
+  ExpectSameResult(first, second, "repeat workers=4");
+  const MultiQueryResult odd = RunShardedDirect(config, 4, 3);
+  ExpectSameResult(first, odd, "workers=3");
+  const MultiQueryResult one = RunShardedDirect(config, 4, 1);
+  ExpectSameResult(first, one, "workers=1");
+}
+
+TEST(ParallelReplayTest, ByteIdenticalOnChurnSchedule) {
+  MultiQueryConfig config;
+  RandomWalkConfig walk;
+  walk.num_streams = 70;
+  walk.seed = 5;
+  config.source = SourceSpec::Walk(walk);
+  config.duration = 900;
+  config.seed = 7;
+  config.oracle.sample_interval = 120;
+
+  ChurnSpec spec;
+  spec.arrival_rate = 0.05;
+  spec.mean_lifetime = 220;
+  spec.seed = 31;
+  auto deployments = ExpandChurn(spec, config.duration);
+  ASSERT_TRUE(deployments.ok());
+  config.queries = std::move(deployments).value();
+
+  auto serial = RunMultiQuerySystem(config);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (std::size_t shards : {2u, 4u, 8u}) {
+    for (std::size_t workers : {2u, 4u}) {
+      MultiQueryConfig sharded_config = config;
+      sharded_config.shards = shards;
+      sharded_config.replay_workers = workers;
+      auto sharded = RunMultiQuerySystem(sharded_config);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ExpectSameResult(*serial, *sharded,
+                       "churn shards=" + std::to_string(shards) +
+                           " workers=" + std::to_string(workers));
+      // The explicit worker request survives resolution (clamped to the
+      // shard count, never to the host's core count).
+      EXPECT_EQ(sharded->replay_workers, std::min(workers, shards));
+    }
+  }
+}
+
+TEST(ParallelReplayTest, ByteIdenticalUnderDelayedNets) {
+  const char* kSpecs[] = {"batch:7.5", "latency:3:2"};
+  for (const char* spec : kSpecs) {
+    auto net = ParseNetSpec(spec);
+    ASSERT_TRUE(net.ok()) << spec;
+    MultiQueryConfig config = OverlapConfig(ProtocolKind::kFtNrp);
+    config.net = *net;
+    auto serial = RunMultiQuerySystem(config);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (std::size_t shards : {2u, 8u}) {
+      const MultiQueryResult sharded = RunShardedDirect(config, shards, 4);
+      ExpectSameResult(*serial, sharded,
+                       std::string(spec) + " shards=" +
+                           std::to_string(shards));
+    }
+  }
+}
+
+TEST(ParallelReplayTest, FaultyNetsForceSerialReplayAndStayIdentical) {
+  // Fault stages branch protocol reactions on probe failover results, so
+  // the engine must resolve any worker request down to serial replay —
+  // and still match the serial engine exactly.
+  auto net = ParseNetSpec("latency:2+loss:0.06:2");
+  ASSERT_TRUE(net.ok());
+  MultiQueryConfig config = OverlapConfig(ProtocolKind::kFtNrp);
+  config.net = *net;
+  auto serial = RunMultiQuerySystem(config);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (std::size_t shards : {2u, 4u}) {
+    MultiQueryConfig sharded_config = config;
+    sharded_config.shards = shards;
+    sharded_config.replay_workers = 4;
+    auto sharded = RunMultiQuerySystem(sharded_config);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ExpectSameResult(*serial, *sharded,
+                     "faulty shards=" + std::to_string(shards));
+    EXPECT_EQ(sharded->replay_workers, 1u);
+    EXPECT_EQ(serial->net.delivered_crossings,
+              sharded->net.delivered_crossings);
+    EXPECT_EQ(serial->net.deploy_retransmits, sharded->net.deploy_retransmits);
+    EXPECT_EQ(serial->net.dropped_loss, sharded->net.dropped_loss);
+  }
+}
+
+TEST(ParallelReplayTest, PinnedRunsStayByteIdentical) {
+  MultiQueryConfig config = OverlapConfig(ProtocolKind::kZtNrp);
+  auto serial = RunMultiQuerySystem(config);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  MultiQueryConfig sharded_config = config;
+  sharded_config.shards = 4;
+  sharded_config.replay_workers = 4;
+  sharded_config.pin_threads = true;
+  auto pinned = RunMultiQuerySystem(sharded_config);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  ExpectSameResult(*serial, *pinned, "pinned shards=4");
+#if defined(__linux__)
+  EXPECT_TRUE(pinned->pinned);
+#endif
 }
 
 TEST(ShardedCoreTest, RejectsCrossShardTraceTimestampTies) {

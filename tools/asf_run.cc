@@ -61,9 +61,15 @@ Auditing:
   --oracle-interval=T     sample the correctness oracle every T time units
   --oracle-every-update   audit after every update (slow)
 
-Sharding (byte-identical to the serial engine for any shard count):
+Sharding (byte-identical to the serial engine for any shard count and
+any replay worker count):
   --shards=S              partition streams across S worker shards  [1]
   --epoch=T               speculation epoch length (0 = auto)       [0]
+  --replay-workers=W      executors the replay stage fans per-query
+                          reactions across (0 = one per core, capped
+                          at S; fault nets replay serially)         [0]
+  --pin                   pin the coordinator and shard threads to
+                          cores (Linux best-effort; no-op elsewhere)
 
 Dispatch (DESIGN.md #10; every policy produces byte-identical results,
 only wall time differs):
@@ -90,7 +96,11 @@ probes retry then fail over to the server cache):
                           stale payloads are seqno-suppressed
   partition:T0,T1[,...]   links down in [T0,T1),[T2,T3),...; summary-
                           vector reconciliation at each up-edge
-  rto:T[:MAX]             deploy retransmit timeout (auto: 4x latency)
+  rto:T[:MAX]             fixed deploy retransmit timeout; without it
+                          the base adapts per link (RFC 6298 SRTT/
+                          RTTVAR over acked round trips, Karn-filtered)
+  rto:adaptive[:MAX]      adaptive (the default), with an explicit cap
+  rto:fixed[:MAX]         legacy fixed base (auto: 4x latency)
   comp:G                  shrink installed filter bands by guard G
   norecon                 disable reconnect reconciliation
 
@@ -190,6 +200,8 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   config.oracle = base.oracle;
   config.shards = base.shards;
   config.shard_epoch = base.shard_epoch;
+  config.replay_workers = base.replay_workers;
+  config.pin_threads = base.pin_threads;
   config.net = base.net;
   config.dispatch = base.dispatch;
   ASF_ASSIGN_OR_RETURN(config.queries, ExpandChurn(spec, config.duration));
@@ -243,6 +255,17 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
                    Fmt("%llu",
                        (unsigned long long)result.net.dropped_retired)});
   }
+  if (config.shards > 1) {
+    totals.AddRow(
+        {"replay seconds",
+         Fmt("%.3f (%.1f%% of wall)", result.replay_seconds,
+             result.wall_seconds > 0
+                 ? 100.0 * result.replay_seconds / result.wall_seconds
+                 : 0.0)});
+    totals.AddRow({"replay workers",
+                   Fmt("%zu%s", result.replay_workers,
+                       result.pinned ? " (pinned)" : "")});
+  }
   totals.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", totals.ToString().c_str());
 
@@ -269,6 +292,13 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
           static_cast<double>(result.dispatch.index_rebuilds)},
          {"dispatch_rebuilds_max_stream",
           static_cast<double>(result.dispatch.max_stream_rebuilds)},
+         {"replay_seconds", result.replay_seconds},
+         {"replay_fraction",
+          result.wall_seconds > 0
+              ? result.replay_seconds / result.wall_seconds
+              : 0.0},
+         {"replay_workers", static_cast<double>(result.replay_workers)},
+         {"pinned", result.pinned ? 1.0 : 0.0},
          {"wall_seconds", result.wall_seconds}}));
     std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
   }
@@ -304,6 +334,13 @@ Status RunFromFlags(const Flags& flags) {
   if (shards < 1) return Status::InvalidArgument("--shards must be >= 1");
   config.shards = static_cast<std::size_t>(shards);
   ASF_ASSIGN_OR_RETURN(config.shard_epoch, flags.GetDouble("epoch", 0));
+  ASF_ASSIGN_OR_RETURN(const std::int64_t replay_workers,
+                       flags.GetInt("replay-workers", 0));
+  if (replay_workers < 0) {
+    return Status::InvalidArgument("--replay-workers must be >= 0");
+  }
+  config.replay_workers = static_cast<std::size_t>(replay_workers);
+  ASF_ASSIGN_OR_RETURN(config.pin_threads, flags.GetBool("pin", false));
   if (flags.Has("net")) {
     ASF_ASSIGN_OR_RETURN(config.net, ParseNetSpec(flags.GetString("net")));
   }
@@ -436,6 +473,17 @@ Status RunFromFlags(const Flags& flags) {
                (unsigned long long)result.net.reconcile_deploys)});
     }
   }
+  if (config.shards > 1) {
+    table.AddRow(
+        {"replay seconds",
+         Fmt("%.3f (%.1f%% of wall)", result.replay_seconds,
+             result.wall_seconds > 0
+                 ? 100.0 * result.replay_seconds / result.wall_seconds
+                 : 0.0)});
+    table.AddRow({"replay workers",
+                  Fmt("%zu%s", result.replay_workers,
+                      result.pinned ? " (pinned)" : "")});
+  }
   table.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", table.ToString().c_str());
 
@@ -463,6 +511,12 @@ Status RunFromFlags(const Flags& flags) {
          static_cast<double>(result.dispatch.index_rebuilds)},
         {"dispatch_rebuilds_max_stream",
          static_cast<double>(result.dispatch.max_stream_rebuilds)},
+        {"replay_seconds", result.replay_seconds},
+        {"replay_fraction", result.wall_seconds > 0
+                                ? result.replay_seconds / result.wall_seconds
+                                : 0.0},
+        {"replay_workers", static_cast<double>(result.replay_workers)},
+        {"pinned", result.pinned ? 1.0 : 0.0},
         {"wall_seconds", result.wall_seconds}};
     if (config.net.DelaysDelivery()) {
       metrics.emplace_back(
