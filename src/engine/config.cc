@@ -120,6 +120,7 @@ Status SystemConfig::Validate() const {
   }
   ASF_RETURN_IF_ERROR(ValidateSharding(shards, source));
   ASF_RETURN_IF_ERROR(net.Validate());
+  ASF_RETURN_IF_ERROR(spill.Validate());
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "engine/spill_config.h"
 #include "filter/dispatch.h"
 #include "net/network_model.h"
 #include "protocol/options.h"
@@ -195,6 +196,10 @@ struct SystemConfig {
   /// ASF_DISPATCH environment override (an explicit scan/index config
   /// beats the environment).
   DispatchPolicy dispatch = DispatchPolicy::kAuto;
+
+  /// Out-of-core retired-query state (DESIGN.md §13; `asf_run --spill`).
+  /// Disabled by default; results are byte-identical either way.
+  SpillConfig spill;
 
   Status Validate() const;
 };

@@ -52,6 +52,7 @@ Status MultiQueryConfig::Validate() const {
   }
   ASF_RETURN_IF_ERROR(ValidateSharding(shards, source));
   ASF_RETURN_IF_ERROR(net.Validate());
+  ASF_RETURN_IF_ERROR(spill.Validate());
   return Status::OK();
 }
 
@@ -119,6 +120,9 @@ MultiQueryResult RunAndFlatten(Core& core, const MultiQueryConfig& config) {
   result.replay_seconds = core.replay_seconds();
   result.replay_workers = core.replay_workers();
   result.pinned = core.pinned();
+  // Snapshot after flattening so the telemetry includes the faults the
+  // per-query loop above just triggered.
+  result.spill = core.spill_telemetry();
   return result;
 }
 
@@ -135,6 +139,7 @@ Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
   options.oracle = config.oracle;
   options.net = config.net;
   options.dispatch = config.dispatch;
+  options.spill = config.spill;
   if (config.shards > 1) {
     ShardedSimulationCore::Options sharded;
     sharded.base = options;

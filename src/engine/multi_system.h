@@ -68,6 +68,10 @@ struct MultiQueryConfig {
   /// Update-dispatch policy (DESIGN.md §10; see SystemConfig::dispatch).
   DispatchPolicy dispatch = DispatchPolicy::kAuto;
 
+  /// Out-of-core retired-query state (DESIGN.md §13; `asf_run --spill`).
+  /// Disabled by default; results are byte-identical either way.
+  SpillConfig spill;
+
   Status Validate() const;
 };
 
@@ -133,6 +137,11 @@ struct MultiQueryResult {
   double replay_seconds = 0.0;
   std::size_t replay_workers = 1;
   bool pinned = false;
+
+  /// Out-of-core spill accounting (DESIGN.md §13); all zero when
+  /// config.spill is off. Performance telemetry only — the results above
+  /// are byte-identical with and without spilling.
+  SpillTelemetry spill;
 };
 
 /// Builds and runs a multi-query system.

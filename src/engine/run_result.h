@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "engine/spill_config.h"
 #include "filter/dispatch.h"
 #include "net/message_stats.h"
 #include "net/network_model.h"
@@ -69,6 +70,11 @@ struct RunResult {
   double replay_seconds = 0.0;
   std::size_t replay_workers = 1;
   bool pinned = false;
+
+  /// Out-of-core spill accounting (DESIGN.md §13); all zero when
+  /// config.spill is off. Telemetry only — results are byte-identical
+  /// with and without spilling.
+  SpillTelemetry spill;
 
   /// The paper's metric.
   std::uint64_t MaintenanceMessages() const {

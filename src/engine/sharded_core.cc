@@ -10,6 +10,7 @@
 
 #include "engine/config.h"
 #include "engine/query_slot.h"
+#include "engine/spill.h"
 
 namespace asf {
 
@@ -72,6 +73,11 @@ ShardedSimulationCore::ShardedSimulationCore(const Options& options)
       MakeStreams(options_.base.source);
   ASF_CHECK(initial != nullptr);
   values_ = initial->values();
+
+  if (options_.base.spill.enabled()) {
+    spiller_ = engine_internal::QueryStateSpiller::Create(options_.base.spill,
+                                                          "sharded");
+  }
 
   const DispatchPolicy dispatch =
       ResolveDispatchPolicy(options_.base.dispatch);
@@ -139,8 +145,22 @@ std::size_t ShardedSimulationCore::DeployQuery(
   ASF_CHECK_MSG(!ran_, "DeployQuery after Run()");
   ASF_CHECK_MSG(at >= 0 && at < options_.base.duration,
                 "deploy time outside [0, duration)");
-  const std::size_t n = values_.size();
   const std::size_t index = slots_.size();
+  // Lightweight record until the deploy barrier wires the runtime
+  // (WireSlot) — same lazy-wiring contract as the serial engine
+  // (DESIGN.md §13).
+  auto slot = std::make_unique<Slot>();
+  slot->deployment = deployment;
+  slot->index = index;
+  slot->deploy_at = at;
+  slot->stats.name = deployment.name;
+  slots_.push_back(std::move(slot));
+  if (deployment.end != kNeverRetire) RetireQuery(index, deployment.end);
+  return index;
+}
+
+void ShardedSimulationCore::WireSlot(std::size_t index) {
+  const std::size_t n = values_.size();
 
   // The wires between this query's server context and the shard-resident
   // filters. Values come from the coordinator's merged view (exact at the
@@ -200,15 +220,12 @@ std::size_t ShardedSimulationCore::DeployQuery(
     };
     return transport;
   };
-  auto slot = std::make_unique<Slot>();
-  engine_internal::WireQuerySlot(slot.get(), deployment, at, n,
+  Slot& slot = *slots_[index];
+  engine_internal::WireQuerySlot(&slot, slot.deployment, slot.deploy_at, n,
                                  options_.base.seed, index, make_transport);
   // Lets protocols relax their zero-delay belief assertions while
   // messages may be in transit (DESIGN.md §9).
-  slot->ctx->set_delayed_delivery(net_delayed_);
-  slots_.push_back(std::move(slot));
-  if (deployment.end != kNeverRetire) RetireQuery(index, deployment.end);
-  return index;
+  slot.ctx->set_delayed_delivery(net_delayed_);
 }
 
 void ShardedSimulationCore::RetireQuery(std::size_t slot, SimTime at) {
@@ -247,6 +264,7 @@ void ShardedSimulationCore::RebindLiveViews() {
 void ShardedSimulationCore::InstallSlot(std::size_t index, SimTime at) {
   Slot& slot = *slots_[index];
   ASF_CHECK(!slot.live);
+  WireSlot(index);
 
   // Take the same column in every shard arena; the arenas evolve in
   // lockstep, so the indices (and generations) always agree.
@@ -296,6 +314,15 @@ void ShardedSimulationCore::RetireSlot(std::size_t index, SimTime at) {
   slot.column = FilterArena::kNoColumn;
   *slot.filters = FilterBank();  // detach: any further access trips checks
   RebindLiveViews();
+
+  // Retires run at epoch barriers with every shard quiescent, so the
+  // coordinator can park the closed books on pages and free the hot
+  // copies right here (DESIGN.md §13). The journal is empty between wire
+  // messages; drop its capacity along with the rest.
+  if (spiller_) {
+    slot.journal.shrink_to_fit();
+    engine_internal::SpillRetiredSlot(*spiller_, slot);
+  }
 }
 
 void ShardedSimulationCore::FlushAnswerSamples(Slot& slot,
@@ -827,7 +854,12 @@ void ShardedSimulationCore::Run() {
 
 const QueryRunStats& ShardedSimulationCore::query_stats(std::size_t i) const {
   ASF_CHECK(i < slots_.size());
+  engine_internal::EnsureStatsResident(spiller_.get(), *slots_[i]);
   return slots_[i]->stats;
+}
+
+SpillTelemetry ShardedSimulationCore::spill_telemetry() const {
+  return spiller_ ? spiller_->Telemetry() : SpillTelemetry();
 }
 
 DispatchStats ShardedSimulationCore::dispatch_stats() const {

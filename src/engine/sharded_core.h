@@ -109,6 +109,8 @@ class ShardedSimulationCore {
 
   std::size_t num_queries() const { return slots_.size(); }
   const QueryRunStats& query_stats(std::size_t i) const;
+  /// Out-of-core spill accounting; all zero when base.spill is off.
+  SpillTelemetry spill_telemetry() const;
   std::uint64_t updates_generated() const { return updates_generated_; }
   std::uint64_t physical_updates() const { return physical_updates_; }
   std::size_t peak_live_queries() const { return peak_live_; }
@@ -184,6 +186,9 @@ class ShardedSimulationCore {
 
   void RunOracle(Slot& slot);
   void OracleTick();
+  /// Builds the slot's runtime at its deploy barrier (lazy wiring — same
+  /// contract as SimulationCore::WireSlot, DESIGN.md §13).
+  void WireSlot(std::size_t index);
   void InstallSlot(std::size_t index, SimTime at);
   void RetireSlot(std::size_t index, SimTime at);
   void RebindLiveViews();
@@ -268,6 +273,10 @@ class ShardedSimulationCore {
   /// StreamSet values. Probes and the oracle read this.
   std::vector<Value> values_;
   std::vector<std::unique_ptr<Slot>> slots_;
+  /// Out-of-core endpoint for retired-query state; null when disabled.
+  /// Driven by the coordinator only (retires run at barriers, faults at
+  /// result assembly), matching the PageStore's single-thread contract.
+  std::unique_ptr<engine_internal::QueryStateSpiller> spiller_;
   std::vector<std::size_t> column_owner_;
   std::size_t epoch_live_ = 0;  ///< live columns during this epoch
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/query_slot.h"
+#include "engine/spill.h"
 #include "stream/random_walk.h"
 #include "stream/trace_source.h"
 
@@ -36,6 +37,11 @@ SimulationCore::SimulationCore(const Options& options)
   }
   ASF_CHECK(streams_ != nullptr);
   ASF_CHECK(streams_->size() == arena_.num_streams());
+
+  if (options_.spill.enabled()) {
+    spiller_ =
+        engine_internal::QueryStateSpiller::Create(options_.spill, "serial");
+  }
 
   arena_.SetDispatchPolicy(ResolveDispatchPolicy(options_.dispatch));
   // Compaction relocations retag the moved column's owner in one place;
@@ -75,8 +81,24 @@ std::size_t SimulationCore::DeployQuery(const QueryDeployment& deployment,
   ASF_CHECK_MSG(!ran_, "DeployQuery after Run()");
   ASF_CHECK_MSG(at >= 0 && at < options_.duration,
                 "deploy time outside [0, duration)");
-  const std::size_t n = streams_->size();
   const std::size_t index = slots_.size();
+  // Before its deploy event a slot is just a record — the deployment and
+  // its lifecycle window. The runtime (filters, server context, RNG,
+  // protocol) is wired by the deploy event itself (WireSlot), so resident
+  // runtime state scales with the peak live population, not with
+  // cumulative deployments (DESIGN.md §13).
+  auto slot = std::make_unique<Slot>();
+  slot->deployment = deployment;
+  slot->index = index;
+  slot->deploy_at = at;
+  slot->stats.name = deployment.name;
+  slots_.push_back(std::move(slot));
+  if (deployment.end != kNeverRetire) RetireQuery(index, deployment.end);
+  return index;
+}
+
+void SimulationCore::WireSlot(std::size_t index) {
+  const std::size_t n = streams_->size();
 
   // The wires between this query's server context and the shared sources.
   // Probes and deploys sync/reset this query's filter references only;
@@ -114,15 +136,12 @@ std::size_t SimulationCore::DeployQuery(const QueryDeployment& deployment,
     };
     return transport;
   };
-  auto slot = std::make_unique<Slot>();
-  engine_internal::WireQuerySlot(slot.get(), deployment, at, n,
+  Slot& slot = *slots_[index];
+  engine_internal::WireQuerySlot(&slot, slot.deployment, slot.deploy_at, n,
                                  options_.seed, index, make_transport);
   // Lets protocols relax their zero-delay belief assertions while
   // messages may be in transit (DESIGN.md §9).
-  slot->ctx->set_delayed_delivery(net_delayed_);
-  slots_.push_back(std::move(slot));
-  if (deployment.end != kNeverRetire) RetireQuery(index, deployment.end);
-  return index;
+  slot.ctx->set_delayed_delivery(net_delayed_);
 }
 
 void SimulationCore::RetireQuery(std::size_t slot, SimTime at) {
@@ -154,6 +173,7 @@ void SimulationCore::RebindLiveViews() {
 void SimulationCore::InstallSlot(std::size_t index) {
   Slot& slot = *slots_[index];
   ASF_CHECK(!slot.live);
+  WireSlot(index);
 
   // Take a column in the shared arena. Growth invalidates every live view
   // (the storage reallocates), so rebind them all; otherwise only the new
@@ -209,10 +229,45 @@ void SimulationCore::RetireSlot(std::size_t index) {
   slot.column = FilterArena::kNoColumn;
   *slot.filters = FilterBank();  // detach: any further access trips checks
   RebindLiveViews();
+
+  // Books are closed and nothing live references the slot's runtime any
+  // more: park the record on pages and free the hot copies (DESIGN.md
+  // §13). The arena column is already gone — the arena itself never
+  // spills.
+  if (spiller_) engine_internal::SpillRetiredSlot(*spiller_, slot);
 }
 
 void SimulationCore::FlushAnswerSamples(Slot& slot, std::uint64_t upto) {
   engine_internal::FlushAnswerSamples(slot, upto);
+}
+
+void SimulationCore::ScheduleLifecycleBatch() {
+  const std::size_t end =
+      std::min(lifecycle_cursor_ + kLifecycleBatch, lifecycle_.size());
+  const bool more = end < lifecycle_.size();
+  for (std::size_t k = lifecycle_cursor_; k < end; ++k) {
+    const LifecycleEvent ev = lifecycle_[k];
+    // The batch's last event refills the feed after running its own
+    // action. Refilled events carry reserved seqs strictly greater than
+    // this event's (the feed is sorted by (t, seq)), so they dispatch
+    // exactly where an eager schedule would have placed them, even at
+    // the same timestamp.
+    const bool refill = more && k + 1 == end;
+    scheduler_.ScheduleAtReserved(ev.t, ev.seq, [this, ev, refill] {
+      if (ev.deploy) {
+        InstallSlot(ev.slot);
+      } else {
+        RetireSlot(ev.slot);
+      }
+      if (refill) ScheduleLifecycleBatch();
+    });
+  }
+  lifecycle_cursor_ = end;
+  if (!more) {
+    // Feed exhausted; the events hold copies, so the backing array can go.
+    lifecycle_.clear();
+    lifecycle_.shrink_to_fit();
+  }
 }
 
 void SimulationCore::OnNetUpdate(StreamId id,
@@ -302,12 +357,19 @@ void SimulationCore::Run() {
     }
   });
 
-  // Schedule the lifecycle: every deploy event first (in slot order), then
-  // every retirement (in slot order). Scheduled before Start() so that at
-  // equal timestamps lifecycle events run before updates (FIFO order), and
-  // deployments before retirements.
+  // The lifecycle feed. Dispatch order at equal timestamps must be
+  // exactly the classic all-upfront scheme's: every deploy (slot order)
+  // before every retirement (slot order), both before any same-instant
+  // stream/oracle/net event. Reserving the whole seq block here pins that
+  // order — (time, seq) decides dispatch no matter when an event is
+  // inserted — so the feeder can materialize scheduler entries in small
+  // batches and the queue holds O(batch) lifecycle events instead of one
+  // per cumulative deployment (long churn schedules would otherwise spend
+  // more memory on pending events than on the live queries themselves).
+  lifecycle_.clear();
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    scheduler_.ScheduleAt(slots_[i]->deploy_at, [this, i] { InstallSlot(i); });
+    lifecycle_.push_back(
+        {slots_[i]->deploy_at, 0, static_cast<std::uint32_t>(i), true});
   }
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     const SimTime retire_at = slots_[i]->retire_at;
@@ -317,9 +379,20 @@ void SimulationCore::Run() {
     // instant the run ends (no cost cliff between end == duration and
     // end == duration + epsilon).
     if (retire_at < options_.duration) {
-      scheduler_.ScheduleAt(retire_at, [this, i] { RetireSlot(i); });
+      lifecycle_.push_back(
+          {retire_at, 0, static_cast<std::uint32_t>(i), false});
     }
   }
+  const std::uint64_t seq_base = scheduler_.ReserveSeqs(lifecycle_.size());
+  for (std::size_t k = 0; k < lifecycle_.size(); ++k) {
+    lifecycle_[k].seq = seq_base + k;
+  }
+  std::sort(lifecycle_.begin(), lifecycle_.end(),
+            [](const LifecycleEvent& a, const LifecycleEvent& b) {
+              return a.t < b.t || (a.t == b.t && a.seq < b.seq);
+            });
+  lifecycle_cursor_ = 0;
+  ScheduleLifecycleBatch();
 
   // Periodic oracle sampling, if requested. OracleSampleTick reschedules
   // itself (a plain member function — no self-referential std::function).
@@ -356,7 +429,15 @@ void SimulationCore::Run() {
 
 const QueryRunStats& SimulationCore::query_stats(std::size_t i) const {
   ASF_CHECK(i < slots_.size());
+  // Fault a spilled record back on demand. The method stays const in
+  // spirit — the observable stats are identical, only their storage
+  // moves from pages to RAM (unique_ptr makes the write representable).
+  engine_internal::EnsureStatsResident(spiller_.get(), *slots_[i]);
   return slots_[i]->stats;
+}
+
+SpillTelemetry SimulationCore::spill_telemetry() const {
+  return spiller_ ? spiller_->Telemetry() : SpillTelemetry();
 }
 
 }  // namespace asf

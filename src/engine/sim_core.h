@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "engine/config.h"
+#include "engine/spill_config.h"
 #include "filter/filter_arena.h"
 #include "filter/filter_bank.h"
 #include "net/message_stats.h"
@@ -45,6 +46,10 @@
 /// points (and any future one) automatically.
 
 namespace asf {
+
+namespace engine_internal {
+class QueryStateSpiller;  // engine/spill.h
+}  // namespace engine_internal
 
 /// Retire time of a query that lives to the end of the run.
 inline constexpr SimTime kNeverRetire =
@@ -144,6 +149,9 @@ class SimulationCore {
     /// Update-dispatch policy (DESIGN.md §10); resolved against the
     /// ASF_DISPATCH environment override at construction.
     DispatchPolicy dispatch = DispatchPolicy::kAuto;
+    /// Out-of-core retired-query state (DESIGN.md §13); disabled by
+    /// default. Byte-identical results either way.
+    SpillConfig spill;
   };
 
   explicit SimulationCore(const Options& options);
@@ -180,8 +188,13 @@ class SimulationCore {
 
   std::size_t num_queries() const { return slots_.size(); }
 
-  /// Outcome of query slot `i`; valid after Run().
+  /// Outcome of query slot `i`; valid after Run(). With spilling enabled
+  /// a retired slot's record is faulted back through the buffer pool on
+  /// first access (and stays resident afterwards).
   const QueryRunStats& query_stats(std::size_t i) const;
+
+  /// Out-of-core spill accounting; all zero when options.spill is off.
+  SpillTelemetry spill_telemetry() const;
 
   /// Value changes generated while at least one query was live.
   std::uint64_t updates_generated() const { return updates_generated_; }
@@ -219,9 +232,16 @@ class SimulationCore {
   /// Judges slot `i`'s current answer against the true stream values.
   void RunOracle(Slot& slot);
 
-  /// The deploy event: binds the slot's filters into the arena (growing
-  /// it if needed), runs the protocol's Initialization phase, and opens
-  /// the live window.
+  /// Builds the slot's runtime — detached filter bank, server context
+  /// over fresh transport wires, protocol RNG, protocol instance. Run by
+  /// the deploy event (not DeployQuery) so pre-deployment slots stay
+  /// lightweight records and resident runtime state tracks the live
+  /// population (DESIGN.md §13).
+  void WireSlot(std::size_t index);
+
+  /// The deploy event: wires the slot's runtime, binds its filters into
+  /// the arena (growing it if needed), runs the protocol's
+  /// Initialization phase, and opens the live window.
   void InstallSlot(std::size_t index);
 
   /// The retire event: uninstalls the slot's filters (pass-through
@@ -255,7 +275,28 @@ class SimulationCore {
   /// generated update, up to update number `upto`) in O(1).
   void FlushAnswerSamples(Slot& slot, std::uint64_t upto);
 
+  /// One entry of the batched lifecycle feed (see Run): a deploy or
+  /// retire with its pre-reserved FIFO sequence number.
+  struct LifecycleEvent {
+    SimTime t = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    bool deploy = false;
+  };
+
+  /// Scheduler entries the feeder keeps in flight at once. Small enough
+  /// that pending lifecycle events never dominate memory under long
+  /// churn schedules, large enough that refills are rare.
+  static constexpr std::size_t kLifecycleBatch = 1024;
+
+  /// Materializes the next batch of lifecycle events; the batch's last
+  /// event re-invokes the feeder. Byte-identical to scheduling everything
+  /// upfront because the seqs were reserved upfront.
+  void ScheduleLifecycleBatch();
+
   Options options_;
+  /// Out-of-core endpoint for retired-query state; null when disabled.
+  std::unique_ptr<engine_internal::QueryStateSpiller> spiller_;
   std::unique_ptr<StreamSet> owned_streams_;
   StreamSet* streams_ = nullptr;  // owned_streams_.get() or borrowed custom
   std::vector<std::unique_ptr<Slot>> slots_;
@@ -279,6 +320,10 @@ class SimulationCore {
   std::vector<std::uint32_t> fired_columns_;
   std::vector<std::size_t> fired_slots_;
   bool ran_ = false;
+  /// The sorted lifecycle feed and its next-unscheduled cursor; drained
+  /// (and freed) as batches materialize.
+  std::vector<LifecycleEvent> lifecycle_;
+  std::size_t lifecycle_cursor_ = 0;
   std::size_t peak_live_ = 0;
   std::uint64_t updates_generated_ = 0;
   std::uint64_t physical_updates_ = 0;

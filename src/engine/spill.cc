@@ -1,0 +1,207 @@
+#include "engine/spill.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "common/check.h"
+#include "net/message.h"
+#include "storage/serde.h"
+
+namespace asf {
+
+Status SpillConfig::Validate() const {
+  if (!enabled()) return Status::OK();
+  if (buffer_pages < 2) {
+    return Status::InvalidArgument(
+        "--buffer-pages must be >= 2 (record chains keep two pages pinned)");
+  }
+  if (page_size < 64 || page_size % 8 != 0) {
+    return Status::InvalidArgument(
+        "spill page size must be >= 64 and a multiple of 8");
+  }
+  // Probe that the directory exists and is writable now, so the engine
+  // can treat spiller construction as infallible.
+  const std::string probe = dir + "/.asf-spill-probe";
+  std::FILE* f = std::fopen(probe.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("--spill dir is not writable: " + dir);
+  }
+  std::fclose(f);
+  std::remove(probe.c_str());
+  return Status::OK();
+}
+
+namespace engine_internal {
+
+std::vector<std::uint8_t> EncodeQueryRecord(const QueryRunStats& stats) {
+  storage::ByteWriter w;
+  w.Str(stats.name);
+  for (int phase = 0; phase < kNumMessagePhases; ++phase) {
+    for (int type = 0; type < kNumMessageTypes; ++type) {
+      w.U64(stats.messages.count(static_cast<MessagePhase>(phase),
+                                 static_cast<MessageType>(type)));
+    }
+  }
+  w.U8(static_cast<std::uint8_t>(stats.messages.phase()));
+  w.U64(stats.updates_reported);
+  w.U64(stats.reinits);
+  w.U64(stats.fp_filters_installed);
+  w.U64(stats.fn_filters_installed);
+  const auto WriteOnline = [&w](const OnlineStats& s) {
+    const OnlineStats::Raw raw = s.ToRaw();
+    w.U64(raw.count);
+    w.F64(raw.mean);
+    w.F64(raw.m2);
+    w.F64(raw.min);
+    w.F64(raw.max);
+    w.F64(raw.sum);
+  };
+  WriteOnline(stats.answer_size);
+  w.U64(stats.oracle_checks);
+  w.U64(stats.oracle_violations);
+  w.F64(stats.max_f_plus);
+  w.F64(stats.max_f_minus);
+  w.U64(stats.max_worst_rank);
+  w.U64(stats.oracle_violations_in_flight);
+  WriteOnline(stats.update_delay);
+  w.F64(stats.deployed_at);
+  w.F64(stats.retired_at);
+  return w.Take();
+}
+
+QueryRunStats DecodeQueryRecord(const std::vector<std::uint8_t>& bytes) {
+  storage::ByteReader r(bytes);
+  QueryRunStats stats;
+  stats.name = r.Str();
+  for (int phase = 0; phase < kNumMessagePhases; ++phase) {
+    stats.messages.set_phase(static_cast<MessagePhase>(phase));
+    for (int type = 0; type < kNumMessageTypes; ++type) {
+      stats.messages.Count(static_cast<MessageType>(type), r.U64());
+    }
+  }
+  stats.messages.set_phase(static_cast<MessagePhase>(r.U8()));
+  stats.updates_reported = r.U64();
+  stats.reinits = r.U64();
+  stats.fp_filters_installed = r.U64();
+  stats.fn_filters_installed = r.U64();
+  const auto ReadOnline = [&r] {
+    OnlineStats::Raw raw;
+    raw.count = r.U64();
+    raw.mean = r.F64();
+    raw.m2 = r.F64();
+    raw.min = r.F64();
+    raw.max = r.F64();
+    raw.sum = r.F64();
+    return OnlineStats::FromRaw(raw);
+  };
+  stats.answer_size = ReadOnline();
+  stats.oracle_checks = r.U64();
+  stats.oracle_violations = r.U64();
+  stats.max_f_plus = r.F64();
+  stats.max_f_minus = r.F64();
+  stats.max_worst_rank = r.U64();
+  stats.oracle_violations_in_flight = r.U64();
+  stats.update_delay = ReadOnline();
+  stats.deployed_at = r.F64();
+  stats.retired_at = r.F64();
+  ASF_CHECK_MSG(r.Done(), "spilled query record has trailing bytes");
+  return stats;
+}
+
+QueryStateSpiller::QueryStateSpiller(const SpillConfig& config,
+                                     std::unique_ptr<storage::PageStore> store)
+    : config_(config), store_(std::move(store)) {
+  pool_ = std::make_unique<storage::BufferPool>(
+      store_.get(), config_.buffer_pages, config_.replacement);
+  records_ = std::make_unique<storage::PagedRecordStore>(pool_.get());
+}
+
+std::unique_ptr<QueryStateSpiller> QueryStateSpiller::Create(
+    const SpillConfig& config, const std::string& tag) {
+  ASF_CHECK_MSG(config.enabled(), "spiller created with spilling disabled");
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string path =
+      config.dir + "/asf-spill-" + tag + "-" +
+      std::to_string(static_cast<long>(getpid())) + "-" +
+      std::to_string(counter.fetch_add(1)) + ".pages";
+  auto store = storage::PageStore::Create(path, config.page_size);
+  ASF_CHECK_MSG(store.ok(), store.status().ToString().c_str());
+  return std::unique_ptr<QueryStateSpiller>(
+      new QueryStateSpiller(config, std::move(store).value()));
+}
+
+QueryStateSpiller::~QueryStateSpiller() {
+  const std::string path = store_->path();
+  records_.reset();
+  pool_.reset();
+  store_.reset();  // closes the file before the unlink
+  std::remove(path.c_str());
+}
+
+storage::RecordRef QueryStateSpiller::Spill(const QueryRunStats& stats) {
+  const std::vector<std::uint8_t> bytes = EncodeQueryRecord(stats);
+  auto ref = records_->Write(bytes);
+  ASF_CHECK_MSG(ref.ok(), ref.status().ToString().c_str());
+  ++records_spilled_;
+  spilled_bytes_ += bytes.size();
+  return *ref;
+}
+
+QueryRunStats QueryStateSpiller::Fault(const storage::RecordRef& ref) {
+  auto bytes = records_->Read(ref);
+  ASF_CHECK_MSG(bytes.ok(), bytes.status().ToString().c_str());
+  ++records_faulted_;
+  faulted_bytes_ += bytes->size();
+  return DecodeQueryRecord(*bytes);
+}
+
+SpillTelemetry QueryStateSpiller::Telemetry() const {
+  SpillTelemetry t;
+  t.enabled = true;
+  t.records_spilled = records_spilled_;
+  t.records_faulted = records_faulted_;
+  t.spilled_bytes = spilled_bytes_;
+  t.faulted_bytes = faulted_bytes_;
+  const storage::BufferPool::Stats& pool = pool_->stats();
+  t.pool_hits = pool.hits;
+  t.pool_misses = pool.misses;
+  t.pool_evictions = pool.evictions;
+  t.pool_write_backs = pool.write_backs;
+  t.pool_resident_bytes = pool.resident_bytes;
+  t.file_bytes = store_->file_bytes();
+  t.buffer_pages = config_.buffer_pages;
+  t.replacement = std::string(
+      storage::ReplacementPolicyName(config_.replacement));
+  return t;
+}
+
+void SpillRetiredSlot(QueryStateSpiller& spiller, QuerySlot& slot) {
+  ASF_CHECK_MSG(!slot.live, "spill of a live slot");
+  ASF_CHECK_MSG(!slot.spilled.valid(), "slot spilled twice");
+  slot.spilled = spiller.Spill(slot.stats);
+  slot.stats_resident = false;
+  // Drop the hot copies. Everything below is only reachable through
+  // slot.live gates (see engine/query_slot.h), so freed members are
+  // never dereferenced; the stats come back through Fault on demand.
+  slot.stats = QueryRunStats();
+  slot.deployment = QueryDeployment();
+  slot.protocol.reset();
+  slot.ctx.reset();
+  slot.rng.reset();
+  slot.filters.reset();
+  slot.update_seq_floor.clear();
+  slot.update_seq_floor.shrink_to_fit();
+}
+
+void EnsureStatsResident(QueryStateSpiller* spiller, QuerySlot& slot) {
+  if (slot.stats_resident) return;
+  ASF_CHECK_MSG(spiller != nullptr && slot.spilled.valid(),
+                "non-resident stats without a spilled record");
+  slot.stats = spiller->Fault(slot.spilled);
+  slot.stats_resident = true;
+}
+
+}  // namespace engine_internal
+}  // namespace asf

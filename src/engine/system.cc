@@ -37,6 +37,7 @@ RunResult RunAndFlatten(Core& core, const QueryDeployment& deployment) {
   result.replay_seconds = core.replay_seconds();
   result.replay_workers = core.replay_workers();
   result.pinned = core.pinned();
+  result.spill = core.spill_telemetry();
   return result;
 }
 
@@ -53,6 +54,7 @@ Result<RunResult> RunSystem(const SystemConfig& config) {
   options.oracle = config.oracle;
   options.net = config.net;
   options.dispatch = config.dispatch;
+  options.spill = config.spill;
 
   QueryDeployment deployment;
   deployment.query = config.query;

@@ -7,12 +7,30 @@ namespace asf {
 Status WriteBenchJson(
     const std::string& path, const std::string& bench,
     const std::vector<std::pair<std::string, double>>& metrics) {
+  return WriteBenchJson(path, bench, metrics, {});
+}
+
+Status WriteBenchJson(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<std::pair<std::string, std::string>>& provenance) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::IoError("cannot open " + path + " for writing");
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
-               bench.c_str());
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench.c_str());
+  if (!provenance.empty()) {
+    // Before "metrics": bench_check's flat parser scans numbers from the
+    // "metrics" key onward and must never see these strings.
+    std::fprintf(f, "  \"provenance\": {\n");
+    for (std::size_t i = 0; i < provenance.size(); ++i) {
+      std::fprintf(f, "    \"%s\": \"%s\"%s\n", provenance[i].first.c_str(),
+                   provenance[i].second.c_str(),
+                   i + 1 < provenance.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+  }
+  std::fprintf(f, "  \"metrics\": {\n");
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     std::fprintf(f, "    \"%s\": %.17g%s\n", metrics[i].first.c_str(),
                  metrics[i].second, i + 1 < metrics.size() ? "," : "");

@@ -24,6 +24,19 @@ Status WriteBenchJson(
     const std::string& path, const std::string& bench,
     const std::vector<std::pair<std::string, double>>& metrics);
 
+/// Same, with a string-valued "provenance" object (see
+/// metrics/provenance.h) emitted BEFORE "metrics":
+///
+///   {"bench": "...", "provenance": {"git_sha": "...", ...},
+///    "metrics": {...}}
+///
+/// The ordering matters: tools/bench_check scans flat numbers from the
+/// "metrics" key onward, so provenance strings must precede it.
+Status WriteBenchJson(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<std::pair<std::string, std::string>>& provenance);
+
 }  // namespace asf
 
 #endif  // ASF_METRICS_BENCH_JSON_H_

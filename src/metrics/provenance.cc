@@ -1,0 +1,23 @@
+#include "metrics/provenance.h"
+
+#include "common/simd.h"
+
+// CMake scopes these two definitions to this translation unit only (see
+// set_source_files_properties in CMakeLists.txt) so a new commit only
+// recompiles one file, not the whole library.
+#ifndef ASF_GIT_SHA
+#define ASF_GIT_SHA "unknown"
+#endif
+#ifndef ASF_BUILD_TYPE
+#define ASF_BUILD_TYPE "unknown"
+#endif
+
+namespace asf {
+
+std::vector<std::pair<std::string, std::string>> BuildProvenance() {
+  return {{"git_sha", ASF_GIT_SHA},
+          {"build_type", ASF_BUILD_TYPE},
+          {"simd_backend", simd::KernelBackend()}};
+}
+
+}  // namespace asf

@@ -87,14 +87,28 @@ void Scheduler::HeapPopRoot() {
 }
 
 EventId Scheduler::ScheduleAt(SimTime t, Callback fn) {
-  ASF_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  ASF_CHECK(static_cast<bool>(fn));
   ASF_CHECK_MSG(next_seq_ < (1ULL << (64 - kSlotBits)),
                 "event sequence space exhausted");
+  return ScheduleAtReserved(t, next_seq_++, std::move(fn));
+}
+
+std::uint64_t Scheduler::ReserveSeqs(std::uint64_t count) {
+  ASF_CHECK_MSG(next_seq_ + count < (1ULL << (64 - kSlotBits)),
+                "event sequence space exhausted");
+  const std::uint64_t base = next_seq_;
+  next_seq_ += count;
+  return base;
+}
+
+EventId Scheduler::ScheduleAtReserved(SimTime t, std::uint64_t seq,
+                                      Callback fn) {
+  ASF_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  ASF_CHECK(static_cast<bool>(fn));
+  ASF_CHECK_MSG(seq < next_seq_, "sequence number was never reserved");
   const std::uint32_t index = AcquireSlot();
   Slot& s = slot(index);
   s.fn = std::move(fn);
-  s.seq = next_seq_++;
+  s.seq = seq;
   s.armed = true;
   ++live_;
   HeapPush(MakeNode(t, s.seq, index));

@@ -1,0 +1,161 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace asf {
+namespace storage {
+
+std::string_view ReplacementPolicyName(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "lru";
+    case ReplacementPolicy::kFifo:
+      return "fifo";
+  }
+  return "?";
+}
+
+bool ParseReplacementPolicy(const std::string& name,
+                            ReplacementPolicy* policy) {
+  if (name == "lru") {
+    *policy = ReplacementPolicy::kLru;
+    return true;
+  }
+  if (name == "fifo") {
+    *policy = ReplacementPolicy::kFifo;
+    return true;
+  }
+  return false;
+}
+
+BufferPool::BufferPool(PageStore* store, std::size_t frames,
+                       ReplacementPolicy policy)
+    : store_(store), policy_(policy), frames_(frames) {
+  ASF_CHECK_MSG(store != nullptr, "buffer pool needs a page store");
+  ASF_CHECK_MSG(frames >= 1, "buffer pool needs at least one frame");
+  buffer_ = std::make_unique<std::uint8_t[]>(frames * store->page_size());
+  stats_.frames = frames;
+  stats_.resident_bytes =
+      static_cast<std::uint64_t>(frames) * store->page_size();
+  resident_.reserve(frames);
+}
+
+BufferPool::~BufferPool() {
+  // Best effort: the pool may be torn down mid-error, and the store file
+  // is scratch for the spiller use case, so a failed flush is not fatal.
+  FlushAll();
+}
+
+Result<std::size_t> BufferPool::AcquireFrame() {
+  std::size_t victim = frames_.size();
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.page == kNoPage) return i;  // empty frame: no eviction needed
+    if (f.pins == 0 && f.stamp < best) {
+      best = f.stamp;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: all frames pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    ASF_RETURN_IF_ERROR(store_->WritePage(f.page, FrameData(victim)));
+    ++stats_.write_backs;
+    f.dirty = false;
+  }
+  resident_.erase(f.page);
+  f.page = kNoPage;
+  ++stats_.evictions;
+  --stats_.resident_pages;
+  return victim;
+}
+
+Result<std::uint8_t*> BufferPool::Pin(PageId id) {
+  ASF_CHECK(id != kNoPage);
+  ++clock_;
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    if (policy_ == ReplacementPolicy::kLru) f.stamp = clock_;
+    ++stats_.hits;
+    return FrameData(it->second);
+  }
+  ASF_ASSIGN_OR_RETURN(const std::size_t idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  ASF_RETURN_IF_ERROR(store_->ReadPage(id, FrameData(idx)));
+  f.page = id;
+  f.pins = 1;
+  f.dirty = false;
+  f.stamp = clock_;  // load tick; kLru refreshes it on every later Pin
+  resident_.emplace(id, idx);
+  ++stats_.misses;
+  ++stats_.resident_pages;
+  return FrameData(idx);
+}
+
+Result<std::uint8_t*> BufferPool::PinNew(PageId* id_out) {
+  ++clock_;
+  ASF_ASSIGN_OR_RETURN(const std::size_t idx, AcquireFrame());
+  const PageId id = store_->Allocate();
+  Frame& f = frames_[idx];
+  f.page = id;
+  f.pins = 1;
+  f.dirty = true;  // a fresh page only exists in RAM until written back
+  f.stamp = clock_;
+  std::memset(FrameData(idx), 0, store_->page_size());
+  resident_.emplace(id, idx);
+  ++stats_.misses;
+  ++stats_.resident_pages;
+  *id_out = id;
+  return FrameData(idx);
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = resident_.find(id);
+  ASF_CHECK_MSG(it != resident_.end(), "unpin of non-resident page");
+  Frame& f = frames_[it->second];
+  ASF_CHECK_MSG(f.pins > 0, "unpin of unpinned page");
+  --f.pins;
+  if (dirty) f.dirty = true;
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    Frame& f = frames_[it->second];
+    ASF_CHECK_MSG(f.pins == 0, "discard of pinned page");
+    f.page = kNoPage;
+    f.dirty = false;
+    resident_.erase(it);
+    --stats_.resident_pages;
+  }
+  store_->Deallocate(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page != kNoPage && f.dirty) {
+      ASF_RETURN_IF_ERROR(store_->WritePage(f.page, FrameData(i)));
+      ++stats_.write_backs;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+std::uint32_t BufferPool::PinCount(PageId id) const {
+  auto it = resident_.find(id);
+  return it == resident_.end() ? 0 : frames_[it->second].pins;
+}
+
+}  // namespace storage
+}  // namespace asf

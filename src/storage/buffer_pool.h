@@ -1,0 +1,128 @@
+#ifndef ASF_STORAGE_BUFFER_POOL_H_
+#define ASF_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page_store.h"
+
+/// \file
+/// Frame cache over a PageStore — the RAM half of the out-of-core
+/// query-state subsystem (DESIGN.md §13). A BufferPool owns N frames of
+/// page_size bytes. Pin(id) faults the page into a frame (evicting an
+/// unpinned victim under the configured replacement policy, writing it
+/// back first if dirty) and holds it resident until the matching
+/// Unpin(id, dirty). Pinned frames are never evicted; if every frame is
+/// pinned, Pin returns FailedPrecondition instead of growing — the pool
+/// is the hard ceiling on resident spilled bytes.
+///
+/// Replacement is pluggable: kLru evicts the least-recently-*used* frame
+/// (use = any Pin, hit or fault), kFifo the least-recently-*loaded* one.
+/// Both are deterministic, and neither affects simulation results — the
+/// pool only decides which exact copy of a page lives where (see the
+/// determinism argument in DESIGN.md §13).
+
+namespace asf {
+namespace storage {
+
+enum class ReplacementPolicy : int { kLru = 0, kFifo = 1 };
+
+/// "lru" / "fifo" (for flags and tables).
+std::string_view ReplacementPolicyName(ReplacementPolicy policy);
+bool ParseReplacementPolicy(const std::string& name,
+                            ReplacementPolicy* policy);
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;        ///< Pin served from a resident frame
+    std::uint64_t misses = 0;      ///< Pin that faulted the page in
+    std::uint64_t evictions = 0;   ///< frames recycled for another page
+    std::uint64_t write_backs = 0; ///< dirty evictions written to disk
+    std::size_t frames = 0;        ///< frame count (fixed)
+    std::size_t resident_pages = 0;  ///< frames currently holding a page
+    /// Bytes of frame memory the pool holds (frames * page_size) — the
+    /// fixed RAM budget of the cold state, counted whether or not every
+    /// frame is loaded yet.
+    std::uint64_t resident_bytes = 0;
+
+    double HitRate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// `store` must outlive the pool. `frames` >= 1.
+  BufferPool(PageStore* store, std::size_t frames, ReplacementPolicy policy);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Faults page `id` into a frame (if absent) and pins it. The returned
+  /// bytes stay valid until the matching Unpin. Pins nest (a pin count,
+  /// not a flag). Fails with FailedPrecondition when every frame is
+  /// pinned by someone else.
+  Result<std::uint8_t*> Pin(PageId id);
+
+  /// Allocates a fresh page in the store and pins it zero-filled and
+  /// dirty. On success `*id_out` is the new page's id.
+  Result<std::uint8_t*> PinNew(PageId* id_out);
+
+  /// Releases one pin. `dirty` marks the frame for write-back on
+  /// eviction (sticky until the write-back happens).
+  void Unpin(PageId id, bool dirty);
+
+  /// Drops the page from the pool (no write-back — the contents are
+  /// dead) and returns it to the store's free list. The page must be
+  /// unpinned.
+  void Discard(PageId id);
+
+  /// Writes every dirty frame back to the store. Pins are unaffected.
+  Status FlushAll();
+
+  const Stats& stats() const { return stats_; }
+  PageStore* store() const { return store_; }
+  std::size_t page_size() const { return store_->page_size(); }
+
+  /// Pin count of `id` (0 when not resident) — test/debug introspection.
+  std::uint32_t PinCount(PageId id) const;
+
+ private:
+  struct Frame {
+    PageId page = kNoPage;
+    std::uint32_t pins = 0;
+    bool dirty = false;
+    /// Replacement clock: last Pin tick under kLru, load tick under
+    /// kFifo. The unpinned frame with the smallest stamp is the victim.
+    std::uint64_t stamp = 0;
+  };
+
+  std::uint8_t* FrameData(std::size_t frame) {
+    return buffer_.get() + frame * store_->page_size();
+  }
+
+  /// Picks the victim frame (empty frame first, else smallest stamp among
+  /// unpinned), writes it back if dirty, and returns its index; nullopt
+  /// when every frame is pinned.
+  Result<std::size_t> AcquireFrame();
+
+  PageStore* store_;
+  ReplacementPolicy policy_;
+  std::vector<Frame> frames_;
+  std::unique_ptr<std::uint8_t[]> buffer_;
+  std::unordered_map<PageId, std::size_t> resident_;
+  std::uint64_t clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace storage
+}  // namespace asf
+
+#endif  // ASF_STORAGE_BUFFER_POOL_H_

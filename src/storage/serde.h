@@ -1,0 +1,78 @@
+#ifndef ASF_STORAGE_SERDE_H_
+#define ASF_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+/// \file
+/// Minimal byte (de)serializer for spilled records. Everything is
+/// little-endian host layout via memcpy; doubles round-trip bit-exactly
+/// (raw IEEE bytes, no text formatting), which is what makes spilled
+/// results byte-identical to in-memory ones. The reader CHECKs on
+/// overrun — a spilled record is produced and consumed by the same
+/// build, so a short read is a programming error, not bad input.
+
+namespace asf {
+namespace storage {
+
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { Raw(&v, sizeof(v)); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  void Raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  std::uint8_t U8() { std::uint8_t v; Raw(&v, sizeof(v)); return v; }
+  std::uint32_t U32() { std::uint32_t v; Raw(&v, sizeof(v)); return v; }
+  std::uint64_t U64() { std::uint64_t v; Raw(&v, sizeof(v)); return v; }
+  double F64() { double v; Raw(&v, sizeof(v)); return v; }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    ASF_CHECK_MSG(pos_ + n <= bytes_.size(), "spilled record underrun");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  void Raw(void* out, std::size_t n) {
+    ASF_CHECK_MSG(pos_ + n <= bytes_.size(), "spilled record underrun");
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  bool Done() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace storage
+}  // namespace asf
+
+#endif  // ASF_STORAGE_SERDE_H_

@@ -26,6 +26,7 @@
 #include "engine/multi_system.h"
 #include "engine/system.h"
 #include "metrics/bench_json.h"
+#include "metrics/provenance.h"
 #include "metrics/table.h"
 #include "trace/trace_io.h"
 
@@ -115,9 +116,87 @@ value space):
   --churn-max=N           cap on arrivals (0 = none)            [0]
   --churn-seed=N          churn schedule seed (default: --seed)
 
+Out-of-core query state (DESIGN.md #13; byte-identical results for any
+buffer size — spilling only changes where closed books are stored):
+  --spill=DIR             spill retired-query state to a page file in
+                          DIR through a buffer pool (default: keep all
+                          state in RAM)
+  --buffer-pages=N        buffer pool frames (>= 2)             [64]
+  --replacement=lru|fifo  pool replacement policy               [lru]
+
 Output:
   --bench-json=FILE       also write the summary as BENCH json
+                          (includes build provenance: git sha, build
+                          type, SIMD backend)
 )";
+
+/// Parses --spill / --buffer-pages / --replacement into `spill`.
+/// Validation proper (writable dir, minimum pool size) happens in
+/// SpillConfig::Validate via SystemConfig/MultiQueryConfig.
+Status ParseSpillFlags(const Flags& flags, SpillConfig* spill) {
+  spill->dir = flags.GetString("spill", "");
+  ASF_ASSIGN_OR_RETURN(const std::int64_t pages,
+                       flags.GetInt("buffer-pages", 64));
+  if (pages < 0) {
+    return Status::InvalidArgument("--buffer-pages must be >= 0");
+  }
+  spill->buffer_pages = static_cast<std::size_t>(pages);
+  if (flags.Has("replacement")) {
+    const std::string name = flags.GetString("replacement");
+    if (!storage::ParseReplacementPolicy(name, &spill->replacement)) {
+      return Status::InvalidArgument("unknown --replacement: " + name);
+    }
+  }
+  return Status::OK();
+}
+
+/// Spill stats print as standalone "spill "-prefixed lines AFTER the
+/// summary table — never as table rows. Extra rows would re-align the
+/// table's column widths, and the byte-identity CI legs diff spill vs
+/// in-memory output with a single `grep -v "^spill "`.
+void PrintSpillStats(const SpillTelemetry& spill) {
+  if (!spill.enabled) return;
+  std::printf("spill pool: %zu pages (%s)\n", spill.buffer_pages,
+              spill.replacement.c_str());
+  std::printf("spill records out / back: %llu / %llu\n",
+              (unsigned long long)spill.records_spilled,
+              (unsigned long long)spill.records_faulted);
+  std::printf("spill bytes out / back: %llu / %llu\n",
+              (unsigned long long)spill.spilled_bytes,
+              (unsigned long long)spill.faulted_bytes);
+  std::printf("spill pool hit rate: %.3f (%llu hits, %llu misses)\n",
+              spill.PoolHitRate(), (unsigned long long)spill.pool_hits,
+              (unsigned long long)spill.pool_misses);
+  std::printf("spill evictions / write-backs: %llu / %llu\n",
+              (unsigned long long)spill.pool_evictions,
+              (unsigned long long)spill.pool_write_backs);
+  std::printf("spill resident / file bytes: %llu / %llu\n",
+              (unsigned long long)spill.pool_resident_bytes,
+              (unsigned long long)spill.file_bytes);
+}
+
+/// Machine-readable counterpart of AddSpillRows.
+void AddSpillMetrics(const SpillTelemetry& spill,
+                     std::vector<std::pair<std::string, double>>* metrics) {
+  if (!spill.enabled) return;
+  metrics->emplace_back("spill_buffer_pages",
+                        static_cast<double>(spill.buffer_pages));
+  metrics->emplace_back("spill_records",
+                        static_cast<double>(spill.records_spilled));
+  metrics->emplace_back("spill_faults",
+                        static_cast<double>(spill.records_faulted));
+  metrics->emplace_back("spill_bytes",
+                        static_cast<double>(spill.spilled_bytes));
+  metrics->emplace_back("spill_pool_hit_rate", spill.PoolHitRate());
+  metrics->emplace_back("spill_pool_evictions",
+                        static_cast<double>(spill.pool_evictions));
+  metrics->emplace_back("spill_pool_write_backs",
+                        static_cast<double>(spill.pool_write_backs));
+  metrics->emplace_back("spill_resident_bytes",
+                        static_cast<double>(spill.pool_resident_bytes));
+  metrics->emplace_back("spill_file_bytes",
+                        static_cast<double>(spill.file_bytes));
+}
 
 Result<ProtocolKind> ParseProtocol(const std::string& name) {
   if (name == "no-filter") return ProtocolKind::kNoFilter;
@@ -204,6 +283,7 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   config.pin_threads = base.pin_threads;
   config.net = base.net;
   config.dispatch = base.dispatch;
+  config.spill = base.spill;
   ASF_ASSIGN_OR_RETURN(config.queries, ExpandChurn(spec, config.duration));
   if (config.queries.empty()) {
     return Status::InvalidArgument(
@@ -268,38 +348,42 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   }
   totals.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", totals.ToString().c_str());
+  PrintSpillStats(result.spill);
 
   if (flags.Has("bench-json")) {
-    ASF_RETURN_IF_ERROR(WriteBenchJson(
-        flags.GetString("bench-json"), "asf_run_churn",
-        {{"queries", static_cast<double>(result.queries.size())},
-         {"shards", static_cast<double>(config.shards)},
-         {"simd", static_cast<double>(simd::KernelLanes())},
-         {"peak_live", static_cast<double>(result.peak_live_queries)},
-         {"updates_generated",
-          static_cast<double>(result.updates_generated)},
-         {"physical_maint",
-          static_cast<double>(result.PhysicalMaintenanceTotal())},
-         {"logical_maint",
-          static_cast<double>(result.LogicalMaintenanceTotal())},
-         {"dispatch_policy",
-          static_cast<double>(static_cast<int>(result.dispatch_policy))},
-         {"dispatch_scan",
-          static_cast<double>(result.dispatch.scan_dispatches)},
-         {"dispatch_index",
-          static_cast<double>(result.dispatch.index_dispatches)},
-         {"dispatch_rebuilds_total",
-          static_cast<double>(result.dispatch.index_rebuilds)},
-         {"dispatch_rebuilds_max_stream",
-          static_cast<double>(result.dispatch.max_stream_rebuilds)},
-         {"replay_seconds", result.replay_seconds},
-         {"replay_fraction",
-          result.wall_seconds > 0
-              ? result.replay_seconds / result.wall_seconds
-              : 0.0},
-         {"replay_workers", static_cast<double>(result.replay_workers)},
-         {"pinned", result.pinned ? 1.0 : 0.0},
-         {"wall_seconds", result.wall_seconds}}));
+    std::vector<std::pair<std::string, double>> metrics = {
+        {"queries", static_cast<double>(result.queries.size())},
+        {"shards", static_cast<double>(config.shards)},
+        {"simd", static_cast<double>(simd::KernelLanes())},
+        {"peak_live", static_cast<double>(result.peak_live_queries)},
+        {"updates_generated",
+         static_cast<double>(result.updates_generated)},
+        {"physical_maint",
+         static_cast<double>(result.PhysicalMaintenanceTotal())},
+        {"logical_maint",
+         static_cast<double>(result.LogicalMaintenanceTotal())},
+        {"dispatch_policy",
+         static_cast<double>(static_cast<int>(result.dispatch_policy))},
+        {"dispatch_scan",
+         static_cast<double>(result.dispatch.scan_dispatches)},
+        {"dispatch_index",
+         static_cast<double>(result.dispatch.index_dispatches)},
+        {"dispatch_rebuilds_total",
+         static_cast<double>(result.dispatch.index_rebuilds)},
+        {"dispatch_rebuilds_max_stream",
+         static_cast<double>(result.dispatch.max_stream_rebuilds)},
+        {"replay_seconds", result.replay_seconds},
+        {"replay_fraction",
+         result.wall_seconds > 0
+            ? result.replay_seconds / result.wall_seconds
+            : 0.0},
+        {"replay_workers", static_cast<double>(result.replay_workers)},
+        {"pinned", result.pinned ? 1.0 : 0.0},
+        {"wall_seconds", result.wall_seconds}};
+    AddSpillMetrics(result.spill, &metrics);
+    ASF_RETURN_IF_ERROR(WriteBenchJson(flags.GetString("bench-json"),
+                                       "asf_run_churn", metrics,
+                                       BuildProvenance()));
     std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
   }
   return Status::OK();
@@ -350,6 +434,7 @@ Status RunFromFlags(const Flags& flags) {
       return Status::InvalidArgument("unknown --dispatch: " + dispatch);
     }
   }
+  ASF_RETURN_IF_ERROR(ParseSpillFlags(flags, &config.spill));
 
   // Query + protocol + tolerance.
   ASF_ASSIGN_OR_RETURN(config.query, ParseQuery(flags));
@@ -486,6 +571,7 @@ Status RunFromFlags(const Flags& flags) {
   }
   table.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", table.ToString().c_str());
+  PrintSpillStats(result.spill);
 
   // Machine-readable counterpart of the table, same schema as the bench
   // harnesses and `asf_sweep --bench-json`.
@@ -558,8 +644,10 @@ Status RunFromFlags(const Flags& flags) {
           "net_reconcile_deploys",
           static_cast<double>(result.net.reconcile_deploys));
     }
-    ASF_RETURN_IF_ERROR(
-        WriteBenchJson(flags.GetString("bench-json"), "asf_run", metrics));
+    AddSpillMetrics(result.spill, &metrics);
+    ASF_RETURN_IF_ERROR(WriteBenchJson(flags.GetString("bench-json"),
+                                       "asf_run", metrics,
+                                       BuildProvenance()));
     std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
   }
   return Status::OK();

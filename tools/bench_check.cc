@@ -11,6 +11,18 @@
 /// (lower is better) regress when current > baseline * (1 + tolerance).
 /// Exit code 1 if any checked metric regressed, 2 on usage/parse errors.
 ///
+/// Direction-aware bounds: a --keys entry may carry an explicit gate,
+///
+///   metric>=        current must be >= the baseline value (floor)
+///   metric>=0.85    current must be >= the literal bound
+///   metric<=        current must be <= the baseline value (ceiling)
+///   metric<=1024    current must be <= the literal bound
+///
+/// Bound gates are exact — --tolerance does not apply — and a literal
+/// bound does not require the key in the baseline file at all. CI uses
+/// these for quality floors (e.g. spill-pool hit rate) and resource
+/// ceilings (resident bytes) where a ratio tolerance is the wrong shape.
+///
 /// `--min-cores=N` makes the whole comparison conditional on the host:
 /// when hardware_concurrency() < N the check is skipped with a logged
 /// reason and exit code 0. CI uses this for the shard-speedup gates
@@ -30,6 +42,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -89,6 +102,40 @@ bool LowerIsBetter(const std::string& key) {
          key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// One --keys entry. kRatio is the historical tolerance comparison;
+/// kFloor/kCeiling are exact bound gates (metric>= / metric<=), against
+/// either the baseline value or a literal bound.
+struct KeySpec {
+  enum Kind { kRatio, kFloor, kCeiling };
+  std::string name;
+  Kind kind = kRatio;
+  double bound = 0;        ///< literal bound, when has_literal_bound
+  bool has_literal_bound = false;
+};
+
+/// Parses "metric", "metric>=", "metric>=0.85", "metric<=", "metric<=N".
+bool ParseKeySpec(const std::string& entry, KeySpec* spec) {
+  for (const auto& [op, kind] :
+       {std::pair<const char*, KeySpec::Kind>{">=", KeySpec::kFloor},
+        std::pair<const char*, KeySpec::Kind>{"<=", KeySpec::kCeiling}}) {
+    const std::size_t at = entry.find(op);
+    if (at == std::string::npos) continue;
+    spec->name = entry.substr(0, at);
+    spec->kind = kind;
+    const std::string bound = entry.substr(at + 2);
+    if (!bound.empty()) {
+      char* end = nullptr;
+      spec->bound = std::strtod(bound.c_str(), &end);
+      if (end != bound.c_str() + bound.size()) return false;
+      spec->has_literal_bound = true;
+    }
+    return !spec->name.empty();
+  }
+  spec->name = entry;
+  spec->kind = KeySpec::kRatio;
+  return !spec->name.empty();
+}
+
 std::vector<std::string> SplitKeys(const std::string& csv) {
   std::vector<std::string> keys;
   std::string key;
@@ -139,25 +186,38 @@ int Run(const Flags& flags) {
     return 2;
   }
 
-  std::vector<std::string> keys;
+  std::vector<KeySpec> keys;
   if (flags.Has("keys")) {
-    keys = SplitKeys(flags.GetString("keys"));
-    for (const std::string& key : keys) {
-      if (baseline.find(key) == baseline.end()) {
+    for (const std::string& entry : SplitKeys(flags.GetString("keys"))) {
+      KeySpec spec;
+      if (!ParseKeySpec(entry, &spec)) {
+        std::fprintf(stderr, "bench_check: bad --keys entry %s\n",
+                     entry.c_str());
+        return 2;
+      }
+      // A literal bound gate stands alone; everything else compares
+      // against the baseline file, so the key must exist there.
+      if (!spec.has_literal_bound &&
+          baseline.find(spec.name) == baseline.end()) {
         std::fprintf(stderr, "bench_check: key %s missing from baseline %s\n",
-                     key.c_str(), baseline_path.c_str());
+                     spec.name.c_str(), baseline_path.c_str());
         return 2;
       }
-      if (current.find(key) == current.end()) {
+      if (current.find(spec.name) == current.end()) {
         std::fprintf(stderr, "bench_check: key %s missing from current %s\n",
-                     key.c_str(), current_path.c_str());
+                     spec.name.c_str(), current_path.c_str());
         return 2;
       }
+      keys.push_back(spec);
     }
   } else {
     for (const auto& [key, value] : baseline) {
       (void)value;
-      if (current.find(key) != current.end()) keys.push_back(key);
+      if (current.find(key) != current.end()) {
+        KeySpec spec;
+        spec.name = key;
+        keys.push_back(spec);
+      }
     }
   }
   if (keys.empty()) {
@@ -168,30 +228,42 @@ int Run(const Flags& flags) {
   int regressions = 0;
   std::printf("%-40s %14s %14s %9s\n", "metric", "baseline", "current",
               "ratio");
-  for (const std::string& key : keys) {
-    const double base = baseline[key];
-    const double cur = current[key];
-    const bool lower_better = LowerIsBetter(key);
-    const double ratio = base != 0 ? cur / base : 0.0;
+  for (const KeySpec& spec : keys) {
+    const double cur = current[spec.name];
     bool regressed;
-    if (lower_better) {
-      regressed = cur > base * (1 + tolerance);
+    if (spec.kind == KeySpec::kRatio) {
+      const double base = baseline[spec.name];
+      const double ratio = base != 0 ? cur / base : 0.0;
+      if (LowerIsBetter(spec.name)) {
+        regressed = cur > base * (1 + tolerance);
+      } else {
+        regressed = cur < base * (1 - tolerance);
+      }
+      std::printf("%-40s %14.6g %14.6g %8.2fx%s\n", spec.name.c_str(), base,
+                  cur, ratio, regressed ? "  << REGRESSED" : "");
     } else {
-      regressed = cur < base * (1 - tolerance);
+      // Bound gate: exact, tolerance-free. The bound is the literal when
+      // given, the baseline value otherwise.
+      const double bound =
+          spec.has_literal_bound ? spec.bound : baseline[spec.name];
+      const bool floor = spec.kind == KeySpec::kFloor;
+      regressed = floor ? cur < bound : cur > bound;
+      std::printf("%-40s %14.6g %14.6g %9s%s\n",
+                  (spec.name + (floor ? " >=" : " <=")).c_str(), bound, cur,
+                  floor ? "floor" : "ceiling",
+                  regressed ? "  << VIOLATED" : "");
     }
-    std::printf("%-40s %14.6g %14.6g %8.2fx%s\n", key.c_str(), base, cur,
-                ratio, regressed ? "  << REGRESSED" : "");
     if (regressed) ++regressions;
   }
   if (regressions > 0) {
     std::fprintf(stderr,
-                 "bench_check: %d metric(s) regressed beyond %.0f%% "
-                 "tolerance\n",
+                 "bench_check: %d metric(s) regressed or violated bounds "
+                 "(tolerance %.0f%%)\n",
                  regressions, tolerance * 100);
     return 1;
   }
-  std::printf("bench_check: OK (%zu metrics within %.0f%% tolerance)\n",
-              keys.size(), tolerance * 100);
+  std::printf("bench_check: OK (%zu metrics within tolerance/bounds)\n",
+              keys.size());
   return 0;
 }
 
