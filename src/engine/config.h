@@ -10,6 +10,7 @@
 #include "engine/spill_config.h"
 #include "filter/dispatch.h"
 #include "net/network_model.h"
+#include "obs/hooks.h"
 #include "protocol/options.h"
 #include "query/query.h"
 #include "stream/random_walk.h"
@@ -200,6 +201,11 @@ struct SystemConfig {
   /// Out-of-core retired-query state (DESIGN.md §13; `asf_run --spill`).
   /// Disabled by default; results are byte-identical either way.
   SpillConfig spill;
+
+  /// Observability attachment (DESIGN.md §14): tracer, metrics registry,
+  /// profiler. Non-owning; all-null (the default) disables everything.
+  /// Provably inert — results are byte-identical either way.
+  obs::ObsHooks obs;
 
   Status Validate() const;
 };

@@ -140,6 +140,7 @@ Result<MultiQueryResult> RunMultiQuerySystem(const MultiQueryConfig& config) {
   options.net = config.net;
   options.dispatch = config.dispatch;
   options.spill = config.spill;
+  options.obs = config.obs;
   if (config.shards > 1) {
     ShardedSimulationCore::Options sharded;
     sharded.base = options;

@@ -72,6 +72,10 @@ struct MultiQueryConfig {
   /// Disabled by default; results are byte-identical either way.
   SpillConfig spill;
 
+  /// Observability attachment (DESIGN.md §14); non-owning, all-null by
+  /// default, provably inert on results.
+  obs::ObsHooks obs;
+
   Status Validate() const;
 };
 

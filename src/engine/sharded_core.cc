@@ -11,6 +11,9 @@
 #include "engine/config.h"
 #include "engine/query_slot.h"
 #include "engine/spill.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 
 namespace asf {
 
@@ -118,6 +121,22 @@ ShardedSimulationCore::ShardedSimulationCore(const Options& options)
       [this](std::size_t slot, StreamId id, const FilterConstraint& constraint,
              SimTime at) { OnNetDeploy(slot, id, constraint, at); });
   net_->BindReconcile([this](SimTime at) { OnNetReconcile(at); });
+
+  // Observability attachment (DESIGN.md §14). Rings are partitioned per
+  // writer thread: shard worker s owns ring s, the coordinator (replay,
+  // net, lifecycle, spill) owns ring S = num_shards.
+  obs_coord_ring_ = static_cast<std::uint16_t>(num_shards);
+  const obs::ObsHooks& obs = options_.base.obs;
+  if (obs.tracer != nullptr) obs.tracer->EnsureRings(num_shards + 1);
+  if (obs.tracer != nullptr || obs.metrics != nullptr) {
+    net_->set_obs(obs.metrics != nullptr ? obs.metrics->net_sink() : nullptr,
+                  obs.tracer, obs_coord_ring_);
+  }
+  if (spiller_) {
+    spiller_->set_obs(obs.tracer, obs_coord_ring_, obs.profiler,
+                      &net_scheduler_);
+  }
+  for (const auto& shard : shards_) shard->arena.set_profiler(obs.profiler);
 }
 
 ShardedSimulationCore::~ShardedSimulationCore() {
@@ -281,6 +300,9 @@ void ShardedSimulationCore::InstallSlot(std::size_t index, SimTime at) {
 
   slot.answer_sampled_upto = updates_generated_;
   slot.stats.deployed_at = at;
+  ASF_TRACE_EVENT(options_.base.obs.tracer, obs_coord_ring_,
+                  obs::TraceEventType::kDeploy, at,
+                  static_cast<std::uint32_t>(index), 0, column_owner_.size());
 
   slot.stats.messages.set_phase(MessagePhase::kInit);
   slot.protocol->Initialize(at);
@@ -314,6 +336,10 @@ void ShardedSimulationCore::RetireSlot(std::size_t index, SimTime at) {
   slot.column = FilterArena::kNoColumn;
   *slot.filters = FilterBank();  // detach: any further access trips checks
   RebindLiveViews();
+
+  ASF_TRACE_EVENT(options_.base.obs.tracer, obs_coord_ring_,
+                  obs::TraceEventType::kRetire, at,
+                  static_cast<std::uint32_t>(index), 0, column_owner_.size());
 
   // Retires run at epoch barriers with every shard quiescent, so the
   // coordinator can park the closed books on pages and free the hot
@@ -385,6 +411,9 @@ void ShardedSimulationCore::ReplayUpdate(Shard& shard,
   // OnNetUpdate — inside this replay step for instant delivery, drained
   // later in merged time order otherwise (DESIGN.md §9).
   if (!fired_slots_.empty()) {
+    ASF_TRACE_EVENT(options_.base.obs.tracer, obs_coord_ring_,
+                    obs::TraceEventType::kWireSend, update.time, update.id,
+                    update.value, fired_slots_.size());
     net_->SendUpdate(update.id, update.value, fired_slots_, update.time);
   }
   if (options_.base.oracle.check_every_update) {
@@ -397,6 +426,11 @@ void ShardedSimulationCore::ReplayUpdate(Shard& shard,
 void ShardedSimulationCore::OnNetUpdate(StreamId id,
                                         const NetworkModel::Payload* payloads,
                                         std::size_t count, SimTime at) {
+  obs::ScopedPhase obs_phase(options_.base.obs.profiler,
+                             obs::Phase::kNetFlush);
+  ASF_TRACE_EVENT(options_.base.obs.tracer, obs_coord_ring_,
+                  obs::TraceEventType::kWireDeliver, at, id,
+                  count != 0 ? payloads[count - 1].value : 0, count);
   if (replay_workers_ > 1 && count >= kMinParallelPayloads) {
     ParallelDeliverWireMessage(id, payloads, count, at);
     return;
@@ -551,12 +585,14 @@ bool ShardedSimulationCore::PinThreadToCore(std::size_t core) {
 void ShardedSimulationCore::OnNetDeploy(std::size_t slot_index, StreamId id,
                                         const FilterConstraint& constraint,
                                         SimTime at) {
-  (void)at;
   Slot& slot = *slots_[slot_index];
   if (!slot.live) {
     ++net_->stats().deploy_dropped_retired;
+    ASF_TRACE_EVENT(options_.base.obs.tracer, obs_coord_ring_,
+                    obs::TraceEventType::kWireDrop, at, id, 0, slot_index);
     return;
   }
+  (void)at;
   AssertViewFresh(*slot.filters, *arena_ptrs_.front());
   // Routed through the bank so the owning shard's arena records the
   // touched cell for this epoch's self-healing replay (DESIGN.md §8).
@@ -652,10 +688,16 @@ void ShardedSimulationCore::WorkerLoop(std::size_t shard_index) {
       to = speculate_to_;
       final_flush = final_flush_;
     }
-    if (final_flush) {
-      shard.scheduler.RunUntil(to);  // events at the horizon itself
-    } else {
-      shard.scheduler.RunBefore(to);
+    {
+      // Each worker's speculation wall accrues to the sweep phase in its
+      // own thread-local profiler state; Merged() folds them together.
+      obs::ScopedPhase obs_phase(options_.base.obs.profiler,
+                                 obs::Phase::kSweep);
+      if (final_flush) {
+        shard.scheduler.RunUntil(to);  // events at the horizon itself
+      } else {
+        shard.scheduler.RunBefore(to);
+      }
     }
     // Snapshot the task sequence *before* announcing speculation done:
     // the coordinator publishes replay tasks only after every worker has
@@ -712,23 +754,84 @@ void ShardedSimulationCore::Run() {
   ran_ = true;
   const SimTime duration = options_.base.duration;
 
+  // Root profiler scope on the coordinator: epoch orchestration and
+  // everything no finer phase claims accrues to kOther (worker threads
+  // report their speculation wall separately under kSweep).
+  obs::ScopedPhase obs_root(options_.base.obs.profiler, obs::Phase::kOther);
+
+  // Gauges sampled at snapshot grid points; the sharded engine drains
+  // due grid points at each epoch barrier (hooks.h), so a sample at T
+  // reflects the merged state of the barrier that covers T.
+  obs::MetricsRegistry* const obs_reg = options_.base.obs.metrics;
+  const SimTime obs_every = options_.base.obs.metrics_every;
+  SimTime obs_next_snap = obs_every;
+  if (obs_reg != nullptr) {
+    obs_reg->RegisterGauge("updates_generated", [this] {
+      return static_cast<double>(updates_generated_);
+    });
+    obs_reg->RegisterGauge("live_queries", [this] {
+      return static_cast<double>(column_owner_.size());
+    });
+    obs_reg->RegisterGauge("net_crossings", [this] {
+      return static_cast<double>(net_->stats().crossings);
+    });
+    obs_reg->RegisterGauge("net_wire_updates", [this] {
+      return static_cast<double>(net_->stats().update_messages);
+    });
+    obs_reg->RegisterGauge("net_staleness_mean",
+                           [this] { return net_->stats().delay.mean(); });
+    obs_reg->RegisterGauge("spill_resident_bytes", [this] {
+      return spiller_ ? static_cast<double>(
+                            spiller_->Telemetry().pool_resident_bytes)
+                      : 0.0;
+    });
+    obs_reg->RegisterGauge("replay_fraction", [this] {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 wall_start_)
+                                 .count();
+      return elapsed > 0 ? replay_seconds_ / elapsed : 0.0;
+    });
+  }
+  const auto obs_drain_snapshots = [&](SimTime upto) {
+    if (obs_reg == nullptr || obs_every <= 0) return;
+    while (obs_next_snap <= upto && obs_next_snap <= duration) {
+      obs_reg->SnapshotAt(obs_next_snap);
+      obs_next_snap += obs_every;
+    }
+  };
+
   // Each shard speculates into its log: every local update is recorded
   // and, while queries are live, evaluated against the shard's strips
   // under the epoch-start filter state.
-  for (const auto& shard_ptr : shards_) {
-    Shard* shard = shard_ptr.get();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard* shard = shards_[s].get();
+    const std::uint16_t ring = static_cast<std::uint16_t>(s);
     shard->streams->set_update_handler(
-        [this, shard](StreamId id, Value v, SimTime t) {
+        [this, shard, ring](StreamId id, Value v, SimTime t) {
+          (void)ring;
           Shard::Update update{t, id, v,
                                static_cast<std::uint32_t>(shard->fired.size()),
                                0};
           if (epoch_live_ > 0) {
+            ASF_TRACE_EVENT(options_.base.obs.tracer, ring,
+                            obs::TraceEventType::kValueUpdate, t, id, v, 0);
             // The configured dispatch policy (SIMD scan or stabbing
             // index) speculates under the epoch-start filter state.
             shard->arena.DispatchUpdate(id / shards_.size(), v,
                                         &shard->fired_scratch);
             update.fired_count =
                 static_cast<std::uint32_t>(shard->fired_scratch.size());
+#if ASF_OBS_TRACE_COMPILED
+            if (options_.base.obs.tracer != nullptr &&
+                options_.base.obs.tracer->Wants(obs::kCatCrossing)) {
+              for (const std::uint32_t c : shard->fired_scratch) {
+                options_.base.obs.tracer->Emit(
+                    ring, obs::TraceEventType::kCrossing, t, c, v,
+                    shard->fired_scratch.size());
+              }
+            }
+#endif
             shard->fired.insert(shard->fired.end(),
                                 shard->fired_scratch.begin(),
                                 shard->fired_scratch.end());
@@ -788,10 +891,15 @@ void ShardedSimulationCore::Run() {
   }
 
   SimTime now = 0;
+  std::uint64_t obs_epoch = 0;
   while (now < duration) {
     // Barrier at `now`: lifecycle events in the serial order — every
     // deployment first, then every retirement, each in slot order.
     coord_now_ = now;
+    obs_drain_snapshots(now);
+    ASF_TRACE_EVENT(options_.base.obs.tracer, obs_coord_ring_,
+                    obs::TraceEventType::kEpochBarrier, now, 0, 0, obs_epoch);
+    ++obs_epoch;
     while (next_deploy < deploys.size() && deploys[next_deploy].first == now) {
       InstallSlot(deploys[next_deploy].second, now);
       ++next_deploy;
@@ -816,9 +924,17 @@ void ShardedSimulationCore::Run() {
     }
     ASF_CHECK(next > now);
 
-    SpeculateEpoch(now, next);
+    {
+      obs::ScopedPhase obs_phase(options_.base.obs.profiler,
+                                 obs::Phase::kSpeculate);
+      SpeculateEpoch(now, next);
+    }
     const auto replay_start = std::chrono::steady_clock::now();
-    ReplayEpoch(now, next);
+    {
+      obs::ScopedPhase obs_phase(options_.base.obs.profiler,
+                                 obs::Phase::kReplay);
+      ReplayEpoch(now, next);
+    }
     replay_seconds_ +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       replay_start)
@@ -832,7 +948,12 @@ void ShardedSimulationCore::Run() {
   // like the serial run loop. Deliveries at the horizon can still fan
   // out, so the executors are released only after the drain.
   const auto drain_start = std::chrono::steady_clock::now();
-  DrainDeliveries(duration, kInf);
+  obs_drain_snapshots(duration);
+  {
+    obs::ScopedPhase obs_phase(options_.base.obs.profiler,
+                               obs::Phase::kReplay);
+    DrainDeliveries(duration, kInf);
+  }
   CloseReplayTasks();
   replay_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -846,6 +967,7 @@ void ShardedSimulationCore::Run() {
     slot->stats.reinits = slot->protocol->reinit_count();
     slot->stats.retired_at = duration;
   }
+  if (obs_reg != nullptr) obs_reg->ClearGauges();
   wall_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start_)

@@ -293,6 +293,10 @@ class ShardedSimulationCore {
   /// Scratch: slot indices fired by the update being replayed.
   std::vector<std::size_t> fired_slots_;
 
+  /// Trace ring owned by the coordinator thread (= shard count; shard
+  /// worker s writes ring s).
+  std::uint16_t obs_coord_ring_ = 0;
+
   bool ran_ = false;
   std::size_t peak_live_ = 0;
   std::uint64_t updates_generated_ = 0;

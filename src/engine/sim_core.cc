@@ -6,6 +6,9 @@
 
 #include "engine/query_slot.h"
 #include "engine/spill.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "stream/random_walk.h"
 #include "stream/trace_source.h"
 
@@ -66,6 +69,23 @@ SimulationCore::SimulationCore(const Options& options)
       [this](std::size_t slot, StreamId id, const FilterConstraint& constraint,
              SimTime at) { OnNetDeploy(slot, id, constraint, at); });
   net_->BindReconcile([this](SimTime at) { OnNetReconcile(at); });
+
+  // Observability attachment (DESIGN.md §14). The serial engine is one
+  // thread: everything writes trace ring 0. All hooks are inert — they
+  // record quantities the run already computed and never schedule,
+  // draw randomness, or block.
+  if (options_.obs.tracer != nullptr) options_.obs.tracer->EnsureRings(1);
+  if (options_.obs.tracer != nullptr || options_.obs.metrics != nullptr) {
+    net_->set_obs(options_.obs.metrics != nullptr
+                      ? options_.obs.metrics->net_sink()
+                      : nullptr,
+                  options_.obs.tracer, 0);
+  }
+  if (spiller_) {
+    spiller_->set_obs(options_.obs.tracer, 0, options_.obs.profiler,
+                      &scheduler_);
+  }
+  arena_.set_profiler(options_.obs.profiler);
 }
 
 SimulationCore::~SimulationCore() = default;
@@ -194,6 +214,9 @@ void SimulationCore::InstallSlot(std::size_t index) {
   // inside its live window.
   slot.answer_sampled_upto = updates_generated_;
   slot.stats.deployed_at = scheduler_.now();
+  ASF_TRACE_EVENT(options_.obs.tracer, 0, obs::TraceEventType::kDeploy,
+                  scheduler_.now(), static_cast<std::uint32_t>(index), 0,
+                  arena_.live());
 
   slot.stats.messages.set_phase(MessagePhase::kInit);
   slot.protocol->Initialize(scheduler_.now());
@@ -229,6 +252,10 @@ void SimulationCore::RetireSlot(std::size_t index) {
   slot.column = FilterArena::kNoColumn;
   *slot.filters = FilterBank();  // detach: any further access trips checks
   RebindLiveViews();
+
+  ASF_TRACE_EVENT(options_.obs.tracer, 0, obs::TraceEventType::kRetire,
+                  scheduler_.now(), static_cast<std::uint32_t>(index), 0,
+                  arena_.live());
 
   // Books are closed and nothing live references the slot's runtime any
   // more: park the record on pages and free the hot copies (DESIGN.md
@@ -273,6 +300,9 @@ void SimulationCore::ScheduleLifecycleBatch() {
 void SimulationCore::OnNetUpdate(StreamId id,
                                  const NetworkModel::Payload* payloads,
                                  std::size_t count, SimTime at) {
+  obs::ScopedPhase obs_phase(options_.obs.profiler, obs::Phase::kNetFlush);
+  ASF_TRACE_EVENT(options_.obs.tracer, 0, obs::TraceEventType::kWireDeliver,
+                  at, id, count != 0 ? payloads[count - 1].value : 0, count);
   engine_internal::DeliverWireMessage(
       slots_, *net_, net_delayed_, options_.oracle.check_every_update,
       updates_generated_, physical_updates_, id, payloads, count, at,
@@ -286,13 +316,15 @@ void SimulationCore::OnNetUpdate(StreamId id,
 void SimulationCore::OnNetDeploy(std::size_t slot_index, StreamId id,
                                  const FilterConstraint& constraint,
                                  SimTime at) {
-  (void)at;
   Slot& slot = *slots_[slot_index];
   if (!slot.live) {
     // Retirement already uninstalled the column; drop the stale install.
     ++net_->stats().deploy_dropped_retired;
+    ASF_TRACE_EVENT(options_.obs.tracer, 0, obs::TraceEventType::kWireDrop,
+                    at, id, 0, slot_index);
     return;
   }
+  (void)at;
   AssertViewFresh(*slot.filters, arena_);
   // The agent resets the membership reference against its *current* local
   // value (DESIGN.md §4, first bullet) — under delayed delivery that is
@@ -328,10 +360,44 @@ void SimulationCore::Run() {
   ASF_CHECK_MSG(!slots_.empty(), "Run() without any deployed query");
   ran_ = true;
 
+  // Root profiler scope: everything Run does that no finer phase claims
+  // accrues to kOther, so the phase table always sums to (about) the
+  // run's wall time.
+  obs::ScopedPhase obs_root(options_.obs.profiler, obs::Phase::kOther);
+
+  // Gauges read state the run maintains anyway; they are sampled only at
+  // snapshot grid points and cleared before Run returns (the lambdas
+  // capture `this`).
+  obs::MetricsRegistry* const obs_reg = options_.obs.metrics;
+  if (obs_reg != nullptr) {
+    obs_reg->RegisterGauge("updates_generated", [this] {
+      return static_cast<double>(updates_generated_);
+    });
+    obs_reg->RegisterGauge("live_queries", [this] {
+      return static_cast<double>(arena_.live());
+    });
+    obs_reg->RegisterGauge("net_crossings", [this] {
+      return static_cast<double>(net_->stats().crossings);
+    });
+    obs_reg->RegisterGauge("net_wire_updates", [this] {
+      return static_cast<double>(net_->stats().update_messages);
+    });
+    obs_reg->RegisterGauge("net_staleness_mean",
+                           [this] { return net_->stats().delay.mean(); });
+    obs_reg->RegisterGauge("spill_resident_bytes", [this] {
+      return spiller_
+                 ? static_cast<double>(spiller_->Telemetry().pool_resident_bytes)
+                 : 0.0;
+    });
+    obs_reg->RegisterGauge("replay_fraction", [] { return 0.0; });
+  }
+
   streams_->set_update_handler([this](StreamId id, Value v, SimTime t) {
     const std::size_t live = arena_.live();
     if (live == 0) return;  // warm-up / lull: no query, no messages
     ++updates_generated_;
+    ASF_TRACE_EVENT(options_.obs.tracer, 0, obs::TraceEventType::kValueUpdate,
+                    t, id, v, 0);
     // All live queries' filters for this stream sit in one contiguous,
     // compacted SoA strip; the configured dispatch policy evaluates every
     // live column — one SIMD sweep, or the stabbing index's
@@ -340,7 +406,33 @@ void SimulationCore::Run() {
     // Per-query isolation makes the batch evaluation exact: a fired
     // column's protocol reaction can only touch its own filters, never
     // another column's crossing decision for this update (DESIGN.md §8).
-    arena_.DispatchUpdate(id, v, &fired_columns_);
+#if ASF_OBS_TRACE_COMPILED
+    const bool obs_want_index =
+        options_.obs.tracer != nullptr &&
+        options_.obs.tracer->Wants(obs::kCatIndex);
+    const std::uint64_t obs_rebuilds_before =
+        obs_want_index ? arena_.dispatch_stats().index_rebuilds : 0;
+#endif
+    {
+      obs::ScopedPhase obs_phase(options_.obs.profiler, obs::Phase::kDispatch);
+      arena_.DispatchUpdate(id, v, &fired_columns_);
+    }
+#if ASF_OBS_TRACE_COMPILED
+    if (obs_want_index) {
+      const std::uint64_t rebuilds = arena_.dispatch_stats().index_rebuilds;
+      if (rebuilds != obs_rebuilds_before) {
+        options_.obs.tracer->Emit(0, obs::TraceEventType::kIndexRebuild, t, id,
+                                  v, rebuilds);
+      }
+    }
+    if (options_.obs.tracer != nullptr &&
+        options_.obs.tracer->Wants(obs::kCatCrossing)) {
+      for (const std::uint32_t c : fired_columns_) {
+        options_.obs.tracer->Emit(0, obs::TraceEventType::kCrossing, t, c, v,
+                                  fired_columns_.size());
+      }
+    }
+#endif
     // Fired columns map to slot indices *now* (columns move under
     // compaction, slots never do) and the crossings travel through the
     // network model, which delivers them back via OnNetUpdate — inside
@@ -349,7 +441,11 @@ void SimulationCore::Run() {
     for (const std::uint32_t c : fired_columns_) {
       fired_slots_.push_back(column_owner_[c]);
     }
-    if (!fired_slots_.empty()) net_->SendUpdate(id, v, fired_slots_, t);
+    if (!fired_slots_.empty()) {
+      ASF_TRACE_EVENT(options_.obs.tracer, 0, obs::TraceEventType::kWireSend,
+                      t, id, v, fired_slots_.size());
+      net_->SendUpdate(id, v, fired_slots_, t);
+    }
     if (options_.oracle.check_every_update) {
       for (auto& slot : slots_) {
         if (slot->live) RunOracle(*slot);
@@ -409,7 +505,31 @@ void SimulationCore::Run() {
   net_->StartRun(options_.duration);
 
   streams_->Start(&scheduler_, options_.duration);
-  scheduler_.RunUntil(options_.duration);
+  if (obs_reg != nullptr && options_.obs.metrics_every > 0) {
+    // Same event sequence as the plain RunUntil below — a Step loop with
+    // (time, seq) FIFO dispatch executes events in identical order — but
+    // gauge snapshots interleave on the sim-time grid: a grid point at T
+    // samples before any event at exactly T runs.
+    const SimTime every = options_.obs.metrics_every;
+    SimTime next_snap = every;
+    for (;;) {
+      const SimTime next_event = scheduler_.NextEventTime();
+      const SimTime limit = std::min(next_event, options_.duration);
+      while (next_snap <= options_.duration && next_snap <= limit) {
+        obs_reg->SnapshotAt(next_snap);
+        next_snap += every;
+      }
+      if (next_event > options_.duration) break;
+      scheduler_.Step();
+    }
+    scheduler_.RunUntil(options_.duration);  // clock -> horizon
+    while (next_snap <= options_.duration) {
+      obs_reg->SnapshotAt(next_snap);
+      next_snap += every;
+    }
+  } else {
+    scheduler_.RunUntil(options_.duration);
+  }
   net_->Finalize(options_.duration);
 
   for (auto& slot : slots_) {
@@ -421,6 +541,7 @@ void SimulationCore::Run() {
     slot->stats.reinits = slot->protocol->reinit_count();
     slot->stats.retired_at = options_.duration;
   }
+  if (obs_reg != nullptr) obs_reg->ClearGauges();
   wall_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start_)

@@ -152,6 +152,9 @@ class SimulationCore {
     /// Out-of-core retired-query state (DESIGN.md §13); disabled by
     /// default. Byte-identical results either way.
     SpillConfig spill;
+    /// Observability attachment (DESIGN.md §14); non-owning, all-null by
+    /// default, provably inert on results.
+    obs::ObsHooks obs;
   };
 
   explicit SimulationCore(const Options& options);

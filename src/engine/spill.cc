@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "net/message.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "storage/serde.h"
 
 namespace asf {
@@ -141,19 +143,29 @@ QueryStateSpiller::~QueryStateSpiller() {
 }
 
 storage::RecordRef QueryStateSpiller::Spill(const QueryRunStats& stats) {
+  obs::ScopedPhase phase(obs_profiler_, obs::Phase::kSpillIo);
   const std::vector<std::uint8_t> bytes = EncodeQueryRecord(stats);
   auto ref = records_->Write(bytes);
   ASF_CHECK_MSG(ref.ok(), ref.status().ToString().c_str());
   ++records_spilled_;
   spilled_bytes_ += bytes.size();
+  ASF_TRACE_EVENT(obs_tracer_, obs_ring_, obs::TraceEventType::kSpillEvict,
+                  obs_clock_ != nullptr ? obs_clock_->now() : 0.0,
+                  static_cast<std::uint32_t>(records_spilled_), 0,
+                  bytes.size());
   return *ref;
 }
 
 QueryRunStats QueryStateSpiller::Fault(const storage::RecordRef& ref) {
+  obs::ScopedPhase phase(obs_profiler_, obs::Phase::kSpillIo);
   auto bytes = records_->Read(ref);
   ASF_CHECK_MSG(bytes.ok(), bytes.status().ToString().c_str());
   ++records_faulted_;
   faulted_bytes_ += bytes->size();
+  ASF_TRACE_EVENT(obs_tracer_, obs_ring_, obs::TraceEventType::kSpillFault,
+                  obs_clock_ != nullptr ? obs_clock_->now() : 0.0,
+                  static_cast<std::uint32_t>(records_faulted_), 0,
+                  bytes->size());
   return DecodeQueryRecord(*bytes);
 }
 

@@ -63,6 +63,18 @@ class QueryStateSpiller {
 
   storage::BufferPool& pool() { return *pool_; }
 
+  /// Observability attachment (DESIGN.md §14): spill/fault trace events
+  /// on ring `ring` stamped with `clock->now()`, and kSpillIo profiler
+  /// scopes around the page I/O. All-null (the default) = off. The clock
+  /// is read-only — tracing never schedules anything.
+  void set_obs(obs::Tracer* tracer, std::uint16_t ring,
+               obs::Profiler* profiler, const Scheduler* clock) {
+    obs_tracer_ = tracer;
+    obs_ring_ = ring;
+    obs_profiler_ = profiler;
+    obs_clock_ = clock;
+  }
+
  private:
   QueryStateSpiller(const SpillConfig& config,
                     std::unique_ptr<storage::PageStore> store);
@@ -75,6 +87,11 @@ class QueryStateSpiller {
   std::uint64_t records_faulted_ = 0;
   std::uint64_t spilled_bytes_ = 0;
   std::uint64_t faulted_bytes_ = 0;
+
+  obs::Tracer* obs_tracer_ = nullptr;
+  std::uint16_t obs_ring_ = 0;
+  obs::Profiler* obs_profiler_ = nullptr;
+  const Scheduler* obs_clock_ = nullptr;
 };
 
 /// Spills a retired slot's closed books and drops every in-memory copy:

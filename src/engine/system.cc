@@ -55,6 +55,7 @@ Result<RunResult> RunSystem(const SystemConfig& config) {
   options.net = config.net;
   options.dispatch = config.dispatch;
   options.spill = config.spill;
+  options.obs = config.obs;
 
   QueryDeployment deployment;
   deployment.query = config.query;

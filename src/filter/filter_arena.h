@@ -13,6 +13,7 @@
 #include "filter/dispatch.h"
 #include "filter/filter.h"
 #include "filter/filter_bank.h"
+#include "obs/hooks.h"
 
 /// \file
 /// Growable stream-major filter storage for a *dynamic* query population,
@@ -201,6 +202,11 @@ class FilterArena {
   /// Dispatch-path accounting since construction.
   DispatchStats dispatch_stats() const;
 
+  /// Observability attachment (DESIGN.md §14): index snapshot rebuilds
+  /// run under a kIndexRebuild profiler scope. Null (the default) = off;
+  /// dispatch results are identical either way.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
   /// The stream's last DispatchUpdate value; NaN before the first
   /// dispatch (the index treats NaN as "no diff base" and rebuilds).
   Value known_value(StreamId id) const { return known_values_[id]; }
@@ -307,6 +313,10 @@ class FilterArena {
   std::vector<Value> known_values_;
   /// Engine hook for compaction moves (see set_relocation_callback).
   RelocationCallback relocate_;
+
+  /// Wall-clock profiler the index rebuild path reports into (may be
+  /// null; read by the friend IntervalIndex).
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace asf

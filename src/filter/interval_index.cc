@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "filter/filter_arena.h"
+#include "obs/profiler.h"
 
 namespace asf {
 
@@ -51,6 +52,7 @@ void IntervalIndex::OnRelease(std::size_t hole, std::size_t vacated_last) {
 void IntervalIndex::RebuildAndDispatch(StreamId id, StreamState& state,
                                        Value v,
                                        std::vector<std::uint32_t>* fired) {
+  obs::ScopedPhase obs_phase(arena_->profiler_, obs::Phase::kIndexRebuild);
   // The rebuild's full sweep doubles as this dispatch: one SIMD kernel
   // pass answers the update and leaves every reference advanced, so the
   // snapshot taken right after is coherent with the stream's new value.

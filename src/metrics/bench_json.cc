@@ -1,43 +1,98 @@
 #include "metrics/bench_json.h"
 
 #include <cstdio>
+#include <utility>
+
+#include "metrics/provenance.h"
+#include "metrics/table.h"
 
 namespace asf {
 
 Status WriteBenchJson(
     const std::string& path, const std::string& bench,
     const std::vector<std::pair<std::string, double>>& metrics) {
-  return WriteBenchJson(path, bench, metrics, {});
+  metrics::JsonWriter writer(bench);
+  writer.AddMetrics(metrics);
+  return writer.WriteTo(path);
 }
 
 Status WriteBenchJson(
     const std::string& path, const std::string& bench,
     const std::vector<std::pair<std::string, double>>& metrics,
     const std::vector<std::pair<std::string, std::string>>& provenance) {
+  metrics::JsonWriter writer(bench);
+  writer.SetProvenance(provenance);
+  writer.AddMetrics(metrics);
+  return writer.WriteTo(path);
+}
+
+namespace metrics {
+
+JsonWriter::JsonWriter(std::string bench)
+    : bench_(std::move(bench)), provenance_(BuildProvenance()) {}
+
+void JsonWriter::AddMetric(const std::string& name, double value) {
+  metrics_.emplace_back(name, value);
+}
+
+void JsonWriter::AddMetrics(
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  metrics_.insert(metrics_.end(), metrics.begin(), metrics.end());
+}
+
+void JsonWriter::SetProvenance(
+    std::vector<std::pair<std::string, std::string>> provenance) {
+  provenance_ = std::move(provenance);
+}
+
+void JsonWriter::AddBlock(const std::string& name, std::string json) {
+  blocks_.emplace_back(name, std::move(json));
+}
+
+std::string JsonWriter::ToJson() const {
+  std::string out = Fmt("{\n  \"bench\": \"%s\",\n", bench_.c_str());
+  if (!provenance_.empty()) {
+    // Before "metrics": bench_check's flat parser scans numbers from the
+    // "metrics" key onward and must never see these strings.
+    out += "  \"provenance\": {\n";
+    for (std::size_t i = 0; i < provenance_.size(); ++i) {
+      out += Fmt("    \"%s\": \"%s\"%s\n", provenance_[i].first.c_str(),
+                 provenance_[i].second.c_str(),
+                 i + 1 < provenance_.size() ? "," : "");
+    }
+    out += "  },\n";
+  }
+  out += "  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    out += Fmt("    \"%s\": %.17g%s\n", metrics_[i].first.c_str(),
+               metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
+  }
+  out += "  }";
+  for (const auto& [name, json] : blocks_) {
+    // Plain appends: blocks (time-series, histograms) routinely exceed
+    // Fmt's formatting buffer.
+    out += ",\n  \"";
+    out += name;
+    out += "\": ";
+    out += json;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+Status JsonWriter::WriteTo(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::IoError("cannot open " + path + " for writing");
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench.c_str());
-  if (!provenance.empty()) {
-    // Before "metrics": bench_check's flat parser scans numbers from the
-    // "metrics" key onward and must never see these strings.
-    std::fprintf(f, "  \"provenance\": {\n");
-    for (std::size_t i = 0; i < provenance.size(); ++i) {
-      std::fprintf(f, "    \"%s\": \"%s\"%s\n", provenance[i].first.c_str(),
-                   provenance[i].second.c_str(),
-                   i + 1 < provenance.size() ? "," : "");
-    }
-    std::fprintf(f, "  },\n");
+  const std::string json = ToJson();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::IoError("write failed: " + path);
   }
-  std::fprintf(f, "  \"metrics\": {\n");
-  for (std::size_t i = 0; i < metrics.size(); ++i) {
-    std::fprintf(f, "    \"%s\": %.17g%s\n", metrics[i].first.c_str(),
-                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
-  }
-  std::fprintf(f, "  }\n}\n");
-  if (std::fclose(f) != 0) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
 
+}  // namespace metrics
 }  // namespace asf

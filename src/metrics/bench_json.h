@@ -37,6 +37,43 @@ Status WriteBenchJson(
     const std::vector<std::pair<std::string, double>>& metrics,
     const std::vector<std::pair<std::string, std::string>>& provenance);
 
+namespace metrics {
+
+/// The one bench-json entry point (DESIGN.md §14): every bench and tool
+/// builds its document through this writer, which pins the schema —
+/// "bench", then "provenance" (attached automatically from
+/// BuildProvenance(); SetProvenance overrides), then the flat "metrics"
+/// object bench_check gates on, then any named extra blocks
+/// (time-series, histograms, profile) AFTER the metrics object so
+/// bench_check's flat scan — which stops at the metrics object's closing
+/// brace — never sees them.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench);
+
+  void AddMetric(const std::string& name, double value);
+  void AddMetrics(const std::vector<std::pair<std::string, double>>& metrics);
+
+  /// Replaces the auto-attached provenance; pass {} to omit the object.
+  void SetProvenance(
+      std::vector<std::pair<std::string, std::string>> provenance);
+
+  /// Appends `"name": <json>` after the metrics object. `json` must be a
+  /// complete JSON value (object/array), emitted verbatim.
+  void AddBlock(const std::string& name, std::string json);
+
+  /// The whole document. Metric values print %.17g (round-trip exact).
+  std::string ToJson() const;
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> provenance_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> blocks_;
+};
+
+}  // namespace metrics
 }  // namespace asf
 
 #endif  // ASF_METRICS_BENCH_JSON_H_

@@ -88,10 +88,14 @@ NetworkModel::EgressAction FaultPipeline::OnUpdateEgress(
   NetStats& s = stats();
   if (!LinkUp(at)) {
     s.dropped_partition += crossings;
+    ASF_TRACE_EVENT(obs_tracer_, obs_ring_, obs::TraceEventType::kWireDrop,
+                    at, id, 0, crossings);
     return EgressAction::kConsumed;
   }
   if (LossDraw(&up_, id)) {
     s.dropped_loss += crossings;
+    ASF_TRACE_EVENT(obs_tracer_, obs_ring_, obs::TraceEventType::kWireDrop,
+                    at, id, 0, crossings);
     return EgressAction::kConsumed;
   }
   if (config_.reorder == 0) return EgressAction::kDeliver;
@@ -253,6 +257,9 @@ void FaultPipeline::OnDeployAck(std::size_t slot, StreamId id,
     if (rto_adaptive_ && !ch.retransmitted) {
       if (ch.id >= rtt_.size()) rtt_.resize(ch.id + 1);
       rtt_[ch.id].AddSample(scheduler_->now() - ch.sent_at);
+      if (obs_sink_ != nullptr) {
+        obs_sink_->rto->Add(rtt_[ch.id].Rto(1.0, rto_cap_));
+      }
     }
     ch.pending = false;
     ++s.deploy_acks;

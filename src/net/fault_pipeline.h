@@ -101,6 +101,14 @@ class FaultPipeline final : public NetworkModel {
   NetStats& stats() override { return base_->stats(); }
   const NetStats& stats() const override { return base_->stats(); }
 
+  /// Forwards to the wrapped base model too, so staleness samples taken
+  /// at the base's egress land in the same sink.
+  void set_obs(obs::NetMetricsSink* sink, obs::Tracer* tracer,
+               std::uint16_t ring) override {
+    NetworkModel::set_obs(sink, tracer, ring);
+    base_->set_obs(sink, tracer, ring);
+  }
+
   /// True when the partition schedule has every link up at `t` (links are
   /// down in [t0,t1), [t2,t3), ...).
   bool LinkUp(SimTime t) const;

@@ -14,6 +14,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "filter/constraint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 
 /// \file
@@ -356,6 +358,19 @@ class NetworkModel {
   /// set before Bind).
   void set_update_egress(UpdateEgress egress) { egress_ = std::move(egress); }
 
+  /// Observability endpoints (DESIGN.md §14): histogram sink for
+  /// staleness / queue depth / RTO samples, and the tracer ring wire
+  /// drops are recorded on. Null (the default) = off; one branch per
+  /// feed site. Engines set this before Run; FaultPipeline overrides to
+  /// forward to its wrapped base model as well. All feed sites run on
+  /// the model's owning (scheduler) thread.
+  virtual void set_obs(obs::NetMetricsSink* sink, obs::Tracer* tracer,
+                       std::uint16_t ring) {
+    obs_sink_ = sink;
+    obs_tracer_ = tracer;
+    obs_ring_ = ring;
+  }
+
   /// Pipeline-only: accounts and delivers a wire message the egress hook
   /// consumed earlier (a surviving message the pipeline delivers itself,
   /// or a held reordered message released late). Staleness is sampled
@@ -397,6 +412,10 @@ class NetworkModel {
   UpdateSink update_sink_;
   DeploySink deploy_sink_;
   NetStats stats_;
+  /// Observability endpoints (see set_obs); null = off.
+  obs::NetMetricsSink* obs_sink_ = nullptr;
+  obs::Tracer* obs_tracer_ = nullptr;
+  std::uint16_t obs_ring_ = 0;
   /// Wire messages enqueued but not yet delivered (any direction).
   std::uint64_t pending_wire_ = 0;
   /// Update crossings enqueued but not yet delivered.
@@ -409,6 +428,11 @@ class NetworkModel {
     stats_.update_payloads += payloads.size();
     if (sample_delay) {
       for (const Payload& p : payloads) stats_.delay.Add(at - p.crossed_at);
+      if (obs_sink_ != nullptr) {
+        for (const Payload& p : payloads) {
+          obs_sink_->staleness->Add(at - p.crossed_at);
+        }
+      }
     }
     update_sink_(id, payloads.data(), payloads.size(), at);
   }

@@ -1,0 +1,49 @@
+#ifndef ASF_OBS_HOOKS_H_
+#define ASF_OBS_HOOKS_H_
+
+#include "common/types.h"
+
+/// \file
+/// The observability attachment point (DESIGN.md §14): a bundle of
+/// non-owning pointers a run driver (asf_run, a bench, a test) threads
+/// through SystemConfig / MultiQueryConfig / SimulationCore::Options
+/// into both engines and the network layer. Null pointers (the default)
+/// disable each facility independently at the cost of one branch per
+/// instrumentation point.
+///
+/// Ownership and lifetime: the driver owns the Tracer / MetricsRegistry
+/// / Profiler objects and must keep them alive for the whole run. One
+/// bundle serves one run at a time — the objects are not synchronized
+/// for concurrent runs (within one sharded run the engine partitions
+/// tracer rings per shard and merges profiler state at barriers, so a
+/// single run is safe at any shard count).
+
+namespace asf {
+namespace obs {
+
+class Tracer;
+class MetricsRegistry;
+class Profiler;
+
+struct ObsHooks {
+  /// Sim-time event tracer (obs/trace.h); null = off.
+  Tracer* tracer = nullptr;
+  /// Gauge/histogram registry (obs/metrics.h); null = off.
+  MetricsRegistry* metrics = nullptr;
+  /// Sim-time snapshot period for the registry's gauges; <= 0 disables
+  /// periodic snapshots (histograms still fill). The serial engine
+  /// samples exactly on the grid between scheduler events; the sharded
+  /// engine samples due grid points at each epoch barrier.
+  SimTime metrics_every = 0;
+  /// Wall-clock phase profiler (obs/profiler.h); null = off.
+  Profiler* profiler = nullptr;
+
+  bool any() const {
+    return tracer != nullptr || metrics != nullptr || profiler != nullptr;
+  }
+};
+
+}  // namespace obs
+}  // namespace asf
+
+#endif  // ASF_OBS_HOOKS_H_

@@ -1,0 +1,63 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace asf {
+namespace obs {
+namespace {
+
+void AppendDouble(std::ostringstream* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out << buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::TimeSeriesJson() const {
+  std::ostringstream out;
+  out << "{\"gauges\": [";
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    out << (i > 0 ? ", " : "") << '"' << gauge_names_[i] << '"';
+  }
+  out << "], \"rows\": [";
+  for (std::size_t r = 0; r < series_.size(); ++r) {
+    const MetricsRow& row = series_[r];
+    out << (r > 0 ? ", " : "") << '[';
+    AppendDouble(&out, row.time);
+    for (double v : row.values) {
+      out << ", ";
+      AppendDouble(&out, v);
+    }
+    out << ']';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string MetricsRegistry::HistogramsJson() const {
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t h = 0; h < histogram_names_.size(); ++h) {
+    const LogHistogram& hist = *histograms_[h];
+    out << (h > 0 ? ", " : "") << '"' << histogram_names_[h]
+        << "\": {\"count\": " << hist.count() << ", \"mean\": ";
+    AppendDouble(&out, hist.mean());
+    out << ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t i = 0; i < hist.buckets(); ++i) {
+      if (hist.bucket_count(i) == 0) continue;
+      out << (first ? "" : ", ") << '[';
+      AppendDouble(&out, hist.bucket_lo(i));
+      out << ", " << hist.bucket_count(i) << ']';
+      first = false;
+    }
+    out << "]}";
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace asf

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace asf {
+namespace obs {
+namespace {
+
+struct CategoryEntry {
+  const char* name;
+  std::uint32_t bit;
+};
+
+constexpr CategoryEntry kCategories[] = {
+    {"update", kCatUpdate},       {"crossing", kCatCrossing},
+    {"wire", kCatWire},           {"lifecycle", kCatLifecycle},
+    {"epoch", kCatEpoch},         {"index", kCatIndex},
+    {"spill", kCatSpill},
+};
+
+}  // namespace
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kValueUpdate:
+      return "value_update";
+    case TraceEventType::kCrossing:
+      return "crossing";
+    case TraceEventType::kWireSend:
+      return "wire_send";
+    case TraceEventType::kWireDeliver:
+      return "wire_deliver";
+    case TraceEventType::kWireDrop:
+      return "wire_drop";
+    case TraceEventType::kDeploy:
+      return "deploy";
+    case TraceEventType::kRetire:
+      return "retire";
+    case TraceEventType::kEpochBarrier:
+      return "epoch_barrier";
+    case TraceEventType::kIndexRebuild:
+      return "index_rebuild";
+    case TraceEventType::kSpillEvict:
+      return "spill_evict";
+    case TraceEventType::kSpillFault:
+      return "spill_fault";
+    case TraceEventType::kNumTypes:
+      break;
+  }
+  return "unknown";
+}
+
+const char* TraceCategoryName(std::uint32_t category_bit) {
+  for (const CategoryEntry& entry : kCategories) {
+    if (entry.bit == category_bit) return entry.name;
+  }
+  return "unknown";
+}
+
+Result<std::uint32_t> ParseCategoryMask(const std::string& csv) {
+  if (csv.empty() || csv == "all") return kCatAll;
+  std::uint32_t mask = 0;
+  std::stringstream stream(csv);
+  std::string name;
+  while (std::getline(stream, name, ',')) {
+    if (name.empty()) continue;
+    if (name == "all") {
+      mask |= kCatAll;
+      continue;
+    }
+    bool found = false;
+    for (const CategoryEntry& entry : kCategories) {
+      if (name == entry.name) {
+        mask |= entry.bit;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown trace category: " + name);
+    }
+  }
+  if (mask == 0) {
+    return Status::InvalidArgument("empty trace category mask: " + csv);
+  }
+  return mask;
+}
+
+std::uint64_t Tracer::total_records() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->records().size();
+  return total;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+// Binary format (host-endian):
+//   char[8]  magic "ASFTRC01"
+//   u32      ring_count
+//   u32      reserved (0)
+//   per ring:
+//     u64    record count
+//     u64    dropped count
+//     TraceRecord[count]   (32 bytes each, verbatim)
+Status Tracer::WriteBinary(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  bool ok = true;
+  const char magic[8] = {'A', 'S', 'F', 'T', 'R', 'C', '0', '1'};
+  ok = ok && std::fwrite(magic, sizeof(magic), 1, out) == 1;
+  const std::uint32_t ring_count = static_cast<std::uint32_t>(rings_.size());
+  const std::uint32_t reserved = 0;
+  ok = ok && std::fwrite(&ring_count, sizeof(ring_count), 1, out) == 1;
+  ok = ok && std::fwrite(&reserved, sizeof(reserved), 1, out) == 1;
+  for (const auto& ring : rings_) {
+    const std::uint64_t count = ring->records().size();
+    const std::uint64_t dropped = ring->dropped();
+    ok = ok && std::fwrite(&count, sizeof(count), 1, out) == 1;
+    ok = ok && std::fwrite(&dropped, sizeof(dropped), 1, out) == 1;
+    if (count > 0) {
+      ok = ok && std::fwrite(ring->records().data(), sizeof(TraceRecord),
+                             count, out) == count;
+    }
+  }
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok) return Status::IoError("short write to trace file: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace asf

@@ -5,7 +5,7 @@
 ///           --eps-plus=0.2 --eps-minus=0.2 --duration=2000
 ///   asf_run --protocol=rtp --query=knn --k=10 --q=500 --r=5
 ///   asf_run --protocol=ft-rp --query=topk --k=20 --eps-plus=0.3
-///           --trace=mytrace.csv
+///           --replay=mytrace.csv
 ///   asf_run --churn --churn-rate=0.3 --churn-lifetime=250
 ///           --streams=2000 --duration=4000
 ///
@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -26,8 +27,12 @@
 #include "engine/multi_system.h"
 #include "engine/system.h"
 #include "metrics/bench_json.h"
-#include "metrics/provenance.h"
 #include "metrics/table.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "trace/trace_io.h"
 
 namespace asf {
@@ -39,7 +44,7 @@ Workload (random walk by default):
   --streams=N             number of streams            [1000]
   --sigma=S               random-walk step stddev      [20]
   --interarrival=M        mean update inter-arrival    [20]
-  --trace=FILE            replay a trace CSV instead (see asf_tracegen)
+  --replay=FILE           replay a trace CSV instead (see asf_tracegen)
   --duration=T            simulated time units         [1000]
   --warmup=T              query start time             [0]
   --seed=N                seed                         [1]
@@ -124,6 +129,19 @@ buffer size — spilling only changes where closed books are stored):
   --buffer-pages=N        buffer pool frames (>= 2)             [64]
   --replacement=lru|fifo  pool replacement policy               [lru]
 
+Observability (DESIGN.md #14; inert on results — obs-on output is
+byte-identical to obs-off after dropping the "obs "-prefixed lines):
+  --trace=FILE            write a binary sim-time event trace to FILE
+                          (convert with tools/asf_trace; the old replay
+                          meaning of --trace moved to --replay)
+  --trace-cats=CSV        categories to trace: update,crossing,wire,
+                          lifecycle,epoch,index,spill, or "all"  [all]
+  --metrics-every=T       sample the gauge time-series every T sim-time
+                          units; emitted as the "timeseries" and
+                          "histograms" blocks of --bench-json
+  --profile               print the wall-clock phase profile and add a
+                          "profile" block to --bench-json
+
 Output:
   --bench-json=FILE       also write the summary as BENCH json
                           (includes build provenance: git sha, build
@@ -150,53 +168,83 @@ Status ParseSpillFlags(const Flags& flags, SpillConfig* spill) {
   return Status::OK();
 }
 
-/// Spill stats print as standalone "spill "-prefixed lines AFTER the
-/// summary table — never as table rows. Extra rows would re-align the
-/// table's column widths, and the byte-identity CI legs diff spill vs
-/// in-memory output with a single `grep -v "^spill "`.
-void PrintSpillStats(const SpillTelemetry& spill) {
-  if (!spill.enabled) return;
-  std::printf("spill pool: %zu pages (%s)\n", spill.buffer_pages,
-              spill.replacement.c_str());
-  std::printf("spill records out / back: %llu / %llu\n",
-              (unsigned long long)spill.records_spilled,
-              (unsigned long long)spill.records_faulted);
-  std::printf("spill bytes out / back: %llu / %llu\n",
-              (unsigned long long)spill.spilled_bytes,
-              (unsigned long long)spill.faulted_bytes);
-  std::printf("spill pool hit rate: %.3f (%llu hits, %llu misses)\n",
-              spill.PoolHitRate(), (unsigned long long)spill.pool_hits,
-              (unsigned long long)spill.pool_misses);
-  std::printf("spill evictions / write-backs: %llu / %llu\n",
-              (unsigned long long)spill.pool_evictions,
-              (unsigned long long)spill.pool_write_backs);
-  std::printf("spill resident / file bytes: %llu / %llu\n",
-              (unsigned long long)spill.pool_resident_bytes,
-              (unsigned long long)spill.file_bytes);
-}
+/// Owns the per-run observability objects behind --trace / --trace-cats
+/// / --metrics-every / --profile (DESIGN.md #14) and the epilogue they
+/// print. Every line the session prints carries the "obs " prefix so the
+/// CI byte-identity legs strip all of it with one `grep -v "^obs "`.
+class ObsSession {
+ public:
+  static Result<ObsSession> FromFlags(const Flags& flags) {
+    ObsSession session;
+    if (flags.Has("trace")) {
+      if (!ASF_OBS_TRACE_COMPILED) {
+        return Status::InvalidArgument(
+            "--trace requires a build with -DASF_OBS_TRACE=ON");
+      }
+      session.trace_path_ = flags.GetString("trace");
+      ASF_ASSIGN_OR_RETURN(
+          const std::uint32_t mask,
+          obs::ParseCategoryMask(flags.GetString("trace-cats", "all")));
+      session.tracer_ = std::make_unique<obs::Tracer>(mask);
+    }
+    ASF_ASSIGN_OR_RETURN(session.metrics_every_,
+                         flags.GetDouble("metrics-every", 0));
+    if (session.metrics_every_ < 0) {
+      return Status::InvalidArgument("--metrics-every must be >= 0");
+    }
+    if (session.metrics_every_ > 0) {
+      session.registry_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    ASF_ASSIGN_OR_RETURN(const bool profile, flags.GetBool("profile", false));
+    if (profile) session.profiler_ = std::make_unique<obs::Profiler>();
+    return session;
+  }
 
-/// Machine-readable counterpart of AddSpillRows.
-void AddSpillMetrics(const SpillTelemetry& spill,
-                     std::vector<std::pair<std::string, double>>* metrics) {
-  if (!spill.enabled) return;
-  metrics->emplace_back("spill_buffer_pages",
-                        static_cast<double>(spill.buffer_pages));
-  metrics->emplace_back("spill_records",
-                        static_cast<double>(spill.records_spilled));
-  metrics->emplace_back("spill_faults",
-                        static_cast<double>(spill.records_faulted));
-  metrics->emplace_back("spill_bytes",
-                        static_cast<double>(spill.spilled_bytes));
-  metrics->emplace_back("spill_pool_hit_rate", spill.PoolHitRate());
-  metrics->emplace_back("spill_pool_evictions",
-                        static_cast<double>(spill.pool_evictions));
-  metrics->emplace_back("spill_pool_write_backs",
-                        static_cast<double>(spill.pool_write_backs));
-  metrics->emplace_back("spill_resident_bytes",
-                        static_cast<double>(spill.pool_resident_bytes));
-  metrics->emplace_back("spill_file_bytes",
-                        static_cast<double>(spill.file_bytes));
-}
+  /// The non-owning bundle the engines receive via config.obs.
+  obs::ObsHooks hooks() const {
+    obs::ObsHooks hooks;
+    hooks.tracer = tracer_.get();
+    hooks.metrics = registry_.get();
+    hooks.metrics_every = metrics_every_;
+    hooks.profiler = profiler_.get();
+    return hooks;
+  }
+
+  /// Prints the "obs " epilogue, writes the binary trace, and attaches
+  /// the timeseries / histograms / profile blocks to `writer` (null when
+  /// --bench-json is off). Call after the summary table and spill lines.
+  Status Finish(double wall_seconds, metrics::JsonWriter* writer) const {
+    if (tracer_ != nullptr) {
+      ASF_RETURN_IF_ERROR(tracer_->WriteBinary(trace_path_));
+      std::printf("obs trace: %llu records (%llu dropped) -> %s\n",
+                  (unsigned long long)tracer_->total_records(),
+                  (unsigned long long)tracer_->total_dropped(),
+                  trace_path_.c_str());
+    }
+    if (registry_ != nullptr) {
+      std::printf("obs metrics: %zu snapshots every %g time units\n",
+                  registry_->series().size(), metrics_every_);
+      if (writer != nullptr) {
+        writer->AddBlock("timeseries", registry_->TimeSeriesJson());
+        writer->AddBlock("histograms", registry_->HistogramsJson());
+      }
+    }
+    if (profiler_ != nullptr) {
+      std::printf("%s", profiler_->FormatTable(wall_seconds).c_str());
+      if (writer != nullptr) {
+        writer->AddBlock("profile", profiler_->ProfileJson());
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::Profiler> profiler_;
+  std::string trace_path_;
+  double metrics_every_ = 0;
+};
 
 Result<ProtocolKind> ParseProtocol(const std::string& name) {
   if (name == "no-filter") return ProtocolKind::kNoFilter;
@@ -232,7 +280,8 @@ Result<QuerySpec> ParseQuery(const Flags& flags) {
 
 /// Churn mode: the protocol/query/tolerance flags describe the arrival
 /// mix; queries arrive Poisson and retire after exponential lifetimes.
-Status RunChurn(const Flags& flags, const SystemConfig& base) {
+Status RunChurn(const Flags& flags, const SystemConfig& base,
+                const ObsSession& obs_session) {
   ChurnSpec spec;
   ASF_ASSIGN_OR_RETURN(spec.arrival_rate,
                        flags.GetDouble("churn-rate", 0.2));
@@ -284,6 +333,7 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   config.net = base.net;
   config.dispatch = base.dispatch;
   config.spill = base.spill;
+  config.obs = base.obs;
   ASF_ASSIGN_OR_RETURN(config.queries, ExpandChurn(spec, config.duration));
   if (config.queries.empty()) {
     return Status::InvalidArgument(
@@ -325,16 +375,9 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   totals.AddRow({"sharing saving",
                  Fmt("%llu", (unsigned long long)(result.LogicalUpdates() -
                                                   result.physical_updates))});
-  if (config.net.DelaysDelivery()) {
-    totals.AddRow({"net model", config.net.ToString()});
-    totals.AddRow({"net msgs per flush",
-                   Fmt("%.2f", result.net.MessagesPerFlush())});
-    totals.AddRow({"net staleness mean",
-                   Fmt("%.3f", result.net.delay.mean())});
-    totals.AddRow({"net dropped (retired)",
-                   Fmt("%llu",
-                       (unsigned long long)result.net.dropped_retired)});
-  }
+  const obs::TelemetryBlock net_block =
+      obs::NetTelemetryBlock(config.net, result.net, nullptr);
+  net_block.AppendRows(&totals);
   if (config.shards > 1) {
     totals.AddRow(
         {"replay seconds",
@@ -348,8 +391,10 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
   }
   totals.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", totals.ToString().c_str());
-  PrintSpillStats(result.spill);
+  const obs::TelemetryBlock spill_block = obs::SpillTelemetryBlock(result.spill);
+  spill_block.PrintLines();
 
+  std::unique_ptr<metrics::JsonWriter> writer;
   if (flags.Has("bench-json")) {
     std::vector<std::pair<std::string, double>> metrics = {
         {"queries", static_cast<double>(result.queries.size())},
@@ -380,10 +425,14 @@ Status RunChurn(const Flags& flags, const SystemConfig& base) {
         {"replay_workers", static_cast<double>(result.replay_workers)},
         {"pinned", result.pinned ? 1.0 : 0.0},
         {"wall_seconds", result.wall_seconds}};
-    AddSpillMetrics(result.spill, &metrics);
-    ASF_RETURN_IF_ERROR(WriteBenchJson(flags.GetString("bench-json"),
-                                       "asf_run_churn", metrics,
-                                       BuildProvenance()));
+    net_block.AppendMetrics(&metrics);
+    spill_block.AppendMetrics(&metrics);
+    writer = std::make_unique<metrics::JsonWriter>("asf_run_churn");
+    writer->AddMetrics(metrics);
+  }
+  ASF_RETURN_IF_ERROR(obs_session.Finish(result.wall_seconds, writer.get()));
+  if (writer != nullptr) {
+    ASF_RETURN_IF_ERROR(writer->WriteTo(flags.GetString("bench-json")));
     std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
   }
   return Status::OK();
@@ -394,8 +443,8 @@ Status RunFromFlags(const Flags& flags) {
 
   // Workload.
   TraceData trace;
-  if (flags.Has("trace")) {
-    ASF_ASSIGN_OR_RETURN(trace, ReadTraceCsv(flags.GetString("trace")));
+  if (flags.Has("replay")) {
+    ASF_ASSIGN_OR_RETURN(trace, ReadTraceCsv(flags.GetString("replay")));
     config.source = SourceSpec::Trace(&trace);
   } else {
     RandomWalkConfig walk;
@@ -476,7 +525,13 @@ Status RunFromFlags(const Flags& flags) {
   ASF_ASSIGN_OR_RETURN(config.oracle.check_every_update,
                        flags.GetBool("oracle-every-update", false));
 
-  if (flags.Has("churn")) return RunChurn(flags, config);
+  // Observability. The session owns the tracer/registry/profiler; the
+  // engines see only the non-owning hooks bundle.
+  ASF_ASSIGN_OR_RETURN(const ObsSession obs_session,
+                       ObsSession::FromFlags(flags));
+  config.obs = obs_session.hooks();
+
+  if (flags.Has("churn")) return RunChurn(flags, config, obs_session);
 
   ASF_ASSIGN_OR_RETURN(const RunResult result, RunSystem(config));
 
@@ -514,50 +569,15 @@ Status RunFromFlags(const Flags& flags) {
                                      result.max_f_minus)});
   }
   // Delivery costs — only under a delaying model, so default runs print
-  // byte-identically to the pre-subsystem tool.
-  if (config.net.DelaysDelivery()) {
-    table.AddRow({"net model", config.net.ToString()});
-    table.AddRow({"net wire updates",
-                  Fmt("%llu", (unsigned long long)result.net.update_messages)});
-    table.AddRow({"net msgs per flush",
-                  Fmt("%.2f", result.net.MessagesPerFlush())});
-    table.AddRow({"staleness mean / max",
-                  Fmt("%.3f / %.3f", result.update_delay.mean(),
-                      result.update_delay.max())});
-    if (result.oracle_checks > 0) {
-      table.AddRow(
-          {"violations in flight",
-           Fmt("%llu", (unsigned long long)result.oracle_violations_in_flight)});
-    }
-    table.AddRow({"in flight at horizon",
-                  Fmt("%llu",
-                      (unsigned long long)result.net.in_flight_at_end)});
-    if (config.net.HasFaults()) {
-      table.AddRow(
-          {"crossings lost / partitioned",
-           Fmt("%llu / %llu", (unsigned long long)result.net.dropped_loss,
-               (unsigned long long)result.net.dropped_partition)});
-      table.AddRow({"stale payloads suppressed",
-                    Fmt("%llu",
-                        (unsigned long long)result.net.suppressed_stale)});
-      table.AddRow(
-          {"deploy retx / acks / unacked",
-           Fmt("%llu / %llu / %llu",
-               (unsigned long long)result.net.deploy_retransmits,
-               (unsigned long long)result.net.deploy_acks,
-               (unsigned long long)result.net.deploy_unacked_at_end)});
-      table.AddRow(
-          {"probe retx / failovers",
-           Fmt("%llu / %llu",
-               (unsigned long long)result.net.probe_retransmits,
-               (unsigned long long)result.net.probe_failovers)});
-      table.AddRow(
-          {"reconcile exchanges / deploys",
-           Fmt("%llu / %llu",
-               (unsigned long long)result.net.reconcile_exchanges,
-               (unsigned long long)result.net.reconcile_deploys)});
-    }
-  }
+  // byte-identically to the pre-subsystem tool. The block carries both
+  // presentations (rows here, metrics below) so they cannot drift.
+  obs::NetRunExtras net_extras;
+  net_extras.update_delay = &result.update_delay;
+  net_extras.oracle_checks = result.oracle_checks;
+  net_extras.oracle_violations_in_flight = result.oracle_violations_in_flight;
+  const obs::TelemetryBlock net_block =
+      obs::NetTelemetryBlock(config.net, result.net, &net_extras);
+  net_block.AppendRows(&table);
   if (config.shards > 1) {
     table.AddRow(
         {"replay seconds",
@@ -571,10 +591,16 @@ Status RunFromFlags(const Flags& flags) {
   }
   table.AddRow({"wall seconds", Fmt("%.3f", result.wall_seconds)});
   std::printf("%s", table.ToString().c_str());
-  PrintSpillStats(result.spill);
+  // Spill stats print as standalone "spill "-prefixed lines AFTER the
+  // summary table — never as table rows. Extra rows would re-align the
+  // table's column widths, and the byte-identity CI legs diff spill vs
+  // in-memory output with a single `grep -v "^spill "`.
+  const obs::TelemetryBlock spill_block = obs::SpillTelemetryBlock(result.spill);
+  spill_block.PrintLines();
 
   // Machine-readable counterpart of the table, same schema as the bench
   // harnesses and `asf_sweep --bench-json`.
+  std::unique_ptr<metrics::JsonWriter> writer;
   if (flags.Has("bench-json")) {
     std::vector<std::pair<std::string, double>> metrics = {
         {"maint_messages", static_cast<double>(result.MaintenanceMessages())},
@@ -604,50 +630,14 @@ Status RunFromFlags(const Flags& flags) {
         {"replay_workers", static_cast<double>(result.replay_workers)},
         {"pinned", result.pinned ? 1.0 : 0.0},
         {"wall_seconds", result.wall_seconds}};
-    if (config.net.DelaysDelivery()) {
-      metrics.emplace_back(
-          "net_kind", static_cast<double>(static_cast<int>(config.net.kind)));
-      metrics.emplace_back("net_wire_updates",
-                           static_cast<double>(result.net.update_messages));
-      metrics.emplace_back("net_msgs_per_flush",
-                           result.net.MessagesPerFlush());
-      metrics.emplace_back("staleness_mean", result.update_delay.mean());
-      metrics.emplace_back("staleness_max", result.update_delay.max());
-      metrics.emplace_back(
-          "oracle_violations_in_flight",
-          static_cast<double>(result.oracle_violations_in_flight));
-      metrics.emplace_back("net_in_flight_at_end",
-                           static_cast<double>(result.net.in_flight_at_end));
-    }
-    if (config.net.HasFaults()) {
-      metrics.emplace_back("net_dropped_loss",
-                           static_cast<double>(result.net.dropped_loss));
-      metrics.emplace_back("net_dropped_partition",
-                           static_cast<double>(result.net.dropped_partition));
-      metrics.emplace_back("net_suppressed_stale",
-                           static_cast<double>(result.net.suppressed_stale));
-      metrics.emplace_back("net_deploy_retransmits",
-                           static_cast<double>(result.net.deploy_retransmits));
-      metrics.emplace_back("net_deploy_acks",
-                           static_cast<double>(result.net.deploy_acks));
-      metrics.emplace_back(
-          "net_deploy_unacked_at_end",
-          static_cast<double>(result.net.deploy_unacked_at_end));
-      metrics.emplace_back("net_probe_retransmits",
-                           static_cast<double>(result.net.probe_retransmits));
-      metrics.emplace_back("net_probe_failovers",
-                           static_cast<double>(result.net.probe_failovers));
-      metrics.emplace_back(
-          "net_reconcile_exchanges",
-          static_cast<double>(result.net.reconcile_exchanges));
-      metrics.emplace_back(
-          "net_reconcile_deploys",
-          static_cast<double>(result.net.reconcile_deploys));
-    }
-    AddSpillMetrics(result.spill, &metrics);
-    ASF_RETURN_IF_ERROR(WriteBenchJson(flags.GetString("bench-json"),
-                                       "asf_run", metrics,
-                                       BuildProvenance()));
+    net_block.AppendMetrics(&metrics);
+    spill_block.AppendMetrics(&metrics);
+    writer = std::make_unique<metrics::JsonWriter>("asf_run");
+    writer->AddMetrics(metrics);
+  }
+  ASF_RETURN_IF_ERROR(obs_session.Finish(result.wall_seconds, writer.get()));
+  if (writer != nullptr) {
+    ASF_RETURN_IF_ERROR(writer->WriteTo(flags.GetString("bench-json")));
     std::printf("wrote %s\n", flags.GetString("bench-json").c_str());
   }
   return Status::OK();

@@ -1,6 +1,6 @@
 /// asf_tracegen — generate a synthetic wide-area TCP trace (the LBL
 /// substitute, DESIGN.md §3) and write it as a trace CSV consumable by
-/// `asf_run --trace=...` and by TraceStreams.
+/// `asf_run --replay=...` and by TraceStreams.
 ///
 /// Examples:
 ///   asf_tracegen --out=tcp.csv
